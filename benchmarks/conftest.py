@@ -1,0 +1,78 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it in a paper-comparable text format (see EXPERIMENTS.md for
+the side-by-side record).  Output is emitted outside pytest's capture
+so that ``pytest benchmarks/ --benchmark-only`` shows the tables, and
+each table is also appended to ``benchmarks/results/``.
+
+Scale: benchmarks default to a reduced protocol — the paper's cluster
+shapes and context limits, but smaller global batches and 1-2 measured
+iterations — so the whole suite runs in minutes on a laptop.  Set
+``REPRO_BENCH_FULL=1`` for the paper's batch size of 512.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.planner import PlannerConfig
+from repro.core.solver import SolverConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Reduced-protocol knobs (full protocol with REPRO_BENCH_FULL=1).
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+GLOBAL_BATCH = 512 if FULL else 128
+NUM_ITERATIONS = 3 if FULL else 1
+
+#: Solver configuration used by benchmark FlexSP runs: the paper's
+#: trial count is kept small and the per-solve MILP budget tight so
+#: the greedy incumbent carries most of the weight.
+BENCH_SOLVER = SolverConfig(
+    num_trials=5 if FULL else 2,
+    planner=PlannerConfig(time_limit=5.0 if FULL else 1.0, mip_rel_gap=0.05),
+)
+
+
+@pytest.fixture()
+def emit(capsys, request):
+    """Print a report table bypassing capture, and archive it."""
+
+    def _emit(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        with open(RESULTS_DIR / f"{name}.txt", "w") as f:
+            f.write(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_batch_size() -> int:
+    return GLOBAL_BATCH
+
+
+@pytest.fixture(scope="session")
+def bench_iterations() -> int:
+    return NUM_ITERATIONS
+
+
+@pytest.fixture(scope="session")
+def bench_solver_config() -> SolverConfig:
+    return BENCH_SOLVER
+
+
+_SYSTEM_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def system_cache():
+    """Memoises constructed systems across benchmarks (profiling and
+    baseline tuning are deterministic per workload)."""
+    return _SYSTEM_CACHE

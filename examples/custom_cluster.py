@@ -1,0 +1,62 @@
+"""Bring your own hardware: planning on a custom cluster.
+
+The planner adapts its SP-group choices to the memory capacity and
+interconnect of the cluster you describe.  This example plans the same
+micro-batch on (a) the paper's A100-40GB nodes and (b) A100-80GB nodes
+with a slower inter-node fabric, and shows how the chosen layouts and
+the memory frontier shift.
+
+Run:
+    python examples/custom_cluster.py
+"""
+
+from repro import GPT_7B, PlannerConfig, fit_cost_model
+from repro.cluster.device import A100_40GB, A100_80GB
+from repro.cluster.network import LinkSpec, NetworkSpec
+from repro.cluster.topology import ClusterSpec
+from repro.core.planner import plan_microbatch
+
+#: The Fig. 1 micro-batch: one 100K-token sequence plus four 48K ones.
+MICROBATCH = (100 * 1024,) + (48 * 1024,) * 4
+
+
+def describe(name: str, cluster: ClusterSpec) -> None:
+    config = GPT_7B.with_max_context(384 * 1024)
+    model = fit_cost_model(config, cluster)
+    print(f"--- {name} ---")
+    print(f"  usable memory/GPU: {cluster.gpu.usable_memory_bytes / 2**30:.0f} GiB")
+    print(f"  tokens/GPU capacity: {model.max_tokens_per_device():,.0f}")
+    for seq in (32, 64, 128, 256):
+        degree = model.min_degree_for_sequence(seq * 1024)
+        print(f"  min SP degree for a {seq}K sequence: {degree}")
+    plan, predicted = plan_microbatch(
+        MICROBATCH, model, PlannerConfig(time_limit=1.0)
+    )
+    print(f"  Fig. 1 micro-batch plan: {plan.layout()} "
+          f"(predicted {predicted:.1f}s)\n")
+
+
+def main() -> None:
+    paper_cluster = ClusterSpec(num_nodes=8, gpus_per_node=8, gpu=A100_40GB)
+    describe("Paper testbed: 8 nodes x 8 A100-40GB, 400G IB", paper_cluster)
+
+    # Double the memory, but a slower (100 Gbps-class) inter-node
+    # fabric: bigger groups become feasible at lower degrees, while
+    # crossing nodes gets even more expensive.
+    slow_fabric = NetworkSpec(
+        inter_node=LinkSpec(name="infiniband-100g", bandwidth=16e9, latency=25e-6)
+    )
+    big_memory = ClusterSpec(
+        num_nodes=8, gpus_per_node=8, gpu=A100_80GB, network=slow_fabric
+    )
+    describe("8 nodes x 8 A100-80GB, 100G-class IB", big_memory)
+
+    print(
+        "With 80GB parts the 100K sequence no longer needs to span\n"
+        "nodes, and with the slow fabric the planner avoids cross-node\n"
+        "groups even more aggressively."
+    )
+
+
+if __name__ == "__main__":
+    main()

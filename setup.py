@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires PEP 660 editable-wheel support; offline
+boxes that lack the `wheel` distribution can fall back to
+``python setup.py develop`` which this shim enables.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""FlexSP reproduction: flexible sequence parallelism for LLM training.
+
+Reproduces "FlexSP: Accelerating Large Language Model Training via
+Flexible Sequence Parallelism" (ASPLOS 2025) as a pure-Python library:
+the heterogeneity-adaptive SP solver (:mod:`repro.core`), its cost
+models (:mod:`repro.cost`), the simulated cluster and execution engine
+standing in for the paper's 64-GPU testbed (:mod:`repro.cluster`,
+:mod:`repro.simulator`), corpus and parallelism substrates
+(:mod:`repro.data`, :mod:`repro.parallelism`, :mod:`repro.model`),
+the evaluated baselines (:mod:`repro.baselines`) and the experiment
+harness regenerating every table and figure
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        GPT_7B, COMMONCRAWL, Workload, standard_cluster,
+        FlexSPSystem, run_system,
+    )
+
+    workload = Workload(model=GPT_7B, distribution=COMMONCRAWL,
+                        max_context=384 * 1024,
+                        cluster=standard_cluster(64))
+    result = run_system(FlexSPSystem(workload), workload, num_iterations=2)
+    print(result.mean_iteration_seconds)
+"""
+
+from repro.cluster import ClusterSpec, GPUSpec, standard_cluster
+from repro.core import (
+    FlexSPSolver,
+    IterationPlan,
+    MicroBatchPlan,
+    SequenceBatch,
+    SolverConfig,
+)
+from repro.core.planner import PlannerConfig, PlanInfeasibleError
+from repro.cost import CostModel, fit_cost_model
+from repro.data import COMMONCRAWL, GITHUB, WIKIPEDIA, SyntheticCorpus
+from repro.experiments import (
+    DeepSpeedUlyssesSystem,
+    FlexSPBatchAdaSystem,
+    FlexSPSystem,
+    MegatronLMSystem,
+    RunResult,
+    Workload,
+    build_system,
+    run_system,
+)
+from repro.model import GPT_7B, GPT_13B, GPT_30B, ModelConfig
+from repro.simulator import IterationExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ModelConfig",
+    "GPT_7B",
+    "GPT_13B",
+    "GPT_30B",
+    "ClusterSpec",
+    "GPUSpec",
+    "standard_cluster",
+    "GITHUB",
+    "COMMONCRAWL",
+    "WIKIPEDIA",
+    "SyntheticCorpus",
+    "CostModel",
+    "fit_cost_model",
+    "SequenceBatch",
+    "MicroBatchPlan",
+    "IterationPlan",
+    "FlexSPSolver",
+    "SolverConfig",
+    "PlannerConfig",
+    "PlanInfeasibleError",
+    "IterationExecutor",
+    "Workload",
+    "FlexSPSystem",
+    "DeepSpeedUlyssesSystem",
+    "FlexSPBatchAdaSystem",
+    "MegatronLMSystem",
+    "build_system",
+    "run_system",
+    "RunResult",
+]

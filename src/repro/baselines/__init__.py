@@ -1,0 +1,36 @@
+"""Baseline systems (S6.1).
+
+DeepSpeed-style homogeneous Ulysses SP + ZeRO-3
+(:mod:`repro.baselines.homogeneous`), Megatron-LM-style TP + CP + DP
+(:mod:`repro.baselines.megatron`), the FlexSP-BatchAda variant
+(:mod:`repro.baselines.batch_adaptive`), and the exhaustive strategy
+tuner that stands in for the paper's manual per-workload tuning
+(:mod:`repro.baselines.tuner`).
+"""
+
+from repro.baselines.batch_adaptive import choose_degree_for_batch
+from repro.baselines.homogeneous import (
+    estimate_homogeneous_iteration,
+    feasible_static_degrees,
+    homogeneous_plan,
+)
+from repro.baselines.megatron import (
+    MegatronOutcome,
+    MegatronStrategy,
+    megatron_iteration,
+    megatron_strategy_space,
+)
+from repro.baselines.tuner import choose_static_degree, tune_megatron
+
+__all__ = [
+    "homogeneous_plan",
+    "estimate_homogeneous_iteration",
+    "feasible_static_degrees",
+    "choose_degree_for_batch",
+    "MegatronStrategy",
+    "MegatronOutcome",
+    "megatron_iteration",
+    "megatron_strategy_space",
+    "choose_static_degree",
+    "tune_megatron",
+]

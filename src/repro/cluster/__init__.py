@@ -1,0 +1,46 @@
+"""Simulated GPU-cluster substrate.
+
+Replaces the paper's 64xA100 testbed with an analytic hardware model:
+device specs (:mod:`repro.cluster.device`), a hierarchical interconnect
+(:mod:`repro.cluster.network`), cluster topology and placement
+(:mod:`repro.cluster.topology`), collective-communication timing
+(:mod:`repro.cluster.collectives`) and an NCCL-style communication
+group pool with hot switching (:mod:`repro.cluster.groups`).
+"""
+
+from repro.cluster.collectives import (
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    reduce_scatter_time,
+    ring_p2p_time,
+)
+from repro.cluster.device import A100_40GB, A100_80GB, H100_80GB, GPUSpec
+from repro.cluster.groups import CommGroup, CommGroupPool
+from repro.cluster.network import (
+    INFINIBAND_400G,
+    NVLINK_A100,
+    LinkSpec,
+    NetworkSpec,
+)
+from repro.cluster.topology import ClusterSpec, standard_cluster
+
+__all__ = [
+    "GPUSpec",
+    "A100_40GB",
+    "A100_80GB",
+    "H100_80GB",
+    "LinkSpec",
+    "NetworkSpec",
+    "NVLINK_A100",
+    "INFINIBAND_400G",
+    "ClusterSpec",
+    "standard_cluster",
+    "CommGroup",
+    "CommGroupPool",
+    "all_to_all_time",
+    "all_gather_time",
+    "reduce_scatter_time",
+    "all_reduce_time",
+    "ring_p2p_time",
+]

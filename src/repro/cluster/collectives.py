@@ -1,0 +1,76 @@
+"""Analytic timing of collective communication operations.
+
+Each collective on a group of ``p`` devices moves a per-GPU payload
+over the group's effective link (chosen by the topology: NVLink inside
+a node, a shared InfiniBand uplink across nodes).  Standard
+ring/pairwise algorithm volumes are used:
+
+* All-to-All: each GPU sends ``(p-1)/p`` of its buffer.
+* All-Gather / Reduce-Scatter (ring): ``(p-1)/p`` of the full buffer.
+* All-Reduce (ring): ``2 (p-1)/p`` of the buffer.
+* Ring P2P (context parallelism): one neighbour transfer per step.
+
+These functions are the ground truth the simulator charges; the
+planner's Eq. 13 coefficient ``alpha_3`` is fit against them.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import LinkSpec
+
+
+def _validate(nbytes: float, group_size: int) -> None:
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if group_size <= 0:
+        raise ValueError(f"group_size must be positive, got {group_size}")
+
+
+def all_to_all_time(nbytes_per_gpu: float, group_size: int, link: LinkSpec) -> float:
+    """Seconds for an All-to-All where each GPU holds ``nbytes_per_gpu``.
+
+    Each GPU keeps its own ``1/p`` shard and exchanges the remaining
+    ``(p-1)/p`` pairwise.  A single-member group is a no-op.
+    """
+    _validate(nbytes_per_gpu, group_size)
+    if group_size == 1:
+        return 0.0
+    wire = nbytes_per_gpu * (group_size - 1) / group_size
+    return link.transfer_time(wire)
+
+
+def all_gather_time(nbytes_total: float, group_size: int, link: LinkSpec) -> float:
+    """Seconds for a ring All-Gather of a ``nbytes_total`` result buffer."""
+    _validate(nbytes_total, group_size)
+    if group_size == 1:
+        return 0.0
+    wire = nbytes_total * (group_size - 1) / group_size
+    return link.latency * (group_size - 1) + wire / link.bandwidth
+
+
+def reduce_scatter_time(nbytes_total: float, group_size: int, link: LinkSpec) -> float:
+    """Seconds for a ring Reduce-Scatter over a ``nbytes_total`` buffer."""
+    return all_gather_time(nbytes_total, group_size, link)
+
+
+def all_reduce_time(nbytes_total: float, group_size: int, link: LinkSpec) -> float:
+    """Seconds for a ring All-Reduce (reduce-scatter + all-gather)."""
+    _validate(nbytes_total, group_size)
+    if group_size == 1:
+        return 0.0
+    wire = 2.0 * nbytes_total * (group_size - 1) / group_size
+    return 2.0 * link.latency * (group_size - 1) + wire / link.bandwidth
+
+
+def ring_p2p_time(nbytes_per_step: float, group_size: int, link: LinkSpec) -> float:
+    """Seconds for one full ring rotation sending ``nbytes_per_step`` hops.
+
+    Context parallelism circulates key/value shards around the ring;
+    one rotation is ``p - 1`` neighbour sends which pipeline, so the
+    wall time is dominated by a single GPU's sequential sends.
+    """
+    _validate(nbytes_per_step, group_size)
+    if group_size == 1:
+        return 0.0
+    steps = group_size - 1
+    return steps * link.transfer_time(nbytes_per_step)

@@ -1,0 +1,80 @@
+"""GPU device specifications.
+
+A device is modelled by its peak matmul throughput, an achievable
+efficiency (model FLOPs utilisation, MFU), and its memory capacity.
+The evaluation cluster in the paper uses NVIDIA A100-40GB parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes reserved per device for the CUDA context, NCCL buffers,
+#: fragmentation and framework workspace; unavailable to training.
+#: Calibrated so that the Table 1 OOM frontier (32K fits at SP=8 but
+#: not SP=4 on A100-40GB, etc.) emerges from the memory model.
+DEFAULT_RESERVED_BYTES = 5 * 1024**3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model.
+
+    Attributes:
+        name: Marketing name, e.g. ``"a100-40gb"``.
+        peak_flops: Peak dense bf16 tensor-core FLOP/s.
+        memory_bytes: HBM capacity in bytes.
+        mfu: Achievable model-FLOPs utilisation for large matmuls; the
+            simulator derates further for small workloads.
+        reserved_bytes: Memory unavailable to tensors (context, NCCL
+            buffers, fragmentation).
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    mfu: float = 0.45
+    reserved_bytes: float = DEFAULT_RESERVED_BYTES
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError(f"peak_flops must be positive, got {self.peak_flops}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {self.memory_bytes}")
+        if not 0.0 < self.mfu <= 1.0:
+            raise ValueError(f"mfu must be in (0, 1], got {self.mfu}")
+        if not 0 <= self.reserved_bytes < self.memory_bytes:
+            raise ValueError(
+                f"reserved_bytes ({self.reserved_bytes}) must be in "
+                f"[0, memory_bytes)"
+            )
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s for saturated transformer workloads."""
+        return self.peak_flops * self.mfu
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Memory budget available for model states and activations."""
+        return self.memory_bytes - self.reserved_bytes
+
+
+A100_40GB = GPUSpec(
+    name="a100-40gb",
+    peak_flops=312e12,
+    memory_bytes=40 * 1024**3,
+)
+
+A100_80GB = GPUSpec(
+    name="a100-80gb",
+    peak_flops=312e12,
+    memory_bytes=80 * 1024**3,
+)
+
+H100_80GB = GPUSpec(
+    name="h100-80gb",
+    peak_flops=989e12,
+    memory_bytes=80 * 1024**3,
+    mfu=0.40,
+)

@@ -1,0 +1,139 @@
+"""NCCL-style communication-group pool with hot switching.
+
+FlexSP changes the SP-group layout every micro-batch.  Creating a NCCL
+communicator is expensive (the paper measures ~10 s to build the six
+power-of-two groups on 64 GPUs), so its runtime keeps a pool: groups
+are created on first use and reused afterwards, and dynamic switching
+between cached groups is free (S5, "Hot Switching and Group
+Management").
+
+Because group sizes are powers of two and each GPU always pairs with
+its neighbours, each GPU belongs to at most ``log2(N)`` groups and the
+pool holds at most ``2N - 1`` distinct groups cluster-wide (the nodes
+of a complete binary tree over ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterSpec
+
+#: Seconds to initialise one new NCCL communicator.  The paper reports
+#: under 10 seconds for the log2(64) = 6 nested groups of one GPU,
+#: i.e. a little over a second per communicator.
+DEFAULT_GROUP_CREATION_SECONDS = 1.5
+
+
+@dataclass(frozen=True)
+class CommGroup:
+    """An established communicator over a set of device ranks."""
+
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ValueError("a communication group needs at least one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in group: {self.ranks}")
+        if tuple(sorted(self.ranks)) != self.ranks:
+            raise ValueError(f"group ranks must be sorted: {self.ranks}")
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0
+
+
+@dataclass
+class CommGroupPool:
+    """Creates, caches and hands out communication groups.
+
+    Attributes:
+        cluster: Cluster the groups live on.
+        creation_seconds: Cost charged the first time a distinct group
+            is requested; zero afterwards (hot switch).
+    """
+
+    cluster: ClusterSpec
+    creation_seconds: float = DEFAULT_GROUP_CREATION_SECONDS
+    _cache: dict[tuple[int, ...], CommGroup] = field(default_factory=dict)
+    _creation_time_total: float = 0.0
+
+    def aligned_group(self, start: int, degree: int) -> tuple[int, ...]:
+        """Ranks of the neighbour-aligned group of ``degree`` at ``start``.
+
+        Power-of-two groups must start at a multiple of their size so
+        that every GPU only ever pairs with its neighbours — this is
+        what bounds the pool at ``log2(N)`` groups per GPU.
+        """
+        if not _is_power_of_two(degree):
+            raise ValueError(f"SP degrees must be powers of two, got {degree}")
+        if start % degree != 0:
+            raise ValueError(
+                f"group of degree {degree} must start at a multiple of "
+                f"{degree}, got {start}"
+            )
+        return self.cluster.contiguous_group(start, degree)
+
+    def get(self, ranks: tuple[int, ...]) -> tuple[CommGroup, float]:
+        """Fetch (creating if needed) the group over ``ranks``.
+
+        Returns:
+            The group and the creation cost incurred by this call
+            (zero on a cache hit).
+        """
+        key = tuple(sorted(ranks))
+        if key in self._cache:
+            return self._cache[key], 0.0
+        group = CommGroup(ranks=key)
+        self._cache[key] = group
+        cost = self.creation_seconds if group.size > 1 else 0.0
+        self._creation_time_total += cost
+        return group, cost
+
+    def get_aligned(self, start: int, degree: int) -> tuple[CommGroup, float]:
+        """Fetch the neighbour-aligned group of ``degree`` at ``start``."""
+        return self.get(self.aligned_group(start, degree))
+
+    @property
+    def cached_group_count(self) -> int:
+        """Number of distinct communicators established so far."""
+        return len(self._cache)
+
+    @property
+    def creation_time_total(self) -> float:
+        """Total seconds spent establishing communicators."""
+        return self._creation_time_total
+
+    def groups_per_gpu(self) -> dict[int, int]:
+        """How many cached groups each GPU belongs to.
+
+        With neighbour alignment this never exceeds ``log2(N)`` for
+        multi-member groups, matching the paper's bound.
+        """
+        counts: dict[int, int] = {r: 0 for r in range(self.cluster.num_gpus)}
+        for ranks in self._cache:
+            if len(ranks) > 1:
+                for r in ranks:
+                    counts[r] += 1
+        return counts
+
+    def warm_standard_groups(self) -> float:
+        """Pre-create every neighbour-aligned power-of-two group.
+
+        Returns the total creation cost.  This mirrors the paper's
+        worst case: the full pool is the binary tree over ranks, at
+        most ``2N - 1`` groups, ``log2(N)`` per GPU.
+        """
+        total = 0.0
+        degree = 2
+        while degree <= self.cluster.num_gpus:
+            for start in range(0, self.cluster.num_gpus, degree):
+                __, cost = self.get_aligned(start, degree)
+                total += cost
+            degree *= 2
+        return total

@@ -1,0 +1,119 @@
+"""Hierarchical interconnect model.
+
+FlexSP's gains come from the *bandwidth cliff* between the intra-node
+fabric (NVLink) and the inter-node fabric (InfiniBand): an SP group
+that fits inside one node communicates an order of magnitude faster
+per GPU than one that spans nodes.  Each fabric is an alpha-beta link:
+``time = latency + bytes / bandwidth``.
+
+The paper's cluster (S6.1) is 8 nodes x 8 A100s, NVLink intra-node,
+400 Gbps InfiniBand inter-node.  Its scalability study (S6.4) observes
+that effective per-node inter-node bandwidth *degrades* as the cluster
+grows (16 -> 32 -> 64 GPUs); :class:`NetworkSpec` models this with an
+optional degradation exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An alpha-beta point-to-point link.
+
+    Attributes:
+        name: Fabric name.
+        bandwidth: Effective algorithmic bandwidth per GPU in bytes/s
+            (already discounted for protocol overhead).
+        latency: Fixed per-operation startup latency in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVLink 3.0 on A100: 600 GB/s bidirectional per GPU; effective
+#: algorithmic bandwidth for collectives lands well below peak.
+NVLINK_A100 = LinkSpec(name="nvlink-a100", bandwidth=85e9, latency=12e-6)
+
+#: Effective aggregate InfiniBand bandwidth per node (the paper's
+#: testbed quotes "400 Gbps InfiniBand"; A100 nodes typically carry
+#: more than one rail).  Calibrated against Table 1's measured
+#: All-to-All shares: ~20 s of All-to-All for 4M tokens at SP=64 vs
+#: ~1.6 s at SP=8 on GPT-7B.
+INFINIBAND_400G = LinkSpec(name="infiniband-400g", bandwidth=62e9, latency=22e-6)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Two-level fabric: intra-node plus inter-node.
+
+    Attributes:
+        intra_node: Link seen by GPUs inside one node.
+        inter_node: Per-*node* uplink; shared by all of the node's GPUs
+            that participate in a cross-node group.
+        degradation_exponent: Per-node inter-node bandwidth scales as
+            ``(nodes / reference_nodes) ** -degradation_exponent`` —
+            captures the fat-tree oversubscription the paper observes
+            when growing from 16 to 64 GPUs.
+        reference_nodes: Node count at which ``inter_node`` bandwidth
+            is quoted.
+    """
+
+    intra_node: LinkSpec = NVLINK_A100
+    inter_node: LinkSpec = INFINIBAND_400G
+    degradation_exponent: float = 0.12
+    reference_nodes: int = 2
+
+    def inter_node_bandwidth(self, num_nodes: int) -> float:
+        """Effective per-node uplink bandwidth for a cluster of ``num_nodes``."""
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_nodes <= self.reference_nodes:
+            return self.inter_node.bandwidth
+        scale = (num_nodes / self.reference_nodes) ** (-self.degradation_exponent)
+        return self.inter_node.bandwidth * scale
+
+    def group_link(
+        self, group_gpus_per_node: int, spans_nodes: int, total_nodes: int
+    ) -> LinkSpec:
+        """Effective per-GPU link for a communication group.
+
+        A group confined to one node uses the intra-node fabric at full
+        per-GPU bandwidth.  A group spanning ``spans_nodes`` nodes is
+        bottlenecked by the node uplink, which the group's
+        ``group_gpus_per_node`` resident GPUs share.
+
+        Args:
+            group_gpus_per_node: Group members per participating node.
+            spans_nodes: Number of nodes the group touches.
+            total_nodes: Total nodes in the cluster (for degradation).
+        """
+        if group_gpus_per_node <= 0:
+            raise ValueError(
+                f"group_gpus_per_node must be positive, got {group_gpus_per_node}"
+            )
+        if spans_nodes <= 0:
+            raise ValueError(f"spans_nodes must be positive, got {spans_nodes}")
+        if spans_nodes == 1:
+            return self.intra_node
+        per_gpu = self.inter_node_bandwidth(total_nodes) / group_gpus_per_node
+        return LinkSpec(
+            name=f"{self.inter_node.name}/x{group_gpus_per_node}",
+            bandwidth=per_gpu,
+            latency=self.inter_node.latency,
+        )

@@ -1,0 +1,125 @@
+"""Sequence blaster (S4.2 and Appendix A).
+
+When a global batch holds more tokens than the cluster can fit, it is
+chunked into micro-batches executed sequentially under gradient
+accumulation.  The blaster follows the paper's three takeaways:
+
+1. Fewer micro-batches are usually better — start from the smallest
+   feasible count ``M_min = ceil(batch_tokens / cluster_capacity)``
+   and let the solver try a handful of counts above it.
+2. Low length-variance within a micro-batch is better — sort the batch
+   by length and cut it into *contiguous* segments.
+3. Token counts should be even across micro-batches — choose the cut
+   points by dynamic programming minimising the maximum segment token
+   sum (Eq. 23/24).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence as SequenceABC
+
+import numpy as np
+
+from repro.core.types import SequenceBatch
+
+#: The paper's default number of micro-batch-count trials M'.
+DEFAULT_NUM_TRIALS = 5
+
+
+def min_microbatch_count(batch_tokens: float, cluster_token_capacity: float) -> int:
+    """Smallest feasible micro-batch count ``M_min`` (takeaway 1)."""
+    if batch_tokens <= 0:
+        raise ValueError(f"batch_tokens must be positive, got {batch_tokens}")
+    if cluster_token_capacity <= 0:
+        raise ValueError(
+            f"cluster_token_capacity must be positive, got {cluster_token_capacity}"
+        )
+    return max(1, math.ceil(batch_tokens / cluster_token_capacity))
+
+
+def balanced_cut_points(lengths: SequenceABC[int], num_chunks: int) -> list[int]:
+    """Cut a sorted length list into chunks with balanced token sums.
+
+    Implements the Appendix A dynamic program: ``DP[k][i]`` is the best
+    achievable maximum chunk-token-sum when splitting the first ``k``
+    sequences into ``i`` chunks,
+
+        DP[k][i] = min_j max(DP[j][i-1], sum(s_{j+1}..s_k)).
+
+    Args:
+        lengths: Sequence lengths, already sorted (takeaway 2 ordering).
+        num_chunks: Number of chunks M; must not exceed ``len(lengths)``.
+
+    Returns:
+        Ending indices ``j_1 < ... < j_M = len(lengths)`` such that
+        chunk ``i`` covers ``[j_{i-1}, j_i)``.
+    """
+    k_total = len(lengths)
+    if num_chunks <= 0:
+        raise ValueError(f"num_chunks must be positive, got {num_chunks}")
+    if num_chunks > k_total:
+        raise ValueError(
+            f"cannot split {k_total} sequences into {num_chunks} non-empty "
+            "micro-batches"
+        )
+    arr = np.asarray(lengths, dtype=np.int64)
+    prefix = np.concatenate(([0], np.cumsum(arr)))
+
+    inf = np.iinfo(np.int64).max // 4
+    dp = np.full(k_total + 1, inf, dtype=np.int64)
+    dp[0] = 0
+    choice = np.zeros((k_total + 1, num_chunks + 1), dtype=np.int64)
+    for i in range(1, num_chunks + 1):
+        new_dp = np.full(k_total + 1, inf, dtype=np.int64)
+        for k in range(i, k_total + 1):
+            j = np.arange(i - 1, k)
+            seg = prefix[k] - prefix[j]
+            candidates = np.maximum(dp[j], seg)
+            best = int(np.argmin(candidates))
+            new_dp[k] = candidates[best]
+            choice[k][i] = j[best]
+        dp = new_dp
+
+    cuts: list[int] = []
+    k = k_total
+    for i in range(num_chunks, 0, -1):
+        cuts.append(k)
+        k = int(choice[k][i])
+    cuts.reverse()
+    return cuts
+
+
+def blast(
+    batch: SequenceBatch, num_microbatches: int, sort: bool = True
+) -> list[SequenceBatch]:
+    """Blast a global batch into ``num_microbatches`` micro-batches.
+
+    Args:
+        batch: The global batch.
+        num_microbatches: Number of micro-batches M.
+        sort: Apply takeaway-2 length sorting before cutting.  The
+            Fig. 7 "w/o Sort" ablation sets this False, cutting the
+            batch in its arrival order instead.
+
+    Returns:
+        Micro-batches in execution order; their concatenation is a
+        permutation of the input batch.
+    """
+    lengths = list(batch.lengths)
+    if sort:
+        lengths.sort()
+    cuts = balanced_cut_points(lengths, num_microbatches)
+    out: list[SequenceBatch] = []
+    start = 0
+    for end in cuts:
+        out.append(SequenceBatch(lengths=tuple(lengths[start:end])))
+        start = end
+    return out
+
+
+def max_microbatch_tokens(microbatches: SequenceABC[SequenceBatch]) -> int:
+    """Largest token load among micro-batches (the Eq. 23 objective)."""
+    if not microbatches:
+        raise ValueError("no micro-batches given")
+    return max(mb.total_tokens for mb in microbatches)

@@ -1,0 +1,213 @@
+"""Sequence bucketing (S4.1.3, Eqs. 15-16).
+
+The MILP's variable count is proportional to the number of distinct
+sequence lengths, so the planner first groups sequences into ``Q``
+buckets, each represented by its maximum member length.  The bucketing
+error — total deviation of each sequence from its bucket's upper limit
+— is minimised exactly by dynamic programming over the sorted lengths:
+
+    err[k][q] = min_j { err[j][q-1] + sum_{i=j+1..k} (s_k - s_i) }
+
+Duplicate lengths are collapsed first (splitting a run of equal
+lengths across buckets can never help), which makes the DP
+O(n^2 * Q) in the number of *unique* lengths; the inner minimisation
+is vectorised with numpy.
+
+The naive alternative (fixed-width intervals) is kept for the Table 4
+/ Fig. 7 ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's default bucket count (S4.1.3).
+DEFAULT_NUM_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A group of similar-length sequences represented by one length.
+
+    Attributes:
+        upper: Representative (maximum) length ``s_hat_q``, tokens.
+        lengths: The actual member lengths, ascending.
+    """
+
+    upper: int
+    lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lengths:
+            raise ValueError("a bucket must contain at least one sequence")
+        if any(s > self.upper for s in self.lengths):
+            raise ValueError("bucket members must not exceed its upper limit")
+        if any(s <= 0 for s in self.lengths):
+            raise ValueError("sequence lengths must be positive")
+
+    @property
+    def count(self) -> int:
+        """Member count ``b_hat_q``."""
+        return len(self.lengths)
+
+    @property
+    def deviation(self) -> int:
+        """Total bucketing error contributed by this bucket."""
+        return self.upper * self.count - sum(self.lengths)
+
+
+def _unique_sorted(lengths: SequenceABC[int]) -> tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(lengths, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("cannot bucket an empty batch")
+    if np.any(arr <= 0):
+        raise ValueError("sequence lengths must be positive")
+    return np.unique(arr, return_counts=True)
+
+
+def optimal_buckets(
+    lengths: SequenceABC[int], num_buckets: int = DEFAULT_NUM_BUCKETS
+) -> list[Bucket]:
+    """Minimum-deviation bucketing via dynamic programming (Eq. 16).
+
+    Args:
+        lengths: Raw sequence lengths (any order).
+        num_buckets: Target bucket count Q; fewer are returned when
+            there are fewer unique lengths.
+
+    Returns:
+        Buckets in ascending order of upper limit, jointly minimising
+        Eq. 15's total deviation.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    values, counts = _unique_sorted(lengths)
+    n = len(values)
+    q_max = min(num_buckets, n)
+    if q_max == n:
+        return _materialise(lengths, values)
+
+    # Prefix sums over unique values: cnt[k] sequences and wsum[k]
+    # total tokens among the first k unique lengths.
+    cnt = np.concatenate(([0], np.cumsum(counts)))
+    wsum = np.concatenate(([0], np.cumsum(values * counts)))
+
+    inf = np.iinfo(np.int64).max // 4
+    # err[j] holds err[j][q-1] while filling err[.][q]; boundary[k][q]
+    # records the argmin j for reconstruction.
+    err = np.full(n + 1, inf, dtype=np.int64)
+    err[0] = 0
+    boundary = np.zeros((n + 1, q_max + 1), dtype=np.int64)
+    for q in range(1, q_max + 1):
+        new_err = np.full(n + 1, inf, dtype=np.int64)
+        for k in range(q, n + 1):
+            j = np.arange(q - 1, k)
+            # Cost of making (j, k] one bucket with upper limit values[k-1].
+            seg = values[k - 1] * (cnt[k] - cnt[j]) - (wsum[k] - wsum[j])
+            candidates = err[j] + seg
+            best = int(np.argmin(candidates))
+            new_err[k] = candidates[best]
+            boundary[k][q] = j[best]
+        err = new_err
+
+    # Walk boundaries back to recover the bucket edges.
+    edges = []
+    k = n
+    for q in range(q_max, 0, -1):
+        edges.append(k)
+        k = int(boundary[k][q])
+    edges.reverse()
+    uppers = values[[e - 1 for e in edges]]
+    return _materialise(lengths, uppers)
+
+
+def naive_buckets(
+    lengths: SequenceABC[int], num_buckets: int = DEFAULT_NUM_BUCKETS
+) -> list[Bucket]:
+    """Fixed-width-interval bucketing (the ablation baseline).
+
+    Splits ``[0, max_length]`` into ``num_buckets`` equal intervals and
+    represents each non-empty interval by its upper edge.  On long-tail
+    data this wastes most intervals on the empty tail and lumps the
+    dense short-sequence mass into one coarse bucket — the source of
+    the up-to-22% token estimation error in Table 4.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    values, __ = _unique_sorted(lengths)
+    max_len = int(values[-1])
+    width = max(1, -(-max_len // num_buckets))  # ceil division
+    uppers = sorted({min((int(s) + width - 1) // width * width, max_len) or width
+                     for s in values})
+    return _materialise(lengths, np.asarray(uppers, dtype=np.int64))
+
+
+#: The paper's naive-bucketing interval: upper limits at multiples of 2K.
+FIXED_INTERVAL_WIDTH = 2048
+
+
+def fixed_interval_buckets(
+    lengths: SequenceABC[int], width: int = FIXED_INTERVAL_WIDTH
+) -> list[Bucket]:
+    """The paper's exact naive method: upper limits at multiples of ``width``.
+
+    Buckets are 0-2K, 2K-4K, 4K-6K, ... regardless of the data; the
+    bucket count is data-dependent.  On long-tail corpora this places
+    the dense short-sequence mass into one or two coarse intervals,
+    producing the large token-estimation bias of Table 4.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    values, __ = _unique_sorted(lengths)
+    uppers = sorted({-(-int(s) // width) * width for s in values})
+    return _materialise(lengths, np.asarray(uppers, dtype=np.int64))
+
+
+def _materialise(
+    lengths: SequenceABC[int], uppers: np.ndarray
+) -> list[Bucket]:
+    """Assemble Bucket objects given ascending upper limits."""
+    remaining = sorted(int(s) for s in lengths)
+    buckets: list[Bucket] = []
+    idx = 0
+    for upper in uppers:
+        members = []
+        while idx < len(remaining) and remaining[idx] <= upper:
+            members.append(remaining[idx])
+            idx += 1
+        if members:
+            buckets.append(Bucket(upper=int(upper), lengths=tuple(members)))
+    if idx != len(remaining):
+        raise AssertionError("bucketing failed to cover all sequences")
+    return buckets
+
+
+def bucket_sequences(
+    lengths: SequenceABC[int],
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    method: str = "optimal",
+) -> list[Bucket]:
+    """Bucket sequences by the named method (``"optimal"`` or ``"naive"``)."""
+    if method == "optimal":
+        return optimal_buckets(lengths, num_buckets)
+    if method == "naive":
+        return naive_buckets(lengths, num_buckets)
+    if method == "fixed":
+        return fixed_interval_buckets(lengths)
+    raise ValueError(f"unknown bucketing method: {method!r}")
+
+
+def bucketing_error(buckets: SequenceABC[Bucket]) -> int:
+    """Eq. 15's objective: total token deviation across buckets."""
+    return sum(b.deviation for b in buckets)
+
+
+def token_error_ratio(buckets: SequenceABC[Bucket]) -> float:
+    """Table 4's metric: error tokens divided by total true tokens."""
+    true_tokens = sum(sum(b.lengths) for b in buckets)
+    if true_tokens == 0:
+        raise ValueError("token_error_ratio of an empty bucketing is undefined")
+    return bucketing_error(buckets) / true_tokens

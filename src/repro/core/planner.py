@@ -1,0 +1,446 @@
+"""Parallelism planner: the MILP of S4.1 (Eqs. 17-22).
+
+Given one micro-batch's sequences, the planner decides (1) how many SP
+groups to form, (2) each group's degree, and (3) how many sequences of
+each bucket go to each group, minimising the makespan ``C`` — the
+maximum of the groups' Eq. 14 execution times — subject to per-device
+memory (Eq. 19), the cluster device budget (Eq. 20), selection linking
+(Eq. 21) and assignment completeness (Eq. 22).
+
+The decision variables are the binary group-selection vector ``m`` over
+*virtual groups* (one per possible group of each power-of-two degree)
+and the integer assignment matrix ``A_hat[q][p]`` counting bucket-``q``
+sequences routed to group ``p``.  The paper solves the MILP with SCIP;
+we use scipy's HiGHS backend, with identical formulation plus
+symmetry-breaking order constraints over same-degree groups.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.bucketing import DEFAULT_NUM_BUCKETS, Bucket, bucket_sequences
+from repro.core.types import GroupAssignment, MicroBatchPlan
+from repro.cost.model import CostModel
+
+
+@contextlib.contextmanager
+def _quiet_stdout():
+    """Silence HiGHS's unconditional C++ diagnostics during a solve.
+
+    HiGHS prints branch-and-bound internals straight to file descriptor
+    1, bypassing ``sys.stdout``; the descriptor itself is redirected to
+    the null device for the duration.  Falls back to a no-op when
+    stdout has no descriptor (e.g. fully captured streams).
+    """
+    try:
+        fd = sys.stdout.fileno()
+    except (OSError, ValueError, AttributeError):
+        yield
+        return
+    sys.stdout.flush()
+    saved = os.dup(fd)
+    try:
+        with open(os.devnull, "w") as devnull:
+            os.dup2(devnull.fileno(), fd)
+        yield
+    finally:
+        os.dup2(saved, fd)
+        os.close(saved)
+
+
+class PlanInfeasibleError(Exception):
+    """The micro-batch cannot be scheduled within the memory budget."""
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner knobs.
+
+    Attributes:
+        num_buckets: Bucket count Q (paper default 16).
+        bucketing: ``"optimal"`` (DP) or ``"naive"`` (fixed intervals)
+            or ``"none"`` (one bucket per unique length; the Fig. 7
+            "w/o BKT" ablation).
+        time_limit: HiGHS wall-clock limit in seconds per solve.
+        mip_rel_gap: Acceptable relative optimality gap.
+        max_groups_per_degree: Cap on virtual groups per degree (None
+            means the natural ``N / d``).
+        min_degree: Smallest candidate SP degree (1 in the paper).
+        greedy_incumbent: Prime branch-and-bound with the greedy LPT
+            plan's makespan as a cutoff on ``C`` and return whichever
+            of the two plans predicts faster.  This plays the role of
+            SCIP's primal heuristics in the paper's setup; disabling it
+            exposes raw HiGHS behaviour.
+    """
+
+    num_buckets: int = DEFAULT_NUM_BUCKETS
+    bucketing: str = "optimal"
+    time_limit: float = 2.0
+    mip_rel_gap: float = 0.03
+    max_groups_per_degree: int | None = None
+    min_degree: int = 1
+    greedy_incumbent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bucketing not in ("optimal", "naive", "none"):
+            raise ValueError(f"unknown bucketing mode: {self.bucketing!r}")
+        if self.time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {self.time_limit}")
+        if not 0 <= self.mip_rel_gap < 1:
+            raise ValueError(f"mip_rel_gap must be in [0, 1), got {self.mip_rel_gap}")
+        if self.min_degree <= 0 or self.min_degree & (self.min_degree - 1):
+            raise ValueError(f"min_degree must be a power of two, got {self.min_degree}")
+
+
+@dataclass(frozen=True)
+class VirtualGroup:
+    """One candidate SP group in the MILP."""
+
+    degree: int
+    index_within_degree: int
+
+
+def _make_buckets(lengths: tuple[int, ...], config: PlannerConfig) -> list[Bucket]:
+    if config.bucketing == "none":
+        # One bucket per unique length: zero bucketing error, but the
+        # MILP grows with the number of distinct lengths (the ablation
+        # shows the solver then struggles within its time budget).
+        return bucket_sequences(lengths, num_buckets=len(set(lengths)), method="optimal")
+    return bucket_sequences(lengths, config.num_buckets, method=config.bucketing)
+
+
+def enumerate_virtual_groups(
+    model: CostModel, lengths: tuple[int, ...], config: PlannerConfig
+) -> list[VirtualGroup]:
+    """Candidate groups: every degree that could serve some sequence.
+
+    Degrees below the smallest that fits the *shortest* sequence are
+    useless and pruned; the upper end is the cluster size.  For each
+    degree ``d`` there are up to ``N / d`` simultaneous groups.
+    """
+    num_gpus = model.cluster.num_gpus
+    shortest = min(lengths)
+    groups: list[VirtualGroup] = []
+    degree = config.min_degree
+    while degree <= num_gpus:
+        if model.fits([shortest], degree):
+            count = num_gpus // degree
+            if config.max_groups_per_degree is not None:
+                count = min(count, config.max_groups_per_degree)
+            for i in range(count):
+                groups.append(VirtualGroup(degree=degree, index_within_degree=i))
+        degree *= 2
+    if not groups:
+        raise PlanInfeasibleError(
+            f"no SP degree up to {num_gpus} fits even a {shortest}-token sequence"
+        )
+    return groups
+
+
+def _check_feasibility(
+    model: CostModel, buckets: list[Bucket], groups: list[VirtualGroup]
+) -> None:
+    """Fast necessary-condition checks before invoking the MILP."""
+    max_degree = max(g.degree for g in groups)
+    longest = max(b.upper for b in buckets)
+    if not model.fits([longest], max_degree):
+        raise PlanInfeasibleError(
+            f"a {longest}-token sequence exceeds device memory even at "
+            f"SP={max_degree}"
+        )
+    total_tokens = sum(sum(b.lengths) for b in buckets)
+    if total_tokens > model.cluster_token_capacity():
+        raise PlanInfeasibleError(
+            f"micro-batch holds {total_tokens} tokens but the cluster fits "
+            f"only {model.cluster_token_capacity():.0f}; blast further"
+        )
+
+
+def _build_and_solve(
+    model: CostModel,
+    buckets: list[Bucket],
+    groups: list[VirtualGroup],
+    config: PlannerConfig,
+    c_upper: float = np.inf,
+):
+    """Assemble the sparse MILP and run HiGHS.
+
+    Variable layout: ``x = [m_0..m_{P-1} | A_{0,0}..A_{Q-1,P-1} | C]``
+    with A in bucket-major order.
+    """
+    num_groups = len(groups)
+    num_buckets = len(buckets)
+    num_vars = num_groups + num_buckets * num_groups + 1
+    c_index = num_vars - 1
+
+    def a_index(q: int, p: int) -> int:
+        return num_groups + q * num_groups + p
+
+    coeffs = model.coeffs
+    uppers = [b.upper for b in buckets]
+    counts = [b.count for b in buckets]
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    row = 0
+
+    def add(r: int, col: int, val: float) -> None:
+        rows.append(r)
+        cols.append(col)
+        vals.append(val)
+
+    # (18) Time: the per-group time including the exposed ZeRO-3
+    # gather is max of two linear branches (see CostModel
+    # .time_with_overheads), so each group contributes two
+    # "branch <= C" constraints.
+    gather = coeffs.zero_gather_seconds
+    exposed_gather = (1.0 - coeffs.zero_overlap) * gather
+    for p, g in enumerate(groups):
+        d = g.degree
+        comm_per_token = model.comm_seconds_per_token(d)
+        beta = coeffs.beta1 + (coeffs.beta2 if d > 1 else 0.0)
+        # Branch 1: compute-bound — comp + comm + (1-ov)*gather <= C.
+        for q in range(num_buckets):
+            s = uppers[q]
+            w = (coeffs.alpha1 * s * s + coeffs.alpha2 * s) / d
+            w += comm_per_token * s
+            add(row, a_index(q, p), w)
+        add(row, p, beta + exposed_gather)
+        add(row, c_index, -1.0)
+        lower.append(-np.inf)
+        upper.append(0.0)
+        row += 1
+        # Branch 2: gather-bound — comm + gather <= C.
+        if gather > 0:
+            if d > 1:
+                for q in range(num_buckets):
+                    add(row, a_index(q, p), comm_per_token * uppers[q])
+                comm_beta = coeffs.beta2
+            else:
+                comm_beta = 0.0
+            add(row, p, comm_beta + gather)
+            add(row, c_index, -1.0)
+            lower.append(-np.inf)
+            upper.append(0.0)
+            row += 1
+
+    # (19)+(21) Memory and linking in one: sum_q s_q A_{q,p} <= cap_d m_p.
+    activation_budget = model.memory_budget - coeffs.model_state_bytes
+    if activation_budget <= 0:
+        raise PlanInfeasibleError("model states alone exceed device memory")
+    for p, g in enumerate(groups):
+        cap = activation_budget / coeffs.memory_per_token * g.degree
+        for q in range(num_buckets):
+            add(row, a_index(q, p), float(uppers[q]))
+        add(row, p, -cap)
+        lower.append(-np.inf)
+        upper.append(0.0)
+        row += 1
+
+    # (20) Device budget: sum_p d_p m_p <= N.
+    for p, g in enumerate(groups):
+        add(row, p, float(g.degree))
+    lower.append(-np.inf)
+    upper.append(float(model.cluster.num_gpus))
+    row += 1
+
+    # (22) Completeness: sum_p A_{q,p} = b_q.
+    for q in range(num_buckets):
+        for p in range(num_groups):
+            add(row, a_index(q, p), 1.0)
+        lower.append(float(counts[q]))
+        upper.append(float(counts[q]))
+        row += 1
+
+    # Symmetry breaking: same-degree groups are interchangeable, so
+    # order them by selection then by assigned token load.
+    by_degree: dict[int, list[int]] = {}
+    for p, g in enumerate(groups):
+        by_degree.setdefault(g.degree, []).append(p)
+    for members in by_degree.values():
+        for p_a, p_b in zip(members, members[1:]):
+            add(row, p_a, -1.0)
+            add(row, p_b, 1.0)
+            lower.append(-np.inf)
+            upper.append(0.0)
+            row += 1
+            for q in range(num_buckets):
+                add(row, a_index(q, p_a), -float(uppers[q]))
+                add(row, a_index(q, p_b), float(uppers[q]))
+            lower.append(-np.inf)
+            upper.append(0.0)
+            row += 1
+
+    matrix = sparse.csc_array(
+        (vals, (rows, cols)), shape=(row, num_vars), dtype=np.float64
+    )
+    constraints = LinearConstraint(matrix, np.asarray(lower), np.asarray(upper))
+
+    objective = np.zeros(num_vars)
+    objective[c_index] = 1.0
+    integrality = np.ones(num_vars)
+    integrality[c_index] = 0
+    var_lower = np.zeros(num_vars)
+    var_upper = np.empty(num_vars)
+    var_upper[:num_groups] = 1.0
+    for q in range(num_buckets):
+        for p in range(num_groups):
+            var_upper[a_index(q, p)] = counts[q]
+    var_upper[c_index] = c_upper
+
+    with _quiet_stdout():
+        result = milp(
+            c=objective,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(var_lower, var_upper),
+            options={
+                "time_limit": config.time_limit,
+                "mip_rel_gap": config.mip_rel_gap,
+                "presolve": True,
+            },
+        )
+    return result, a_index, c_index
+
+
+def _extract_plan(
+    model: CostModel,
+    buckets: list[Bucket],
+    groups: list[VirtualGroup],
+    solution: np.ndarray,
+    a_index,
+) -> MicroBatchPlan:
+    """Turn MILP variable values into a concrete MicroBatchPlan.
+
+    Bucket members are mapped back to groups longest-first into the
+    highest-degree groups, which only tightens memory relative to the
+    planner's upper-limit approximation.
+    """
+    num_groups = len(groups)
+    selected = [p for p in range(num_groups) if solution[p] > 0.5]
+    assignment_counts: dict[int, list[int]] = {
+        p: [int(round(solution[a_index(q, p)])) for q in range(len(buckets))]
+        for p in selected
+    }
+    # Keep only groups that actually received work.
+    active = [p for p in selected if sum(assignment_counts[p]) > 0]
+    if not active:
+        raise PlanInfeasibleError("MILP returned a plan with no active groups")
+    # Highest degrees first: deterministic device placement with
+    # power-of-two alignment preserved.
+    active.sort(key=lambda p: -groups[p].degree)
+
+    per_group_lengths: dict[int, list[int]] = {p: [] for p in active}
+    for q, bucket in enumerate(buckets):
+        members = sorted(bucket.lengths, reverse=True)
+        cursor = 0
+        for p in active:
+            take = assignment_counts[p][q]
+            per_group_lengths[p].extend(members[cursor : cursor + take])
+            cursor += take
+        if cursor != len(members):
+            raise AssertionError(
+                f"bucket {q}: assigned {cursor} of {len(members)} sequences"
+            )
+
+    assignments = []
+    offset = 0
+    for p in active:
+        degree = groups[p].degree
+        ranks = tuple(range(offset, offset + degree))
+        offset += degree
+        assignments.append(
+            GroupAssignment(
+                degree=degree,
+                device_ranks=ranks,
+                lengths=tuple(sorted(per_group_lengths[p], reverse=True)),
+            )
+        )
+    return MicroBatchPlan(groups=tuple(assignments))
+
+
+def plan_makespan(model: CostModel, plan: MicroBatchPlan) -> float:
+    """A plan's predicted makespan on *actual* (unbucketed) lengths.
+
+    Includes the exposed ZeRO-3 gather so that micro-batch-count
+    choices in the solver loop see the true per-micro-batch cost.
+    """
+    return max(model.time_with_overheads(g.lengths, g.degree) for g in plan.groups)
+
+
+def plan_microbatch(
+    lengths: tuple[int, ...] | list[int],
+    model: CostModel,
+    config: PlannerConfig | None = None,
+) -> tuple[MicroBatchPlan, float]:
+    """Solve the S4.1 MILP for one micro-batch.
+
+    With ``greedy_incumbent`` enabled (default), the greedy LPT plan is
+    computed first and its makespan installed as an upper bound on the
+    MILP's objective — branch-and-bound then only explores strictly
+    better regions, and the better of the two plans is returned.  Both
+    candidates are compared on their actual-length makespans, so the
+    bucketing approximation never inflates the reported prediction.
+
+    Args:
+        lengths: The micro-batch's sequence lengths.
+        model: Fitted cost model for the (model, cluster) pair.
+        config: Planner knobs; defaults match the paper.
+
+    Returns:
+        The best plan found and its predicted makespan in seconds.
+
+    Raises:
+        PlanInfeasibleError: No feasible grouping exists (the caller —
+            the solver loop — should retry with more micro-batches).
+    """
+    # Imported here: planner_greedy imports this module's exception and
+    # config types, so a module-level import would be circular.
+    from repro.core.planner_greedy import plan_microbatch_greedy
+
+    config = config or PlannerConfig()
+    lengths = tuple(int(s) for s in lengths)
+    if not lengths:
+        raise ValueError("cannot plan an empty micro-batch")
+    buckets = _make_buckets(lengths, config)
+    groups = enumerate_virtual_groups(model, lengths, config)
+    _check_feasibility(model, buckets, groups)
+
+    incumbent: tuple[MicroBatchPlan, float] | None = None
+    c_upper = np.inf
+    if config.greedy_incumbent:
+        try:
+            greedy_plan, greedy_pred = plan_microbatch_greedy(lengths, model)
+            incumbent = (greedy_plan, greedy_pred)
+            # The MILP prices buckets at their upper limits, so allow
+            # the cutoff a little slack over the actual-length makespan.
+            c_upper = greedy_pred * 1.05
+        except PlanInfeasibleError:
+            incumbent = None
+
+    result, a_index, c_index = _build_and_solve(
+        model, buckets, groups, config, c_upper=c_upper
+    )
+    if result.x is None:
+        if incumbent is not None:
+            return incumbent
+        raise PlanInfeasibleError(
+            f"MILP solver found no feasible plan (status={result.status}: "
+            f"{result.message})"
+        )
+    plan = _extract_plan(model, buckets, groups, result.x, a_index)
+    predicted = plan_makespan(model, plan)
+    if incumbent is not None and incumbent[1] <= predicted:
+        return incumbent
+    return plan, predicted

@@ -1,0 +1,137 @@
+"""Plan serialization and the distributed plan store (paper S5).
+
+FlexSP disaggregates solving (CPU services, one per node) from
+training (GPUs): solvers write each batch's optimal plan into a
+distributed store, and the executor reads one plan per iteration.
+This module provides the wire format — plans as plain JSON — and a
+file-backed :class:`PlanStore` with the store's read-ahead contract.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+
+#: Format tag written into every serialized plan.
+FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: IterationPlan) -> dict[str, Any]:
+    """Lossless JSON-ready representation of an iteration plan."""
+    return {
+        "version": FORMAT_VERSION,
+        "solver_name": plan.solver_name,
+        "predicted_time": plan.predicted_time,
+        "microbatches": [
+            {
+                "groups": [
+                    {
+                        "degree": g.degree,
+                        "device_ranks": list(g.device_ranks),
+                        "lengths": list(g.lengths),
+                    }
+                    for g in mb.groups
+                ]
+            }
+            for mb in plan.microbatches
+        ],
+    }
+
+
+def plan_from_dict(payload: dict[str, Any]) -> IterationPlan:
+    """Inverse of :func:`plan_to_dict`; validates structure via the
+    plan dataclasses' own invariants."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r}; expected "
+            f"{FORMAT_VERSION}"
+        )
+    microbatches = []
+    for mb in payload["microbatches"]:
+        groups = tuple(
+            GroupAssignment(
+                degree=int(g["degree"]),
+                device_ranks=tuple(int(r) for r in g["device_ranks"]),
+                lengths=tuple(int(s) for s in g["lengths"]),
+            )
+            for g in mb["groups"]
+        )
+        microbatches.append(MicroBatchPlan(groups=groups))
+    return IterationPlan(
+        microbatches=tuple(microbatches),
+        predicted_time=payload.get("predicted_time"),
+        solver_name=payload.get("solver_name", "unknown"),
+    )
+
+
+def dumps(plan: IterationPlan) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), separators=(",", ":"))
+
+
+def loads(text: str) -> IterationPlan:
+    """Deserialize a plan from a JSON string."""
+    return plan_from_dict(json.loads(text))
+
+
+class PlanStore:
+    """File-backed store of per-step plans (the S5 "distributed storage").
+
+    Solver services call :meth:`put` for the batches they have solved;
+    the executor calls :meth:`get` once per training step.  Steps are
+    independent files so concurrent solver processes never contend.
+
+    Args:
+        root: Directory holding the plans; created if missing.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, step: int) -> pathlib.Path:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        return self.root / f"plan-{step:08d}.json"
+
+    def put(self, step: int, plan: IterationPlan) -> None:
+        """Persist the plan for ``step`` (atomic via rename)."""
+        path = self._path(step)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(dumps(plan))
+        tmp.rename(path)
+
+    def get(self, step: int) -> IterationPlan:
+        """Load the plan for ``step``.
+
+        Raises:
+            KeyError: The step has not been solved yet.
+        """
+        path = self._path(step)
+        if not path.exists():
+            raise KeyError(f"no plan stored for step {step}")
+        return loads(path.read_text())
+
+    def __contains__(self, step: int) -> bool:
+        return self._path(step).exists()
+
+    def pending_after(self, step: int) -> int:
+        """How many consecutive future steps are already solved.
+
+        The executor uses this as its read-ahead depth: a healthy
+        deployment keeps it positive so solving stays overlapped.
+        """
+        count = 0
+        while (step + count + 1) in self:
+            count += 1
+        return count
+
+    def steps(self) -> list[int]:
+        """All stored step indices, ascending."""
+        return sorted(
+            int(p.stem.split("-")[1]) for p in self.root.glob("plan-*.json")
+        )

@@ -1,0 +1,170 @@
+"""FlexSP solver workflow (Alg. 1).
+
+Given a global batch, sweep the micro-batch count from the minimum
+feasible ``M_min`` upward over ``M'`` trials; for each count, blast the
+batch, plan every micro-batch with the parallelism planner, and keep
+the plan whose *total* predicted time is lowest.  Optionally fan the
+trials out over a process pool, mirroring the paper's two-level
+multi-process solving.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.core.blaster import DEFAULT_NUM_TRIALS, blast, min_microbatch_count
+from repro.core.planner import PlanInfeasibleError, PlannerConfig, plan_microbatch
+from repro.core.planner_greedy import plan_microbatch_greedy
+from repro.core.types import IterationPlan, MicroBatchPlan, SequenceBatch
+from repro.cost.model import CostModel
+
+#: Registry of planner backends by name.
+_BACKENDS = {
+    "milp": plan_microbatch,
+    "greedy": plan_microbatch_greedy,
+}
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Solver knobs.
+
+    Attributes:
+        num_trials: Micro-batch-count trials M' (paper default 5).
+        backend: ``"milp"`` (the paper's formulation, via HiGHS) or
+            ``"greedy"`` (LPT heuristic fallback).
+        planner: Per-micro-batch planner configuration.
+        sort_sequences: Takeaway-2 sorting in the blaster; False gives
+            the Fig. 7 "w/o Sort" ablation.
+        workers: Process-pool width for parallel trials (1 = serial).
+        capacity_safety: Fraction of the theoretical cluster token
+            capacity assumed usable when computing ``M_min``.  The
+            default of 1.0 relies on the trial loop to skip counts
+            whose micro-batches turn out unplannable; lower it only to
+            bias toward more gradient accumulation.
+    """
+
+    num_trials: int = DEFAULT_NUM_TRIALS
+    backend: str = "milp"
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    sort_sequences: bool = True
+    workers: int = 1
+    capacity_safety: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_trials <= 0:
+            raise ValueError(f"num_trials must be positive, got {self.num_trials}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; options: {sorted(_BACKENDS)}"
+            )
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if not 0 < self.capacity_safety <= 1:
+            raise ValueError(
+                f"capacity_safety must be in (0, 1], got {self.capacity_safety}"
+            )
+
+
+def _solve_one_trial(
+    batch: SequenceBatch,
+    num_microbatches: int,
+    model: CostModel,
+    config: SolverConfig,
+) -> tuple[float, list[MicroBatchPlan]] | None:
+    """Plan the whole batch at one micro-batch count; None if infeasible."""
+    planner = _BACKENDS[config.backend]
+    try:
+        microbatches = blast(batch, num_microbatches, sort=config.sort_sequences)
+    except ValueError:
+        return None
+    plans: list[MicroBatchPlan] = []
+    total = 0.0
+    for mb in microbatches:
+        try:
+            plan, predicted = planner(mb.lengths, model, config.planner)
+        except PlanInfeasibleError:
+            return None
+        plans.append(plan)
+        total += predicted
+    return total, plans
+
+
+class FlexSPSolver:
+    """Produces iteration plans for global batches (Fig. 3's solver box).
+
+    Args:
+        model: Fitted cost model for the target (model, cluster).
+        config: Solver knobs; defaults match the paper.
+    """
+
+    def __init__(self, model: CostModel, config: SolverConfig | None = None) -> None:
+        self.model = model
+        self.config = config or SolverConfig()
+
+    def minimum_microbatches(self, batch: SequenceBatch) -> int:
+        """``M_min`` for this batch on this cluster (takeaway 1)."""
+        capacity = self.model.cluster_token_capacity() * self.config.capacity_safety
+        return min_microbatch_count(batch.total_tokens, capacity)
+
+    def solve(self, batch: SequenceBatch | tuple[int, ...]) -> IterationPlan:
+        """Alg. 1: sweep micro-batch counts and return the best plan.
+
+        Raises:
+            PlanInfeasibleError: No trial produced a feasible plan —
+                e.g. a sequence larger than the whole cluster's memory.
+        """
+        if not isinstance(batch, SequenceBatch):
+            batch = SequenceBatch(lengths=tuple(batch))
+        m_min = self.minimum_microbatches(batch)
+        trials = [
+            m
+            for m in range(m_min, m_min + self.config.num_trials)
+            if m <= len(batch.lengths)
+        ]
+        if not trials:
+            trials = [len(batch.lengths)]
+
+        if self.config.workers > 1:
+            results = self._solve_parallel(batch, trials)
+        else:
+            results = [
+                _solve_one_trial(batch, m, self.model, self.config) for m in trials
+            ]
+
+        best: tuple[float, list[MicroBatchPlan]] | None = None
+        for outcome in results:
+            if outcome is None:
+                continue
+            if best is None or outcome[0] < best[0]:
+                best = outcome
+        if best is None:
+            raise PlanInfeasibleError(
+                f"no feasible plan for batch of {batch.total_tokens} tokens "
+                f"with micro-batch counts {trials}"
+            )
+        total, plans = best
+        return IterationPlan(
+            microbatches=tuple(plans),
+            predicted_time=total,
+            solver_name=f"flexsp-{self.config.backend}",
+        )
+
+    def _solve_parallel(self, batch: SequenceBatch, trials: list[int]):
+        """Two-level multi-process solving (S4.3): one worker per trial."""
+        with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
+            futures = [
+                pool.submit(_solve_one_trial, batch, m, self.model, self.config)
+                for m in trials
+            ]
+            return [f.result() for f in futures]
+
+    def ablated(self, **changes) -> "FlexSPSolver":
+        """Copy of this solver with config fields replaced.
+
+        Convenience for the Fig. 7 ablations, e.g.
+        ``solver.ablated(sort_sequences=False)`` or
+        ``solver.ablated(planner=replace(cfg.planner, bucketing="naive"))``.
+        """
+        return FlexSPSolver(self.model, replace(self.config, **changes))

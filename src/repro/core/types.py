@@ -1,0 +1,176 @@
+"""Plan data structures shared by the solver, baselines and executor.
+
+An :class:`IterationPlan` is the contract between planning and
+execution: a list of micro-batches, each a set of SP groups running
+*concurrently*, each group owning a disjoint slice of devices and a
+multiset of sequences it processes as one packed varlen batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SequenceBatch:
+    """An ordered collection of raw sequence lengths to plan over."""
+
+    lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lengths:
+            raise ValueError("a sequence batch must be non-empty")
+        if any(s <= 0 for s in self.lengths):
+            raise ValueError("sequence lengths must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        return int(sum(self.lengths))
+
+    @property
+    def max_length(self) -> int:
+        return int(max(self.lengths))
+
+    def sorted(self) -> "SequenceBatch":
+        """Ascending-length copy (the blaster's takeaway-2 ordering)."""
+        return SequenceBatch(lengths=tuple(sorted(self.lengths)))
+
+
+@dataclass(frozen=True)
+class GroupAssignment:
+    """One SP group in one micro-batch, with its workload.
+
+    Attributes:
+        degree: SP degree (group size), a power of two.
+        device_ranks: The devices forming the group; contiguous and
+            neighbour-aligned under canonical placement.
+        lengths: Sequence lengths assigned to this group.  The group
+            processes them as a single packed varlen input.
+    """
+
+    degree: int
+    device_ranks: tuple[int, ...]
+    lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0 or self.degree & (self.degree - 1) != 0:
+            raise ValueError(f"SP degree must be a power of two, got {self.degree}")
+        if len(self.device_ranks) != self.degree:
+            raise ValueError(
+                f"group of degree {self.degree} must own exactly that many "
+                f"devices, got {len(self.device_ranks)}"
+            )
+        if any(s <= 0 for s in self.lengths):
+            raise ValueError("assigned sequence lengths must be positive")
+
+    @property
+    def tokens(self) -> int:
+        """Total tokens this group processes."""
+        return int(sum(self.lengths))
+
+    @property
+    def tokens_per_device(self) -> float:
+        """Resident tokens per member device."""
+        return self.tokens / self.degree
+
+
+@dataclass(frozen=True)
+class MicroBatchPlan:
+    """SP groups that execute concurrently for one micro-batch.
+
+    Groups may be heterogeneous in degree — the paper's key departure
+    from prior systems — but must occupy disjoint devices.  Empty
+    groups are permitted only transiently inside the planner and are
+    dropped before a plan is finalised.
+    """
+
+    groups: tuple[GroupAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a micro-batch plan needs at least one group")
+        seen: set[int] = set()
+        for g in self.groups:
+            for r in g.device_ranks:
+                if r in seen:
+                    raise ValueError(
+                        f"device rank {r} appears in more than one SP group"
+                    )
+                seen.add(r)
+        if any(not g.lengths for g in self.groups):
+            raise ValueError("finalised plans must not contain empty groups")
+
+    @property
+    def devices_used(self) -> int:
+        return sum(g.degree for g in self.groups)
+
+    @property
+    def tokens(self) -> int:
+        return sum(g.tokens for g in self.groups)
+
+    @property
+    def num_sequences(self) -> int:
+        return sum(len(g.lengths) for g in self.groups)
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Count of groups per SP degree, e.g. ``{32: 1, 8: 4}``."""
+        hist: dict[int, int] = {}
+        for g in self.groups:
+            hist[g.degree] = hist.get(g.degree, 0) + 1
+        return hist
+
+    def layout(self) -> str:
+        """Table-3-style layout string, e.g. ``"<32, 8 x 4>"``."""
+        hist = self.degree_histogram()
+        parts = []
+        for degree in sorted(hist, reverse=True):
+            count = hist[degree]
+            parts.append(f"{degree} x {count}" if count > 1 else f"{degree}")
+        return "<" + ", ".join(parts) + ">"
+
+
+@dataclass(frozen=True)
+class IterationPlan:
+    """The full plan for one training step.
+
+    Attributes:
+        microbatches: Executed sequentially with gradient accumulation.
+        predicted_time: The solver's estimate of execution seconds
+            (sum over micro-batches of the planner objective), if known.
+        solver_name: Which planner produced this plan.
+    """
+
+    microbatches: tuple[MicroBatchPlan, ...]
+    predicted_time: float | None = None
+    solver_name: str = "flexsp"
+
+    def __post_init__(self) -> None:
+        if not self.microbatches:
+            raise ValueError("an iteration plan needs at least one micro-batch")
+
+    @property
+    def num_microbatches(self) -> int:
+        return len(self.microbatches)
+
+    @property
+    def tokens(self) -> int:
+        return sum(mb.tokens for mb in self.microbatches)
+
+    @property
+    def num_sequences(self) -> int:
+        return sum(mb.num_sequences for mb in self.microbatches)
+
+    def layouts(self) -> list[str]:
+        """Per-micro-batch layout strings (Table 3 format)."""
+        return [mb.layout() for mb in self.microbatches]
+
+    def assignment_by_degree(self) -> dict[int, list[int]]:
+        """All sequence lengths grouped by the SP degree serving them.
+
+        This is the Fig. 5b view: which lengths went to which degree.
+        """
+        result: dict[int, list[int]] = {}
+        for mb in self.microbatches:
+            for g in mb.groups:
+                result.setdefault(g.degree, []).extend(g.lengths)
+        return result

@@ -1,0 +1,19 @@
+"""Cost-model substrate (paper S4.1.2).
+
+The extended alpha-beta cost model (:mod:`repro.cost.model`), the
+profiler that fits its coefficients against the simulated hardware
+(:mod:`repro.cost.profiler`), and plan-level estimation helpers
+(:mod:`repro.cost.estimator`).
+"""
+
+from repro.cost.estimator import estimate_iteration_time, estimate_microbatch_time
+from repro.cost.model import CostCoefficients, CostModel
+from repro.cost.profiler import fit_cost_model
+
+__all__ = [
+    "CostCoefficients",
+    "CostModel",
+    "fit_cost_model",
+    "estimate_microbatch_time",
+    "estimate_iteration_time",
+]

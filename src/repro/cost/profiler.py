@@ -1,0 +1,244 @@
+"""Coefficient fitting by profiling the simulated hardware.
+
+The paper obtains its alpha-beta coefficients "through profiling"
+(S4.1.2): run probe workloads on the real cluster, record times, and
+least-squares fit.  We reproduce the workflow against the simulator's
+ground-truth timing functions.  Because the ground truth contains mild
+non-linearities the planner model cannot express (efficiency
+saturation at small shards, per-round collective latencies), the fit
+has a small residual — the <6% estimation error of Appendix C /
+Fig. 9 — rather than being trivially exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.cost.model import CostCoefficients, CostModel
+from repro.model.config import ModelConfig
+from repro.model.memory import (
+    ActivationCheckpointing,
+    activation_bytes_per_token,
+    model_state_bytes_per_device,
+)
+from repro.simulator.timing import group_alltoall_time, group_compute_time
+
+#: Probe sequence lengths used to excite the quadratic and linear
+#: compute terms, tokens.
+DEFAULT_PROBE_LENGTHS = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Probe sequence counts per micro-batch.
+DEFAULT_PROBE_COUNTS = (1, 4, 16)
+
+
+@dataclass(frozen=True)
+class ProfileObservation:
+    """One probe measurement."""
+
+    lengths: tuple[int, ...]
+    degree: int
+    compute_seconds: float
+    comm_seconds: float
+
+
+def run_probes(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+    probe_lengths: tuple[int, ...] = DEFAULT_PROBE_LENGTHS,
+    probe_counts: tuple[int, ...] = DEFAULT_PROBE_COUNTS,
+    comm_model: str = "alltoall",
+) -> list[ProfileObservation]:
+    """Measure probe workloads on the simulated cluster.
+
+    Every (length, count, degree) combination that plausibly fits in
+    memory is timed once; degrees sweep the power-of-two candidates.
+    ``comm_model`` selects the scattering mechanism being profiled:
+    Ulysses All-to-All or the ring-attention KV rotation (Appendix E).
+    """
+    from repro.parallelism.ring import cp_ring_time
+
+    observations: list[ProfileObservation] = []
+    degree = 1
+    while degree <= cluster.num_gpus:
+        for s in probe_lengths:
+            for count in probe_counts:
+                lengths = (s,) * count
+                tokens = s * count
+                compute = group_compute_time(
+                    config, cluster, lengths, degree, checkpointing
+                )
+                if comm_model == "alltoall":
+                    comm = group_alltoall_time(config, cluster, tokens, degree)
+                elif degree > 1:
+                    comm = cp_ring_time(
+                        config, tokens, degree, cluster.link_for_degree(degree)
+                    )
+                else:
+                    comm = 0.0
+                observations.append(
+                    ProfileObservation(
+                        lengths=lengths,
+                        degree=degree,
+                        compute_seconds=compute,
+                        comm_seconds=comm,
+                    )
+                )
+        degree *= 2
+    return observations
+
+
+def _fit_compute(observations: list[ProfileObservation]) -> tuple[float, float, float]:
+    """Relative least-squares fit of (alpha1, alpha2, beta1) to Eq. 12.
+
+    Rows are normalised by the observed time so the fit minimises
+    *relative* error — the metric Appendix C reports — rather than
+    letting the largest probes dominate.
+    """
+    rows = []
+    targets = []
+    for obs in observations:
+        sq = sum(s * s for s in obs.lengths) / obs.degree
+        lin = sum(obs.lengths) / obs.degree
+        weight = 1.0 / obs.compute_seconds
+        rows.append([sq * weight, lin * weight, weight])
+        targets.append(1.0)
+    design = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    # Column scaling keeps the normal equations well conditioned: the
+    # quadratic column is ~1e9 times the constant column.
+    scale = np.maximum(np.abs(design).max(axis=0), 1e-30)
+    solution, *_ = np.linalg.lstsq(design / scale, y, rcond=None)
+    alpha1, alpha2, beta1 = solution / scale
+    return max(alpha1, 0.0), max(alpha2, 0.0), max(beta1, 0.0)
+
+
+def _fit_comm(
+    observations: list[ProfileObservation],
+    model: "CostModelProxy",
+    comm_model: str = "alltoall",
+) -> tuple[float, float]:
+    """Least-squares fit of (alpha3, beta2) to Eq. 13.
+
+    Only multi-device groups communicate; degree-1 observations are
+    excluded.  The regressor is ``sum(s) / (d * v_d)`` with the same
+    bandwidths the planner will use, so alpha3 absorbs the per-token
+    All-to-All volume and the ``(d-1)/d`` wire fraction.
+    """
+    rows = []
+    targets = []
+    for obs in observations:
+        if obs.degree == 1 or obs.comm_seconds <= 0:
+            continue
+        tokens = sum(obs.lengths)
+        weight = 1.0 / obs.comm_seconds
+        if comm_model == "alltoall":
+            regressor = tokens / (obs.degree * model.bandwidth(obs.degree))
+        else:
+            d = obs.degree
+            regressor = tokens * (d - 1) / d / model.link_bandwidth(d)
+        rows.append([regressor * weight, weight])
+        targets.append(1.0)
+    design = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    scale = np.maximum(np.abs(design).max(axis=0), 1e-30)
+    solution, *_ = np.linalg.lstsq(design / scale, y, rcond=None)
+    alpha3, beta2 = solution / scale
+    return max(alpha3, 0.0), max(beta2, 0.0)
+
+
+class CostModelProxy:
+    """Bandwidth lookup shared by fitting and the final model.
+
+    Must match :meth:`repro.cost.model.CostModel.bandwidth` exactly —
+    including the ``(d-1)/d`` wire-fraction absorption — or the fitted
+    ``alpha_3`` would be calibrated against a different regressor than
+    the planner later evaluates.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self._cluster = cluster
+        self._cache: dict[int, float] = {}
+
+    def bandwidth(self, degree: int) -> float:
+        if degree not in self._cache:
+            link = self._cluster.link_for_degree(degree)
+            wire_fraction = (degree - 1) / degree
+            self._cache[degree] = link.bandwidth / wire_fraction
+        return self._cache[degree]
+
+    def link_bandwidth(self, degree: int) -> float:
+        """Raw per-GPU link bandwidth (the ring regressor's divisor)."""
+        return self._cluster.link_for_degree(degree).bandwidth
+
+
+def fit_cost_model(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+    probe_lengths: tuple[int, ...] = DEFAULT_PROBE_LENGTHS,
+    probe_counts: tuple[int, ...] = DEFAULT_PROBE_COUNTS,
+    comm_model: str = "alltoall",
+) -> CostModel:
+    """Profile the simulated cluster and fit a planner cost model.
+
+    This is the entry point FlexSP and the baseline tuners use to
+    obtain their shared cost model for a (model, cluster, policy)
+    combination.
+    """
+    from repro.cluster.collectives import all_gather_time
+    from repro.parallelism.zero import zero3_gather_bytes_per_microbatch
+    from repro.simulator.timing import ZERO3_OVERLAP_FRACTION
+
+    observations = run_probes(
+        config, cluster, checkpointing, probe_lengths, probe_counts,
+        comm_model=comm_model,
+    )
+    alpha1, alpha2, beta1 = _fit_compute(observations)
+    alpha3, beta2 = _fit_comm(
+        observations, CostModelProxy(cluster), comm_model=comm_model
+    )
+    gather_raw = all_gather_time(
+        zero3_gather_bytes_per_microbatch(config),
+        cluster.num_gpus,
+        cluster.hierarchical_link(),
+    )
+    coeffs = CostCoefficients(
+        alpha1=alpha1,
+        alpha2=alpha2,
+        beta1=beta1,
+        alpha3=alpha3,
+        beta2=beta2,
+        memory_per_token=activation_bytes_per_token(config, checkpointing),
+        model_state_bytes=model_state_bytes_per_device(
+            config, cluster.num_gpus, zero_stage=3
+        ),
+        zero_gather_seconds=gather_raw,
+        zero_overlap=ZERO3_OVERLAP_FRACTION,
+    )
+    return CostModel(coeffs=coeffs, cluster=cluster, comm_model=comm_model)
+
+
+def estimation_errors(
+    model: CostModel,
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+    probe_lengths: tuple[int, ...] = DEFAULT_PROBE_LENGTHS,
+    probe_counts: tuple[int, ...] = DEFAULT_PROBE_COUNTS,
+) -> list[tuple[int, float, float]]:
+    """Relative estimation error per probe (Fig. 9 / Appendix C).
+
+    Returns ``(degree, truth_seconds, relative_error)`` triples where
+    the error compares the planner's Eq. 14 estimate with the
+    simulator's ground truth for the same workload.
+    """
+    results = []
+    for obs in run_probes(config, cluster, checkpointing, probe_lengths, probe_counts):
+        truth = obs.compute_seconds + obs.comm_seconds
+        estimate = model.time(obs.lengths, obs.degree)
+        results.append((obs.degree, truth, (estimate - truth) / truth))
+    return results

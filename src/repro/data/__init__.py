@@ -1,0 +1,38 @@
+"""Training-corpus substrate.
+
+The experiments consume only the *sequence-length marginal* of the
+training corpora (GitHub, CommonCrawl, Wikipedia), never token content,
+so this package replaces the proprietary corpora with parametric
+long-tail samplers fit to the histogram shapes of the paper's Fig. 2.
+"""
+
+from repro.data.dataset import GlobalBatch, SyntheticCorpus
+from repro.data.distributions import (
+    COMMONCRAWL,
+    GITHUB,
+    WIKIPEDIA,
+    LengthDistribution,
+    LogNormalMixture,
+    dataset_registry,
+)
+from repro.data.packing import (
+    Pack,
+    best_fit_decreasing,
+    first_fit_decreasing,
+    pack_efficiency,
+)
+
+__all__ = [
+    "LengthDistribution",
+    "LogNormalMixture",
+    "GITHUB",
+    "COMMONCRAWL",
+    "WIKIPEDIA",
+    "dataset_registry",
+    "SyntheticCorpus",
+    "GlobalBatch",
+    "Pack",
+    "best_fit_decreasing",
+    "first_fit_decreasing",
+    "pack_efficiency",
+]

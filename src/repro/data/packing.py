@@ -1,0 +1,110 @@
+"""Sequence packing.
+
+Baseline systems assume homogeneous input lengths, so they concatenate
+varied-length sequences into packed inputs no longer than the model
+replica's token capacity ``c`` (S2.2.2).  The paper's baselines use
+Best-Fit Packing (Ding et al., "Fewer Truncations Improve Language
+Modeling"), i.e. Best-Fit-Decreasing bin packing; we also provide
+First-Fit-Decreasing for comparison.
+
+FlexSP itself does not pre-pack: its solver assigns raw sequences to
+heterogeneous SP groups directly, which subsumes packing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Pack:
+    """One packed training input.
+
+    Attributes:
+        capacity: Maximum tokens this pack may hold.
+        lengths: Lengths of the member sequences, in packing order.
+    """
+
+    capacity: int
+    lengths: list[int] = field(default_factory=list)
+
+    @property
+    def used(self) -> int:
+        return sum(self.lengths)
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self.used
+
+    def add(self, length: int) -> None:
+        if length > self.remaining:
+            raise ValueError(
+                f"sequence of {length} tokens does not fit in pack with "
+                f"{self.remaining} remaining"
+            )
+        self.lengths.append(length)
+
+
+def _check_inputs(lengths: SequenceABC[int], capacity: int) -> None:
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    for s in lengths:
+        if s <= 0:
+            raise ValueError(f"sequence lengths must be positive, got {s}")
+        if s > capacity:
+            raise ValueError(
+                f"sequence of {s} tokens exceeds pack capacity {capacity}; "
+                "filter over-length sequences before packing"
+            )
+
+
+def best_fit_decreasing(lengths: SequenceABC[int], capacity: int) -> list[Pack]:
+    """Best-Fit-Decreasing packing (the paper's baseline protocol).
+
+    Sequences are sorted in decreasing length and each is placed into
+    the open pack with the *smallest* remaining space that still fits
+    it, opening a new pack when none fits.
+
+    Runs in O(K log K) using a sorted list of remaining capacities.
+    """
+    _check_inputs(lengths, capacity)
+    packs: list[Pack] = []
+    # Parallel sorted structure: remaining sizes with pack indices.
+    remaining: list[tuple[int, int]] = []  # (remaining, pack_index), sorted
+    for s in sorted(lengths, reverse=True):
+        pos = bisect.bisect_left(remaining, (s, -1))
+        if pos < len(remaining):
+            rem, idx = remaining.pop(pos)
+            packs[idx].add(s)
+            new_rem = rem - s
+            bisect.insort(remaining, (new_rem, idx))
+        else:
+            pack = Pack(capacity=capacity, lengths=[s])
+            packs.append(pack)
+            bisect.insort(remaining, (pack.remaining, len(packs) - 1))
+    return packs
+
+
+def first_fit_decreasing(lengths: SequenceABC[int], capacity: int) -> list[Pack]:
+    """First-Fit-Decreasing packing: place into the first pack that fits."""
+    _check_inputs(lengths, capacity)
+    packs: list[Pack] = []
+    for s in sorted(lengths, reverse=True):
+        for pack in packs:
+            if pack.remaining >= s:
+                pack.add(s)
+                break
+        else:
+            packs.append(Pack(capacity=capacity, lengths=[s]))
+    return packs
+
+
+def pack_efficiency(packs: SequenceABC[Pack]) -> float:
+    """Fraction of pack capacity actually occupied by tokens."""
+    if not packs:
+        raise ValueError("pack_efficiency of an empty packing is undefined")
+    used = sum(p.used for p in packs)
+    total = sum(p.capacity for p in packs)
+    return used / total

@@ -1,0 +1,39 @@
+"""Experiment harness.
+
+Unified training-system wrappers (:mod:`repro.experiments.systems`),
+workload definitions matching the paper's evaluation grid
+(:mod:`repro.experiments.workloads`), the measurement runner
+(:mod:`repro.experiments.runner`) and text reporting in the paper's
+table formats (:mod:`repro.experiments.reporting`).
+"""
+
+from repro.experiments.pipeline import PipelineReport, TrainingPipeline
+from repro.experiments.registry import Experiment, all_experiments, experiment
+from repro.experiments.runner import RunResult, run_system
+from repro.experiments.systems import (
+    DeepSpeedUlyssesSystem,
+    FlexSPBatchAdaSystem,
+    FlexSPSystem,
+    IterationOutcome,
+    MegatronLMSystem,
+    build_system,
+)
+from repro.experiments.workloads import Workload, fig4_workloads
+
+__all__ = [
+    "IterationOutcome",
+    "FlexSPSystem",
+    "DeepSpeedUlyssesSystem",
+    "FlexSPBatchAdaSystem",
+    "MegatronLMSystem",
+    "build_system",
+    "Workload",
+    "fig4_workloads",
+    "RunResult",
+    "run_system",
+    "TrainingPipeline",
+    "PipelineReport",
+    "Experiment",
+    "all_experiments",
+    "experiment",
+]

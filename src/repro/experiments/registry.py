@@ -1,0 +1,145 @@
+"""Experiment registry: paper artefact -> reproduction target.
+
+Maps every table and figure in the paper's evaluation to the benchmark
+that regenerates it and the modules that implement it, so `repro`
+users can navigate from a paper claim to runnable code:
+
+    >>> from repro.experiments.registry import experiment, all_experiments
+    >>> experiment("table1").benchmark
+    'benchmarks/test_bench_table1.py'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artefact and where this repo reproduces it.
+
+    Attributes:
+        key: Short id, e.g. ``"fig4"``.
+        artefact: The paper's name for it.
+        claim: One-line statement of the expected shape.
+        benchmark: Pytest target that regenerates it.
+        modules: Dotted module paths implementing the pieces.
+    """
+
+    key: str
+    artefact: str
+    claim: str
+    benchmark: str
+    modules: tuple[str, ...]
+
+
+_EXPERIMENTS = [
+    Experiment(
+        key="table1",
+        artefact="Table 1",
+        claim="OOM frontier doubles with length; smallest feasible SP degree "
+        "is fastest; All-to-All share collapses inside a node",
+        benchmark="benchmarks/test_bench_table1.py",
+        modules=("repro.baselines.homogeneous", "repro.simulator.executor",
+                 "repro.model.memory"),
+    ),
+    Experiment(
+        key="fig2",
+        artefact="Fig. 2",
+        claim="corpora are uni-modal long-tail; GitHub heaviest tail, "
+        "Wikipedia >96% below 8K",
+        benchmark="benchmarks/test_bench_fig2.py",
+        modules=("repro.data.distributions",),
+    ),
+    Experiment(
+        key="fig4",
+        artefact="Fig. 4",
+        claim="FlexSP fastest on all 18 cells; BatchAda between DeepSpeed "
+        "and FlexSP; largest speedup on the most skewed corpus",
+        benchmark="benchmarks/test_bench_fig4.py",
+        modules=("repro.core.solver", "repro.experiments.systems",
+                 "repro.experiments.runner"),
+    ),
+    Experiment(
+        key="table3",
+        artefact="Table 3",
+        claim="FlexSP mixes SP degrees within a batch; baselines cannot",
+        benchmark="benchmarks/test_bench_table3_fig5.py",
+        modules=("repro.core.planner", "repro.core.types"),
+    ),
+    Experiment(
+        key="fig5a",
+        artefact="Fig. 5a",
+        claim="FlexSP cuts All-to-All share from ~30-40% to ~15% and its "
+        "absolute time several-fold",
+        benchmark="benchmarks/test_bench_table3_fig5.py",
+        modules=("repro.simulator.trace",),
+    ),
+    Experiment(
+        key="fig5b",
+        artefact="Fig. 5b",
+        claim="median assigned length grows with SP degree",
+        benchmark="benchmarks/test_bench_table3_fig5.py",
+        modules=("repro.core.types",),
+    ),
+    Experiment(
+        key="fig6",
+        artefact="Fig. 6",
+        claim="FlexSP has the best tokens/s/GPU at every cluster size and "
+        "context limit, and degrades least with cluster growth",
+        benchmark="benchmarks/test_bench_fig6.py",
+        modules=("repro.experiments.workloads", "repro.experiments.runner"),
+    ),
+    Experiment(
+        key="table4",
+        artefact="Table 4",
+        claim="DP bucketing error ~2%; naive fixed-interval error an order "
+        "of magnitude larger, worst on Wikipedia",
+        benchmark="benchmarks/test_bench_table4.py",
+        modules=("repro.core.bucketing",),
+    ),
+    Experiment(
+        key="fig7",
+        artefact="Fig. 7",
+        claim="removing sorting hurts iteration time; removing bucketing "
+        "blows up solver cost",
+        benchmark="benchmarks/test_bench_fig7.py",
+        modules=("repro.core.blaster", "repro.core.bucketing",
+                 "repro.core.solver"),
+    ),
+    Experiment(
+        key="fig8",
+        artefact="Fig. 8",
+        claim="amortized solve time stays far below iteration time as the "
+        "cluster scales (weak scaling)",
+        benchmark="benchmarks/test_bench_fig8.py",
+        modules=("repro.core.solver",),
+    ),
+    Experiment(
+        key="fig9",
+        artefact="Fig. 9 / Appendix C",
+        claim="cost-model estimation error within ~5-6% across degrees",
+        benchmark="benchmarks/test_bench_fig9.py",
+        modules=("repro.cost.profiler", "repro.simulator.timing"),
+    ),
+]
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered paper artefact, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def experiment(key: str) -> Experiment:
+    """Look up one artefact by short id (``"table1"``, ``"fig4"``, ...).
+
+    Raises:
+        KeyError: Unknown id; the message lists the valid ones.
+    """
+    for exp in _EXPERIMENTS:
+        if exp.key == key:
+            return exp
+    raise KeyError(
+        f"unknown experiment {key!r}; known: "
+        f"{[e.key for e in _EXPERIMENTS]}"
+    )

@@ -1,0 +1,96 @@
+"""Measurement runner.
+
+Runs a system on a workload for a number of iterations and aggregates
+the paper's metrics: mean iteration seconds (Fig. 4), token throughput
+per GPU (Fig. 6), communication fractions (Table 1 / Fig. 5a), and
+solver overhead (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.experiments.systems import IterationOutcome, TrainingSystem
+from repro.experiments.workloads import Workload
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Aggregated measurements of one (system, workload) pair.
+
+    Attributes:
+        system: System short/display name.
+        workload: Workload name.
+        outcomes: Per-iteration measurements in step order.
+        total_tokens: Tokens trained across all measured iterations.
+    """
+
+    system: str
+    workload: str
+    outcomes: tuple[IterationOutcome, ...]
+    total_tokens: int
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ValueError("a run needs at least one iteration")
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        return statistics.fmean(o.iteration_seconds for o in self.outcomes)
+
+    @property
+    def mean_alltoall_fraction(self) -> float:
+        return statistics.fmean(o.alltoall_fraction for o in self.outcomes)
+
+    @property
+    def mean_comm_fraction(self) -> float:
+        return statistics.fmean(o.comm_fraction for o in self.outcomes)
+
+    @property
+    def mean_solve_seconds(self) -> float:
+        return statistics.fmean(o.solve_seconds for o in self.outcomes)
+
+    def tokens_per_second_per_gpu(self, num_gpus: int) -> float:
+        """Fig. 6's metric: training throughput normalised per device."""
+        if num_gpus <= 0:
+            raise ValueError(f"num_gpus must be positive, got {num_gpus}")
+        total_time = sum(o.iteration_seconds for o in self.outcomes)
+        if total_time <= 0:
+            raise ValueError("zero total time; cannot compute throughput")
+        return self.total_tokens / total_time / num_gpus
+
+
+def run_system(
+    system: TrainingSystem,
+    workload: Workload,
+    num_iterations: int = 3,
+    start_step: int = 0,
+) -> RunResult:
+    """Measure ``system`` on ``workload`` over consecutive global batches.
+
+    The paper warms up for 10 iterations and averages 40; the simulator
+    is deterministic, so a handful of batches (covering batch-to-batch
+    length variation) suffices.
+    """
+    if num_iterations <= 0:
+        raise ValueError(f"num_iterations must be positive, got {num_iterations}")
+    corpus = workload.corpus()
+    outcomes: list[IterationOutcome] = []
+    total_tokens = 0
+    for batch in corpus.batches(num_iterations, start_step=start_step):
+        outcomes.append(system.run_iteration(batch.lengths))
+        total_tokens += batch.total_tokens
+    return RunResult(
+        system=system.name,
+        workload=workload.name,
+        outcomes=tuple(outcomes),
+        total_tokens=total_tokens,
+    )
+
+
+def speedup(baseline: RunResult, improved: RunResult) -> float:
+    """Iteration-time speedup of ``improved`` over ``baseline``."""
+    if improved.mean_iteration_seconds <= 0:
+        raise ValueError("improved run has zero iteration time")
+    return baseline.mean_iteration_seconds / improved.mean_iteration_seconds

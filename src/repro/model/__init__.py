@@ -1,0 +1,46 @@
+"""Transformer model substrate.
+
+Provides the model specifications used throughout the reproduction:
+architecture configuration (:mod:`repro.model.config`), FLOP accounting
+for packed varied-length batches (:mod:`repro.model.flops`) and memory
+accounting for model states and activations
+(:mod:`repro.model.memory`).
+"""
+
+from repro.model.config import (
+    GPT_13B,
+    GPT_30B,
+    GPT_7B,
+    ModelConfig,
+    model_registry,
+)
+from repro.model.flops import (
+    attention_flops,
+    batch_flops,
+    dense_flops_per_token,
+    sequence_flops,
+    training_flops_multiplier,
+)
+from repro.model.memory import (
+    ActivationCheckpointing,
+    activation_bytes_per_token,
+    model_state_bytes,
+    model_state_bytes_per_device,
+)
+
+__all__ = [
+    "GPT_7B",
+    "GPT_13B",
+    "GPT_30B",
+    "ModelConfig",
+    "model_registry",
+    "attention_flops",
+    "batch_flops",
+    "dense_flops_per_token",
+    "sequence_flops",
+    "training_flops_multiplier",
+    "ActivationCheckpointing",
+    "activation_bytes_per_token",
+    "model_state_bytes",
+    "model_state_bytes_per_device",
+]

@@ -1,0 +1,136 @@
+"""Model architecture configuration.
+
+The paper evaluates GPT-series models of three sizes (Appendix B.1):
+
+======== ======== ============ ==========
+Model    # Layers Hidden dim   # Params
+======== ======== ============ ==========
+GPT-7B   32       4096         7.85 B
+GPT-13B  40       5120         14.03 B
+GPT-30B  60       6656         32.72 B
+======== ======== ============ ==========
+
+Parameter counts in the paper are quoted at a 384K maximum context
+length, where the learned positional embedding alone contributes 1-2
+billion parameters.  :func:`ModelConfig.parameter_count` reproduces
+that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Default vocabulary size (GPT-2 BPE family).
+DEFAULT_VOCAB_SIZE = 50_257
+
+#: Default maximum context length used for parameter accounting, tokens.
+DEFAULT_MAX_CONTEXT = 384 * 1024
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a decoder-only transformer.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"gpt-7b"``.
+        num_layers: Number of transformer blocks.
+        hidden_size: Model (embedding) dimension.
+        num_heads: Attention heads; must divide ``hidden_size``.
+        vocab_size: Token vocabulary size.
+        max_context: Maximum supported sequence length in tokens.  Sets
+            the size of the learned positional embedding.
+        ffn_multiplier: MLP inner dimension as a multiple of
+            ``hidden_size`` (4 for the classic GPT MLP).
+        bytes_per_element: Width of an activation/parameter element in
+            bytes (2 for bf16/fp16 mixed-precision training).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    vocab_size: int = DEFAULT_VOCAB_SIZE
+    max_context: int = DEFAULT_MAX_CONTEXT
+    ffn_multiplier: int = 4
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size <= 0:
+            raise ValueError(f"hidden_size must be positive, got {self.hidden_size}")
+        if self.num_heads <= 0 or self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"num_heads ({self.num_heads}) must be positive and divide "
+                f"hidden_size ({self.hidden_size})"
+            )
+        if self.max_context <= 0:
+            raise ValueError(f"max_context must be positive, got {self.max_context}")
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of one attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        """Inner dimension of the feed-forward block."""
+        return self.ffn_multiplier * self.hidden_size
+
+    def layer_parameter_count(self) -> int:
+        """Parameters of one transformer block.
+
+        Attention projections contribute ``4 h^2`` and the MLP
+        ``2 * ffn_multiplier * h^2``; biases and the two LayerNorms add
+        a further ``(9 + 2 * ffn_multiplier) h`` which we include for
+        completeness.
+        """
+        h = self.hidden_size
+        attn = 4 * h * h + 4 * h
+        mlp = 2 * self.ffn_multiplier * h * h + (self.ffn_multiplier + 1) * h
+        norms = 4 * h
+        return attn + mlp + norms
+
+    def embedding_parameter_count(self) -> int:
+        """Token + learned positional embedding parameters."""
+        return (self.vocab_size + self.max_context) * self.hidden_size
+
+    def parameter_count(self) -> int:
+        """Total parameters, matching the paper's Appendix B.1 accounting.
+
+        Includes the token embedding (weight-tied with the output head),
+        a learned positional embedding of ``max_context`` rows — the
+        component the paper notes reaches 1-2 B parameters at 384K —
+        all transformer blocks, and the final LayerNorm.
+        """
+        final_norm = 2 * self.hidden_size
+        return (
+            self.embedding_parameter_count()
+            + self.num_layers * self.layer_parameter_count()
+            + final_norm
+        )
+
+    def with_max_context(self, max_context: int) -> "ModelConfig":
+        """Copy of this config with a different maximum context length."""
+        return replace(self, max_context=max_context)
+
+
+GPT_7B = ModelConfig(name="gpt-7b", num_layers=32, hidden_size=4096, num_heads=32)
+GPT_13B = ModelConfig(name="gpt-13b", num_layers=40, hidden_size=5120, num_heads=40)
+GPT_30B = ModelConfig(name="gpt-30b", num_layers=60, hidden_size=6656, num_heads=52)
+
+#: Small configs for tests and examples; not part of the paper.
+GPT_TINY = ModelConfig(
+    name="gpt-tiny", num_layers=4, hidden_size=512, num_heads=8, max_context=32 * 1024
+)
+GPT_SMALL = ModelConfig(
+    name="gpt-small", num_layers=12, hidden_size=1024, num_heads=16, max_context=64 * 1024
+)
+
+
+def model_registry() -> dict[str, ModelConfig]:
+    """All named model configurations, keyed by ``name``."""
+    return {
+        cfg.name: cfg
+        for cfg in (GPT_7B, GPT_13B, GPT_30B, GPT_TINY, GPT_SMALL)
+    }

@@ -1,0 +1,91 @@
+"""FLOP accounting for packed varied-length transformer batches.
+
+The cost model in the paper (Eq. 12) splits computation into a term
+quadratic in sequence length (attention scores) and a term linear in
+sequence length (projections, MLP, embeddings).  This module provides
+the exact per-sequence accounting that the simulator uses as ground
+truth; the planner's alpha-beta coefficients are *fit* against it by
+:mod:`repro.cost.profiler`, mirroring the paper's profiling workflow.
+
+All counts are forward-pass FLOPs; multiply by
+:func:`training_flops_multiplier` for a full training step (backward
+costs twice the forward, and activation checkpointing adds forward
+recomputation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.model.config import ModelConfig
+from repro.model.memory import ActivationCheckpointing
+
+
+def dense_flops_per_token(config: ModelConfig) -> float:
+    """Forward FLOPs per token for all sequence-length-linear modules.
+
+    Counts the four attention projections (``8 h^2`` multiply-adds per
+    token) and the two MLP matmuls (``2 * 2 * ffn_mult * h^2``), i.e.
+    ``24 h^2`` per layer for the classic ``ffn_mult = 4`` GPT block,
+    plus the output-head projection onto the vocabulary.
+    """
+    h = config.hidden_size
+    per_layer = 8 * h * h + 4 * config.ffn_multiplier * h * h
+    head = 2 * h * config.vocab_size
+    return config.num_layers * per_layer + head
+
+
+def attention_flops(config: ModelConfig, seq_len: int, causal: bool = True) -> float:
+    """Forward FLOPs of the attention-score computation for one sequence.
+
+    The two batched matmuls (``Q K^T`` and ``P V``) each cost
+    ``2 s^2 h`` FLOPs per layer; causal masking halves the useful work
+    (flash-attn skips masked blocks).
+    """
+    if seq_len < 0:
+        raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+    per_layer = 4.0 * seq_len * seq_len * config.hidden_size
+    if causal:
+        per_layer /= 2.0
+    return config.num_layers * per_layer
+
+
+def sequence_flops(config: ModelConfig, seq_len: int, causal: bool = True) -> float:
+    """Total forward FLOPs for one sequence of ``seq_len`` tokens."""
+    return seq_len * dense_flops_per_token(config) + attention_flops(
+        config, seq_len, causal=causal
+    )
+
+
+def batch_flops(
+    config: ModelConfig, seq_lens: Iterable[int], causal: bool = True
+) -> float:
+    """Total forward FLOPs for a packed varied-length batch.
+
+    With varlen flash-attention, attention cost is the *sum of
+    per-sequence quadratics*, not the quadratic of the packed length —
+    this is exactly why sequence packing avoids cross-contamination
+    compute as well as accuracy problems.
+    """
+    dense = dense_flops_per_token(config)
+    total = 0.0
+    for s in seq_lens:
+        total += s * dense + attention_flops(config, s, causal=causal)
+    return total
+
+
+def training_flops_multiplier(
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+) -> float:
+    """Ratio of training-step FLOPs to forward FLOPs.
+
+    Backward costs 2x the forward.  Full activation checkpointing
+    re-runs the forward during backward (+1x); selective (MLP-only)
+    checkpointing re-runs roughly the MLP half of the block (+0.5x).
+    """
+    base = 3.0
+    if checkpointing is ActivationCheckpointing.FULL:
+        return base + 1.0
+    if checkpointing is ActivationCheckpointing.SELECTIVE:
+        return base + 0.5
+    return base

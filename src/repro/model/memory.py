@@ -1,0 +1,159 @@
+"""Memory accounting for model states and activations.
+
+Two components matter for the planner's memory constraint (Eq. 11):
+
+* **Model states** — parameters, gradients and Adam optimizer states.
+  With bf16 mixed precision these cost 16 bytes per parameter (2 param
+  + 2 grad + 4 fp32 master + 4 momentum + 4 variance).  Under ZeRO-3
+  they are sharded evenly across *all* devices, so the per-device share
+  ``M_ms`` is independent of the SP-group layout — exactly the property
+  the paper relies on to keep the MILP linear.
+
+* **Activations** — proportional to the number of tokens resident on a
+  device.  The per-token coefficient ``M_token`` follows the standard
+  accounting of Korthikanti et al. ("Reducing Activation Recomputation
+  in Large Transformer Models"): roughly ``34 * h`` bytes per layer per
+  token for bf16 without checkpointing, shrinking to the block inputs
+  only (``2 * h`` bytes plus attention softmax stats) under full
+  checkpointing.
+
+With these coefficients the OOM frontier of Table 1 (a 32K sequence
+fits at SP=8 but not SP=4 on A100-40GB; 64K needs SP>=16; 128K needs
+SP>=32; 256K needs SP=64) falls out of the numbers rather than being
+hard-coded.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.model.config import ModelConfig
+
+#: Bytes of model state per parameter under bf16 mixed-precision Adam.
+MIXED_PRECISION_STATE_BYTES = 16
+
+#: Per-layer activation bytes per token, in units of ``hidden_size``,
+#: for bf16 training with flash attention and no checkpointing.
+FULL_ACTIVATION_FACTOR = 34.0
+
+#: Same, when only the MLP half of each block is checkpointed
+#: (Appendix B.2: the GPT-13B protocol).
+SELECTIVE_ACTIVATION_FACTOR = 14.0
+
+#: Same, under full activation checkpointing: only block inputs and
+#: flash-attn softmax statistics persist (GPT-30B protocol).
+CHECKPOINT_ACTIVATION_FACTOR = 4.0
+
+
+class ActivationCheckpointing(enum.Enum):
+    """Activation checkpointing policy applied to each transformer block."""
+
+    NONE = "none"
+    SELECTIVE = "selective"
+    FULL = "full"
+
+    @property
+    def activation_factor(self) -> float:
+        """Per-layer per-token activation bytes in units of hidden size."""
+        if self is ActivationCheckpointing.NONE:
+            return FULL_ACTIVATION_FACTOR
+        if self is ActivationCheckpointing.SELECTIVE:
+            return SELECTIVE_ACTIVATION_FACTOR
+        return CHECKPOINT_ACTIVATION_FACTOR
+
+
+def model_state_bytes(config: ModelConfig) -> int:
+    """Total bytes of parameters + gradients + optimizer states."""
+    return config.parameter_count() * MIXED_PRECISION_STATE_BYTES
+
+
+def model_state_bytes_per_device(
+    config: ModelConfig, num_devices: int, zero_stage: int = 3
+) -> float:
+    """Per-device model-state bytes ``M_ms`` under a given ZeRO stage.
+
+    ZeRO-1 shards only the 12-byte optimizer states; ZeRO-2 also shards
+    the 2-byte gradients; ZeRO-3 shards everything.
+
+    Args:
+        config: Model architecture.
+        num_devices: Number of devices the states are sharded across
+            (the full cluster for FlexSP's default ZeRO-3 setup).
+        zero_stage: 0, 1, 2 or 3.
+    """
+    if num_devices <= 0:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    if zero_stage not in (0, 1, 2, 3):
+        raise ValueError(f"zero_stage must be in 0..3, got {zero_stage}")
+    params = config.parameter_count()
+    param_bytes = 2 * params
+    grad_bytes = 2 * params
+    optim_bytes = 12 * params
+    if zero_stage >= 1:
+        optim_bytes /= num_devices
+    if zero_stage >= 2:
+        grad_bytes /= num_devices
+    if zero_stage >= 3:
+        param_bytes /= num_devices
+    return param_bytes + grad_bytes + optim_bytes
+
+
+def activation_bytes_per_token(
+    config: ModelConfig,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+) -> float:
+    """Activation bytes ``M_token`` held per resident token during training."""
+    return (
+        checkpointing.activation_factor
+        * config.hidden_size
+        * config.num_layers
+        * (config.bytes_per_element / 2.0)
+    )
+
+
+def feasible_checkpointing(
+    config: ModelConfig,
+    max_context: int,
+    num_devices: int,
+    usable_memory_bytes: float,
+    base: "ActivationCheckpointing | None" = None,
+) -> ActivationCheckpointing:
+    """Lightest checkpointing policy that can host a worst-case sequence.
+
+    A task is only trainable if one ``max_context``-token sequence fits
+    when scattered over the whole cluster.  Starting from ``base`` (the
+    model's default policy), escalate NONE -> SELECTIVE -> FULL until
+    the worst case fits; returns FULL if even that does not (callers
+    will then hit explicit OOM errors downstream).
+    """
+    if base is None:
+        base = default_checkpointing(config, max_context)
+    ladder = [
+        ActivationCheckpointing.NONE,
+        ActivationCheckpointing.SELECTIVE,
+        ActivationCheckpointing.FULL,
+    ]
+    tokens_per_device = max_context / num_devices
+    for policy in ladder[ladder.index(base):]:
+        budget = usable_memory_bytes - model_state_bytes_per_device(
+            config, num_devices, zero_stage=3
+        )
+        needed = tokens_per_device * activation_bytes_per_token(config, policy)
+        if needed <= budget:
+            return policy
+    return ActivationCheckpointing.FULL
+
+
+def default_checkpointing(config: ModelConfig, max_context: int) -> ActivationCheckpointing:
+    """The checkpointing policy the paper's protocol uses (Appendix B.2).
+
+    GPT-7B trains 384K contexts without checkpointing; GPT-13B
+    checkpoints only MLP layers; GPT-30B checkpoints almost everything.
+    We apply the policy by model scale, and relax it for short-context
+    runs where it is unnecessary.
+    """
+    if config.num_layers >= 60:
+        return ActivationCheckpointing.FULL
+    if config.num_layers >= 40 and max_context > 128 * 1024:
+        return ActivationCheckpointing.SELECTIVE
+    return ActivationCheckpointing.NONE

@@ -1,0 +1,37 @@
+"""Parallelism-strategy substrate.
+
+Descriptors and communication-volume accounting for the parallelism
+dimensions the paper's systems combine: data parallelism with ZeRO
+sharding (:mod:`repro.parallelism.zero`), Ulysses-style sequence
+parallelism (:mod:`repro.parallelism.ulysses`), tensor parallelism and
+ring-attention context parallelism (:mod:`repro.parallelism.ring`).
+"""
+
+from repro.parallelism.ring import (
+    cp_exposed_comm_time,
+    cp_kv_ring_bytes_per_step,
+)
+from repro.parallelism.strategies import HybridStrategy, candidate_sp_degrees
+from repro.parallelism.ulysses import (
+    alltoall_bytes_per_gpu,
+    alltoall_rounds_per_step,
+    sp_step_comm_bytes_per_gpu,
+)
+from repro.parallelism.zero import (
+    zero3_gather_bytes_per_microbatch,
+    zero_gradient_sync_bytes,
+    zero_state_bytes_per_device,
+)
+
+__all__ = [
+    "HybridStrategy",
+    "candidate_sp_degrees",
+    "alltoall_bytes_per_gpu",
+    "alltoall_rounds_per_step",
+    "sp_step_comm_bytes_per_gpu",
+    "zero_state_bytes_per_device",
+    "zero3_gather_bytes_per_microbatch",
+    "zero_gradient_sync_bytes",
+    "cp_kv_ring_bytes_per_step",
+    "cp_exposed_comm_time",
+]

@@ -1,0 +1,93 @@
+"""Ring-attention context parallelism (CP) accounting.
+
+Context parallelism (S2.1.3) splits the sequence dimension of Q, K, V
+across devices and circulates K/V shards around a ring so every device
+eventually attends over the full sequence.  The rotation volume is
+substantial — far larger than Ulysses All-to-All — but CP overlaps it
+with the chunked attention computation; it is only *exposed* when a
+rotation step outlasts the attention chunk it hides behind, which is
+exactly what happens for short sequences on slow inter-node links
+(Appendix D's explanation of Megatron-LM's behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import LinkSpec
+from repro.model.config import ModelConfig
+
+
+def cp_kv_ring_bytes_per_step(
+    config: ModelConfig, seq_len: float, cp_degree: int
+) -> float:
+    """Per-GPU bytes circulated per layer per direction for one sequence.
+
+    Each of the ``cp - 1`` rotation steps forwards the K and V shards
+    of ``seq_len / cp`` tokens; the backward pass additionally rotates
+    K/V gradients, which we fold into the per-direction figure charged
+    twice by the caller.
+    """
+    if cp_degree <= 0:
+        raise ValueError(f"cp_degree must be positive, got {cp_degree}")
+    if seq_len < 0:
+        raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+    if cp_degree == 1:
+        return 0.0
+    shard_tokens = seq_len / cp_degree
+    kv_bytes = 2 * shard_tokens * config.hidden_size * config.bytes_per_element
+    return kv_bytes * (cp_degree - 1)
+
+
+def cp_step_comm_bytes_per_gpu(
+    config: ModelConfig, group_tokens: float, cp_degree: int, causal: bool = True
+) -> float:
+    """Per-GPU ring bytes for a full training step over ``group_tokens``.
+
+    Forward rotates K/V once per layer and the backward pass rotates
+    them again (with gradient return piggybacked on the same schedule).
+    Causal masking with load-balanced striping (striped/zigzag
+    attention) lets ranks skip shards that are entirely masked,
+    halving the useful rotation volume.
+    """
+    per_layer = cp_kv_ring_bytes_per_step(config, group_tokens, cp_degree)
+    directions = 2.0  # forward + backward rotation schedules
+    volume = per_layer * config.num_layers * directions
+    if causal:
+        volume /= 2.0
+    return volume
+
+
+def cp_exposed_comm_time(
+    attention_compute_time: float, ring_comm_time: float, overlap_efficiency: float = 0.85
+) -> float:
+    """Exposed (non-overlapped) communication time of a CP rotation.
+
+    CP hides the rotation behind chunked attention compute; a fraction
+    ``overlap_efficiency`` of the compute window is usable for hiding.
+
+    Args:
+        attention_compute_time: Attention compute seconds on this device.
+        ring_comm_time: Total ring-rotation seconds.
+        overlap_efficiency: Usable fraction of the compute window.
+    """
+    if not 0.0 <= overlap_efficiency <= 1.0:
+        raise ValueError(
+            f"overlap_efficiency must be in [0, 1], got {overlap_efficiency}"
+        )
+    if attention_compute_time < 0 or ring_comm_time < 0:
+        raise ValueError("times must be non-negative")
+    hidden = min(ring_comm_time, overlap_efficiency * attention_compute_time)
+    return ring_comm_time - hidden
+
+
+def cp_ring_time(
+    config: ModelConfig,
+    group_tokens: float,
+    cp_degree: int,
+    link: LinkSpec,
+) -> float:
+    """Wall seconds of the full-step ring rotation (before overlap)."""
+    nbytes = cp_step_comm_bytes_per_gpu(config, group_tokens, cp_degree)
+    if nbytes == 0.0:
+        return 0.0
+    rotations = config.num_layers * 2 * max(cp_degree - 1, 1)
+    return link.latency * rotations + nbytes / link.bandwidth

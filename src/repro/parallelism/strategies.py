@@ -1,0 +1,110 @@
+"""Hybrid parallelism strategy descriptors.
+
+A strategy fixes the degree of each parallelism dimension.  The
+baseline systems use one *static* strategy for a whole run: DeepSpeed
+combines ZeRO-3 data parallelism with Ulysses SP; Megatron-LM combines
+TP (with Megatron-style SP), ring-attention CP and ZeRO-1 DP.  FlexSP
+replaces the single SP degree with a per-micro-batch mix of groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0
+
+
+@dataclass(frozen=True)
+class HybridStrategy:
+    """Degrees of a static hybrid-parallel configuration.
+
+    The product ``dp * tp * cp * sp * pp`` must equal the device count
+    it is deployed on.  SP and CP both split the sequence dimension but
+    differ in how attention is computed (All-to-All head scattering vs
+    ring KV rotation); the paper's systems never combine them.
+
+    Attributes:
+        dp: Data-parallel degree (model replicas).
+        sp: Ulysses sequence-parallel degree.
+        tp: Tensor-parallel degree.
+        cp: Context-parallel (ring attention) degree.
+        pp: Pipeline-parallel degree.
+        zero_stage: ZeRO sharding stage applied to the DP dimension.
+    """
+
+    dp: int = 1
+    sp: int = 1
+    tp: int = 1
+    cp: int = 1
+    pp: int = 1
+    zero_stage: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("dp", "sp", "tp", "cp", "pp"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} degree must be positive, got {value}")
+        if self.zero_stage not in (0, 1, 2, 3):
+            raise ValueError(f"zero_stage must be in 0..3, got {self.zero_stage}")
+        if self.sp > 1 and self.cp > 1:
+            raise ValueError(
+                "Ulysses SP and ring CP are alternative sequence splits; "
+                "the evaluated systems use one or the other"
+            )
+
+    @property
+    def world_size(self) -> int:
+        """Devices one full deployment of this strategy occupies."""
+        return self.dp * self.sp * self.tp * self.cp * self.pp
+
+    @property
+    def sequence_shards(self) -> int:
+        """How many ways the sequence dimension is split (SP or CP)."""
+        return self.sp * self.cp
+
+    @property
+    def model_shards(self) -> int:
+        """How many devices cooperate on one sequence (everything but DP)."""
+        return self.sp * self.tp * self.cp * self.pp
+
+    def validate_for(self, num_gpus: int, gpus_per_node: int) -> None:
+        """Raise if this strategy cannot be deployed on the cluster."""
+        if self.world_size != num_gpus:
+            raise ValueError(
+                f"strategy occupies {self.world_size} devices but the "
+                f"cluster has {num_gpus}"
+            )
+        if self.tp > gpus_per_node and not _is_power_of_two(self.tp):
+            raise ValueError(f"tp degree {self.tp} must be a power of two")
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``"dp=2 sp=32 zero=3"``."""
+        parts = []
+        for name in ("dp", "sp", "tp", "cp", "pp"):
+            value = getattr(self, name)
+            if value > 1:
+                parts.append(f"{name}={value}")
+        if not parts:
+            parts.append("dp=1")
+        parts.append(f"zero={self.zero_stage}")
+        return " ".join(parts)
+
+
+def candidate_sp_degrees(num_gpus: int, max_degree: int | None = None) -> list[int]:
+    """Power-of-two SP degrees deployable on ``num_gpus`` devices.
+
+    SP degrees are powers of two to fit the binary structure of chips
+    and networks (S4.1.1, footnote 3); the largest candidate is capped
+    by the device count and optionally by ``max_degree``.
+    """
+    if num_gpus <= 0:
+        raise ValueError(f"num_gpus must be positive, got {num_gpus}")
+    cap = num_gpus if max_degree is None else min(num_gpus, max_degree)
+    degrees = []
+    d = 1
+    while d <= cap:
+        degrees.append(d)
+        d *= 2
+    return degrees

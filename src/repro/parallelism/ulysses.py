@@ -1,0 +1,68 @@
+"""Ulysses-style sequence parallelism communication accounting.
+
+DeepSpeed-Ulysses (Eqs. 1-4 of the paper) keeps each device holding an
+``N/P x d`` sequence shard and full attention weights.  Per attention
+layer and direction it performs four All-to-Alls: three to re-shard
+Q, K, V from sequence-split to head-split, and one to re-shard the
+attention output back.  The per-GPU payload of each All-to-All is the
+device's resident token count times the hidden size — *independent of
+P* — while the fraction that crosses the wire is ``(P-1)/P``.
+
+The planner's Eq. 13 models the resulting time as
+``alpha_3 * sum(s_k) / (d_p * v_p) + beta_2``; this module provides the
+exact byte counts the simulator charges.
+"""
+
+from __future__ import annotations
+
+from repro.model.config import ModelConfig
+
+#: All-to-Alls per attention layer per direction (Q, K, V in; O out).
+ALLTOALL_PER_LAYER_PER_DIRECTION = 4
+
+
+def alltoall_bytes_per_gpu(
+    config: ModelConfig, resident_tokens: float
+) -> float:
+    """Per-GPU buffer bytes of one All-to-All.
+
+    ``resident_tokens`` is the shard size ``sum(s_k) / P`` held by each
+    device of the SP group.
+    """
+    if resident_tokens < 0:
+        raise ValueError(f"resident_tokens must be non-negative, got {resident_tokens}")
+    return resident_tokens * config.hidden_size * config.bytes_per_element
+
+
+def alltoall_rounds_per_step(config: ModelConfig) -> int:
+    """All-to-All operations per training step (forward + backward).
+
+    Each layer performs four All-to-Alls forward; the backward pass
+    mirrors them.
+    """
+    return config.num_layers * ALLTOALL_PER_LAYER_PER_DIRECTION * 2
+
+
+def sp_step_comm_bytes_per_gpu(
+    config: ModelConfig, group_tokens: float, sp_degree: int
+) -> float:
+    """Total per-GPU All-to-All buffer bytes for one training step.
+
+    Args:
+        config: Model architecture.
+        group_tokens: Total tokens processed by the SP group,
+            ``sum(s_k)`` over its assigned sequences.
+        sp_degree: Group size P.
+
+    Returns:
+        Bytes each GPU pushes through All-to-All across the whole
+        forward+backward pass (before the ``(P-1)/P`` wire discount
+        applied by the collective model).
+    """
+    if sp_degree <= 0:
+        raise ValueError(f"sp_degree must be positive, got {sp_degree}")
+    if group_tokens < 0:
+        raise ValueError(f"group_tokens must be non-negative, got {group_tokens}")
+    resident = group_tokens / sp_degree
+    per_round = alltoall_bytes_per_gpu(config, resident)
+    return per_round * alltoall_rounds_per_step(config)

@@ -1,0 +1,47 @@
+"""ZeRO sharded-data-parallel accounting.
+
+FlexSP runs Ulysses SP on top of ZeRO-3 (PyTorch FSDP): model states
+are sharded over *all* devices, so the per-device model-state memory
+``M_ms`` is a constant independent of SP-group layout (S4.1.2).  ZeRO
+adds communication — parameter All-Gathers before each layer's compute
+(forward and backward) and a gradient Reduce-Scatter per step — whose
+volume depends only on model size, not sequence lengths; the paper
+therefore treats it as orthogonal, and we account for it explicitly in
+the simulator so the end-to-end times include it.
+"""
+
+from __future__ import annotations
+
+from repro.model.config import ModelConfig
+from repro.model.memory import model_state_bytes_per_device
+
+
+def zero_state_bytes_per_device(
+    config: ModelConfig, num_devices: int, zero_stage: int = 3
+) -> float:
+    """Per-device model-state bytes; re-export with ZeRO vocabulary."""
+    return model_state_bytes_per_device(config, num_devices, zero_stage)
+
+
+def zero3_gather_bytes_per_microbatch(config: ModelConfig) -> float:
+    """Per-device bytes All-Gathered per micro-batch under ZeRO-3.
+
+    Each transformer block's bf16 parameters are gathered once for the
+    forward and once for the backward of every micro-batch (FSDP
+    reshard-after-forward).  This is the *result-buffer* size handed to
+    the ring All-Gather model.
+    """
+    layer_params = config.num_layers * config.layer_parameter_count()
+    bf16 = 2
+    gathers_per_microbatch = 2
+    return layer_params * bf16 * gathers_per_microbatch
+
+
+def zero_gradient_sync_bytes(config: ModelConfig) -> float:
+    """Bytes of gradients Reduce-Scattered once per training step.
+
+    Gradient accumulation defers the synchronisation to the last
+    micro-batch, so the volume is charged once per step regardless of
+    the micro-batch count.
+    """
+    return config.parameter_count() * 2

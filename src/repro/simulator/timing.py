@@ -1,0 +1,154 @@
+"""Ground-truth kernel and collective timing.
+
+These functions are the simulated hardware's "truth": they charge
+exact FLOP counts against a saturation-derated device throughput and
+exact collective byte counts against the topology-aware link model.
+The planner never sees them directly — its alpha-beta coefficients are
+*fit* to observations of these functions by
+:mod:`repro.cost.profiler`, reproducing the paper's profile-then-plan
+workflow, and the residual between the two is what Fig. 9 (Appendix C)
+measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cluster.collectives import (
+    all_gather_time,
+    all_to_all_time,
+    reduce_scatter_time,
+)
+from repro.cluster.network import LinkSpec
+from repro.cluster.topology import ClusterSpec
+from repro.model.config import ModelConfig
+from repro.model.flops import batch_flops, training_flops_multiplier
+from repro.model.memory import ActivationCheckpointing
+from repro.parallelism.ulysses import (
+    alltoall_bytes_per_gpu,
+    alltoall_rounds_per_step,
+)
+from repro.parallelism.zero import (
+    zero3_gather_bytes_per_microbatch,
+    zero_gradient_sync_bytes,
+)
+
+#: Per-device token count at which matmul efficiency reaches half of
+#: its asymptote; small shards underutilise the tensor cores.
+SATURATION_TOKENS = 512.0
+
+#: Fixed framework overhead per micro-batch (kernel launches, optimizer
+#: of the dataloader, stream sync), seconds.
+MICROBATCH_LAUNCH_OVERHEAD = 0.012
+
+#: Fraction of ZeRO-3 parameter gathers hidden behind compute via
+#: prefetching (FSDP overlaps the next layer's gather with the current
+#: layer's compute).
+ZERO3_OVERLAP_FRACTION = 0.85
+
+
+def _efficiency_derate(tokens_per_device: float) -> float:
+    """Throughput fraction achieved at a given per-device shard size."""
+    if tokens_per_device <= 0:
+        return 0.0
+    return tokens_per_device / (tokens_per_device + SATURATION_TOKENS)
+
+
+def group_compute_time(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    lengths: Iterable[int],
+    degree: int,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+) -> float:
+    """Per-device compute seconds for an SP group's packed micro-batch.
+
+    SP scatters both the linear and the attention work evenly across
+    the group's ``degree`` devices (Ulysses re-shards heads for the
+    attention, so the quadratic work is also divided by ``degree``).
+    """
+    if degree <= 0:
+        raise ValueError(f"degree must be positive, got {degree}")
+    lengths = list(lengths)
+    if not lengths:
+        return 0.0
+    forward = batch_flops(config, lengths)
+    flops = forward * training_flops_multiplier(checkpointing)
+    per_device = flops / degree
+    tokens_per_device = sum(lengths) / degree
+    throughput = cluster.gpu.effective_flops * _efficiency_derate(tokens_per_device)
+    if throughput <= 0:
+        raise ValueError("device throughput underflow; check workload size")
+    return per_device / throughput + MICROBATCH_LAUNCH_OVERHEAD
+
+
+def group_alltoall_time(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    group_tokens: float,
+    degree: int,
+    link: LinkSpec | None = None,
+) -> float:
+    """All-to-All seconds for one SP group's full micro-batch step.
+
+    Charges every one of the ``4 * layers * 2`` All-to-All rounds
+    individually so that per-round latency is reflected, using the
+    group's topology-determined link.
+    """
+    if degree <= 0:
+        raise ValueError(f"degree must be positive, got {degree}")
+    if degree == 1 or group_tokens <= 0:
+        return 0.0
+    if link is None:
+        link = cluster.link_for_degree(degree)
+    per_round_bytes = alltoall_bytes_per_gpu(config, group_tokens / degree)
+    rounds = alltoall_rounds_per_step(config)
+    per_round = all_to_all_time(per_round_bytes, degree, link)
+    return rounds * per_round
+
+
+def zero3_gather_time(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    compute_time: float,
+    zero_stage: int = 3,
+) -> float:
+    """*Exposed* parameter-gather seconds for one micro-batch.
+
+    ZeRO-3 All-Gathers each layer's parameters over the full cluster;
+    prefetching hides most of it behind compute.  Stages below 3 gather
+    nothing.
+    """
+    if zero_stage < 3:
+        return 0.0
+    link = cluster.hierarchical_link()
+    raw = all_gather_time(
+        zero3_gather_bytes_per_microbatch(config), cluster.num_gpus, link
+    )
+    hidden = min(raw * ZERO3_OVERLAP_FRACTION, compute_time)
+    return raw - hidden
+
+
+def gradient_sync_time(config: ModelConfig, cluster: ClusterSpec) -> float:
+    """Gradient Reduce-Scatter seconds, charged once per training step.
+
+    Gradients reduce hierarchically (intra-node first), so the node
+    uplink is the effective per-GPU bandwidth.
+    """
+    link = cluster.hierarchical_link()
+    return reduce_scatter_time(
+        zero_gradient_sync_bytes(config), cluster.num_gpus, link
+    )
+
+
+def optimizer_step_time(config: ModelConfig, cluster: ClusterSpec) -> float:
+    """Adam update seconds; memory-bandwidth bound, per-device sharded.
+
+    Each device updates its parameter shard: reads/writes roughly
+    16 bytes of state plus the bf16 gradient per owned parameter at
+    HBM bandwidth (~1.5 TB/s effective on A100).
+    """
+    hbm_bandwidth = 1.3e12
+    shard_params = config.parameter_count() / cluster.num_gpus
+    traffic = shard_params * (16 + 2) * 2  # read + write
+    return traffic / hbm_bandwidth

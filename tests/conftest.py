@@ -1,0 +1,65 @@
+"""Shared fixtures: small, fast configurations used across the suite.
+
+Most tests run on an 8- or 16-GPU simulated cluster with GPT-7B (or the
+tiny test model) so that MILP solves stay sub-second; the paper-scale
+64-GPU runs live in the integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, standard_cluster
+from repro.cost.model import CostModel
+from repro.cost.profiler import fit_cost_model
+from repro.model.config import GPT_7B, GPT_TINY, ModelConfig
+from repro.model.memory import ActivationCheckpointing
+
+
+@pytest.fixture(scope="session")
+def cluster8() -> ClusterSpec:
+    """One node of 8 A100-40GBs."""
+    return standard_cluster(8)
+
+
+@pytest.fixture(scope="session")
+def cluster16() -> ClusterSpec:
+    """Two nodes of 8 A100-40GBs (exercises the inter-node cliff)."""
+    return standard_cluster(16)
+
+
+@pytest.fixture(scope="session")
+def cluster64() -> ClusterSpec:
+    """The paper's testbed shape: 8 nodes x 8 GPUs."""
+    return standard_cluster(64)
+
+
+@pytest.fixture(scope="session")
+def gpt7b_64k() -> ModelConfig:
+    """GPT-7B with a 64K-token positional embedding (small tests)."""
+    return GPT_7B.with_max_context(64 * 1024)
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> ModelConfig:
+    return GPT_TINY
+
+
+@pytest.fixture(scope="session")
+def cost_model16(cluster16, gpt7b_64k) -> CostModel:
+    """Fitted cost model: GPT-7B on 16 GPUs, no checkpointing."""
+    return fit_cost_model(gpt7b_64k, cluster16, ActivationCheckpointing.NONE)
+
+
+@pytest.fixture(scope="session")
+def cost_model8(cluster8, gpt7b_64k) -> CostModel:
+    """Fitted cost model: GPT-7B on 8 GPUs, no checkpointing."""
+    return fit_cost_model(gpt7b_64k, cluster8, ActivationCheckpointing.NONE)
+
+
+@pytest.fixture(scope="session")
+def cost_model64(cluster64) -> CostModel:
+    """Fitted cost model: GPT-7B at 384K context on 64 GPUs."""
+    return fit_cost_model(
+        GPT_7B.with_max_context(384 * 1024), cluster64, ActivationCheckpointing.NONE
+    )

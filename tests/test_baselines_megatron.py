@@ -1,0 +1,98 @@
+"""Tests for repro.baselines.megatron: the TP/CP/DP baseline."""
+
+import pytest
+
+from repro.baselines.megatron import (
+    MegatronStrategy,
+    megatron_iteration,
+    megatron_state_bytes_per_device,
+    megatron_strategy_space,
+    megatron_token_capacity,
+)
+from repro.model.config import GPT_7B
+from repro.model.memory import ActivationCheckpointing
+
+
+class TestStrategy:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            MegatronStrategy(tp=3, cp=1, dp=1)
+
+    def test_model_shards(self):
+        assert MegatronStrategy(tp=8, cp=4, dp=2).model_shards == 32
+
+    def test_describe(self):
+        assert MegatronStrategy(tp=8, cp=4, dp=2).describe() == "tp=8 cp=4 dp=2 zero=1"
+
+
+class TestStrategySpace:
+    def test_all_factorisations_cover_cluster(self, cluster64):
+        for s in megatron_strategy_space(cluster64):
+            assert s.tp * s.cp * s.dp == 64
+
+    def test_tp_capped_at_two_nodes(self, cluster64):
+        assert max(s.tp for s in megatron_strategy_space(cluster64)) <= 16
+
+    def test_paper_strategies_present(self, cluster64):
+        """The paper's tuned candidates (tp=8 cp=8, tp=16 cp=4, ...)."""
+        space = {(s.tp, s.cp) for s in megatron_strategy_space(cluster64)}
+        assert (8, 8) in space
+        assert (16, 4) in space
+        assert (8, 4) in space
+
+
+class TestMemory:
+    def test_tp_shards_parameters(self, gpt7b_64k):
+        t1 = megatron_state_bytes_per_device(gpt7b_64k, MegatronStrategy(tp=1, cp=1, dp=16))
+        t8 = megatron_state_bytes_per_device(gpt7b_64k, MegatronStrategy(tp=8, cp=1, dp=2))
+        assert t8 < t1 / 3
+
+    def test_capacity_grows_with_shards(self, cluster64, gpt7b_64k):
+        small = megatron_token_capacity(
+            gpt7b_64k, cluster64, MegatronStrategy(tp=8, cp=1, dp=8),
+            ActivationCheckpointing.NONE,
+        )
+        large = megatron_token_capacity(
+            gpt7b_64k, cluster64, MegatronStrategy(tp=8, cp=8, dp=1),
+            ActivationCheckpointing.NONE,
+        )
+        assert large > 4 * small
+
+
+class TestIteration:
+    def test_iteration_positive(self, cluster64, gpt7b_64k):
+        strategy = MegatronStrategy(tp=8, cp=2, dp=4)
+        outcome = megatron_iteration(
+            (8192, 4096, 2048) * 4, gpt7b_64k, cluster64, strategy
+        )
+        assert outcome.iteration_seconds > 0
+        assert 0 <= outcome.comm_fraction < 1
+
+    def test_rejects_over_capacity(self, cluster64, gpt7b_64k):
+        strategy = MegatronStrategy(tp=1, cp=1, dp=64)
+        capacity = megatron_token_capacity(
+            gpt7b_64k, cluster64, strategy, ActivationCheckpointing.NONE
+        )
+        with pytest.raises(ValueError, match="exceeds replica capacity"):
+            megatron_iteration(
+                (capacity + 1,), gpt7b_64k, cluster64, strategy
+            )
+
+    def test_more_dp_fewer_rounds(self, cluster64, gpt7b_64k):
+        lengths = (8192,) * 64
+        few_replicas = megatron_iteration(
+            lengths, gpt7b_64k, cluster64, MegatronStrategy(tp=8, cp=4, dp=2)
+        )
+        many_replicas = megatron_iteration(
+            lengths, gpt7b_64k, cluster64, MegatronStrategy(tp=8, cp=1, dp=8)
+        )
+        assert many_replicas.num_microbatches <= few_replicas.num_microbatches
+
+    def test_cp_comm_burden_on_short_sequences(self, cluster64, gpt7b_64k):
+        """Appendix D: on short sequences, attention compute cannot hide
+        the ring, so high-CP strategies carry a visible comm share."""
+        lengths = (2048,) * 64
+        outcome = megatron_iteration(
+            lengths, gpt7b_64k, cluster64, MegatronStrategy(tp=8, cp=8, dp=1)
+        )
+        assert outcome.comm_fraction > 0.2

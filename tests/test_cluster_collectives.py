@@ -1,0 +1,67 @@
+"""Tests for repro.cluster.collectives: collective timing."""
+
+import pytest
+
+from repro.cluster.collectives import (
+    all_gather_time,
+    all_reduce_time,
+    all_to_all_time,
+    reduce_scatter_time,
+    ring_p2p_time,
+)
+from repro.cluster.network import LinkSpec
+
+LINK = LinkSpec(name="test", bandwidth=100e9, latency=10e-6)
+
+
+class TestAllToAll:
+    def test_single_member_is_free(self):
+        assert all_to_all_time(1e9, 1, LINK) == 0.0
+
+    def test_wire_fraction(self):
+        """Each GPU exchanges (p-1)/p of its buffer."""
+        t = all_to_all_time(100e9, 4, LINK)
+        assert t == pytest.approx(LINK.latency + 0.75 * 100e9 / LINK.bandwidth)
+
+    def test_grows_with_group_size(self):
+        times = [all_to_all_time(1e9, p, LINK) for p in (2, 4, 8, 64)]
+        assert times == sorted(times)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="nbytes"):
+            all_to_all_time(-1, 4, LINK)
+
+    def test_rejects_nonpositive_group(self):
+        with pytest.raises(ValueError, match="group_size"):
+            all_to_all_time(1e6, 0, LINK)
+
+
+class TestRingCollectives:
+    def test_all_gather_single_member_free(self):
+        assert all_gather_time(1e9, 1, LINK) == 0.0
+
+    def test_all_gather_latency_scales_with_steps(self):
+        small = all_gather_time(0, 2, LINK)
+        large = all_gather_time(0, 8, LINK)
+        assert large == pytest.approx(7 * small / 1)
+
+    def test_reduce_scatter_equals_all_gather(self):
+        assert reduce_scatter_time(5e8, 8, LINK) == all_gather_time(5e8, 8, LINK)
+
+    def test_all_reduce_twice_the_volume(self):
+        ag = all_gather_time(1e9, 8, LINK)
+        ar = all_reduce_time(1e9, 8, LINK)
+        assert ar == pytest.approx(2 * ag, rel=1e-9)
+
+
+class TestRingP2P:
+    def test_single_member_free(self):
+        assert ring_p2p_time(1e6, 1, LINK) == 0.0
+
+    def test_steps_scale_with_group(self):
+        t4 = ring_p2p_time(1e6, 4, LINK)
+        t8 = ring_p2p_time(1e6, 8, LINK)
+        assert t8 == pytest.approx(t4 * 7 / 3)
+
+    def test_volume_linear(self):
+        assert ring_p2p_time(2e6, 4, LINK) > ring_p2p_time(1e6, 4, LINK)

@@ -1,0 +1,46 @@
+"""Tests for repro.cluster.device: GPU specifications."""
+
+import pytest
+
+from repro.cluster.device import A100_40GB, A100_80GB, H100_80GB, GPUSpec
+
+
+class TestGPUSpecValidation:
+    def test_rejects_nonpositive_flops(self):
+        with pytest.raises(ValueError, match="peak_flops"):
+            GPUSpec(name="bad", peak_flops=0, memory_bytes=1e9)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError, match="memory_bytes"):
+            GPUSpec(name="bad", peak_flops=1e12, memory_bytes=0)
+
+    def test_rejects_mfu_out_of_range(self):
+        with pytest.raises(ValueError, match="mfu"):
+            GPUSpec(name="bad", peak_flops=1e12, memory_bytes=1e9, mfu=1.5)
+        with pytest.raises(ValueError, match="mfu"):
+            GPUSpec(name="bad", peak_flops=1e12, memory_bytes=1e9, mfu=0.0)
+
+    def test_rejects_reserve_exceeding_memory(self):
+        with pytest.raises(ValueError, match="reserved_bytes"):
+            GPUSpec(
+                name="bad", peak_flops=1e12, memory_bytes=1e9, reserved_bytes=2e9
+            )
+
+
+class TestPresets:
+    def test_a100_40gb_capacity(self):
+        assert A100_40GB.memory_bytes == 40 * 1024**3
+        assert A100_40GB.peak_flops == 312e12
+
+    def test_usable_memory_below_capacity(self):
+        assert 0 < A100_40GB.usable_memory_bytes < A100_40GB.memory_bytes
+
+    def test_effective_flops_below_peak(self):
+        assert 0 < A100_40GB.effective_flops < A100_40GB.peak_flops
+
+    def test_a100_80gb_doubles_memory(self):
+        assert A100_80GB.memory_bytes == 2 * A100_40GB.memory_bytes
+        assert A100_80GB.peak_flops == A100_40GB.peak_flops
+
+    def test_h100_faster(self):
+        assert H100_80GB.effective_flops > A100_40GB.effective_flops

@@ -1,0 +1,99 @@
+"""Tests for repro.cluster.groups: the hot-switching communicator pool."""
+
+import math
+
+import pytest
+
+from repro.cluster.groups import CommGroup, CommGroupPool
+from repro.cluster.topology import standard_cluster
+
+
+class TestCommGroup:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            CommGroup(ranks=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CommGroup(ranks=(0, 0))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CommGroup(ranks=(2, 1))
+
+    def test_size(self):
+        assert CommGroup(ranks=(0, 1, 2, 3)).size == 4
+
+
+class TestPoolCaching:
+    def test_first_use_charges_creation(self):
+        pool = CommGroupPool(cluster=standard_cluster(8))
+        __, cost = pool.get((0, 1, 2, 3))
+        assert cost == pool.creation_seconds
+
+    def test_second_use_is_free_hot_switch(self):
+        pool = CommGroupPool(cluster=standard_cluster(8))
+        pool.get((0, 1, 2, 3))
+        __, cost = pool.get((0, 1, 2, 3))
+        assert cost == 0.0
+
+    def test_singleton_groups_are_free(self):
+        pool = CommGroupPool(cluster=standard_cluster(8))
+        __, cost = pool.get((3,))
+        assert cost == 0.0
+
+    def test_creation_time_accumulates(self):
+        pool = CommGroupPool(cluster=standard_cluster(8))
+        pool.get((0, 1))
+        pool.get((2, 3))
+        pool.get((0, 1))
+        assert pool.creation_time_total == pytest.approx(2 * pool.creation_seconds)
+
+    def test_cache_counts_distinct_groups(self):
+        pool = CommGroupPool(cluster=standard_cluster(8))
+        pool.get((0, 1))
+        pool.get((0, 1))
+        pool.get((2, 3))
+        assert pool.cached_group_count == 2
+
+
+class TestAlignment:
+    def test_aligned_group_ranks(self):
+        pool = CommGroupPool(cluster=standard_cluster(16))
+        assert pool.aligned_group(8, 8) == tuple(range(8, 16))
+
+    def test_rejects_non_power_of_two(self):
+        pool = CommGroupPool(cluster=standard_cluster(16))
+        with pytest.raises(ValueError, match="powers of two"):
+            pool.aligned_group(0, 3)
+
+    def test_rejects_misaligned_start(self):
+        pool = CommGroupPool(cluster=standard_cluster(16))
+        with pytest.raises(ValueError, match="multiple"):
+            pool.aligned_group(2, 4)
+
+
+class TestPaperBounds:
+    """S5 footnote 4: at most log2(N) groups per GPU after warming."""
+
+    @pytest.mark.parametrize("num_gpus", [8, 16, 64])
+    def test_groups_per_gpu_bounded_by_log(self, num_gpus):
+        pool = CommGroupPool(cluster=standard_cluster(num_gpus))
+        pool.warm_standard_groups()
+        bound = int(math.log2(num_gpus))
+        for __, count in pool.groups_per_gpu().items():
+            assert count == bound
+
+    def test_total_groups_bounded(self):
+        """The full pool is the binary tree over ranks: N - 1 multi-GPU
+        groups for N a power of two."""
+        pool = CommGroupPool(cluster=standard_cluster(64))
+        pool.warm_standard_groups()
+        assert pool.cached_group_count == 64 - 1
+
+    def test_warm_cost_matches_paper_scale(self):
+        """The paper reports <10s to create one GPU's 6 groups on 64
+        GPUs; warming the full tree costs its 63 groups' worth."""
+        pool = CommGroupPool(cluster=standard_cluster(64))
+        total = pool.warm_standard_groups()
+        assert total == pytest.approx(63 * pool.creation_seconds)

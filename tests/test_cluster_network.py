@@ -1,0 +1,89 @@
+"""Tests for repro.cluster.network: the hierarchical interconnect."""
+
+import pytest
+
+from repro.cluster.network import (
+    INFINIBAND_400G,
+    NVLINK_A100,
+    LinkSpec,
+    NetworkSpec,
+)
+
+
+class TestLinkSpec:
+    def test_transfer_time_is_alpha_beta(self):
+        link = LinkSpec(name="l", bandwidth=1e9, latency=1e-5)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_zero_bytes_costs_latency(self):
+        link = LinkSpec(name="l", bandwidth=1e9, latency=5e-6)
+        assert link.transfer_time(0) == 5e-6
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="nbytes"):
+            NVLINK_A100.transfer_time(-1)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            LinkSpec(name="bad", bandwidth=0, latency=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            LinkSpec(name="bad", bandwidth=1e9, latency=-1e-6)
+
+
+class TestBandwidthCliff:
+    """The NVLink / InfiniBand gap drives everything in the paper."""
+
+    def test_nvlink_much_faster_than_per_gpu_ib(self):
+        """The cliff that matters is per-GPU: a node-spanning group
+        shares the node uplink among its 8 resident GPUs."""
+        per_gpu_ib = INFINIBAND_400G.bandwidth / 8
+        assert NVLINK_A100.bandwidth > 8 * per_gpu_ib
+
+    def test_intra_node_group_uses_nvlink(self):
+        net = NetworkSpec()
+        link = net.group_link(group_gpus_per_node=8, spans_nodes=1, total_nodes=8)
+        assert link.bandwidth == NVLINK_A100.bandwidth
+
+    def test_cross_node_group_shares_uplink(self):
+        net = NetworkSpec()
+        link = net.group_link(group_gpus_per_node=8, spans_nodes=2, total_nodes=2)
+        assert link.bandwidth == pytest.approx(INFINIBAND_400G.bandwidth / 8)
+
+    def test_fewer_members_per_node_get_more_uplink(self):
+        net = NetworkSpec()
+        dense = net.group_link(group_gpus_per_node=8, spans_nodes=2, total_nodes=2)
+        sparse = net.group_link(group_gpus_per_node=2, spans_nodes=2, total_nodes=2)
+        assert sparse.bandwidth == pytest.approx(4 * dense.bandwidth)
+
+
+class TestBandwidthDegradation:
+    """S6.4: per-node inter-node bandwidth degrades with cluster size."""
+
+    def test_no_degradation_at_reference(self):
+        net = NetworkSpec()
+        assert net.inter_node_bandwidth(net.reference_nodes) == pytest.approx(
+            INFINIBAND_400G.bandwidth
+        )
+
+    def test_monotone_decrease(self):
+        net = NetworkSpec()
+        values = [net.inter_node_bandwidth(n) for n in (2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < values[0]
+
+    def test_zero_exponent_disables_degradation(self):
+        net = NetworkSpec(degradation_exponent=0.0)
+        assert net.inter_node_bandwidth(128) == INFINIBAND_400G.bandwidth
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            NetworkSpec().inter_node_bandwidth(0)
+
+    def test_rejects_bad_group_shape(self):
+        net = NetworkSpec()
+        with pytest.raises(ValueError, match="group_gpus_per_node"):
+            net.group_link(group_gpus_per_node=0, spans_nodes=1, total_nodes=1)
+        with pytest.raises(ValueError, match="spans_nodes"):
+            net.group_link(group_gpus_per_node=1, spans_nodes=0, total_nodes=1)

@@ -1,0 +1,89 @@
+"""Tests for repro.cluster.topology: placement and group links."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, standard_cluster
+
+
+class TestClusterSpec:
+    def test_num_gpus(self):
+        assert ClusterSpec(num_nodes=8, gpus_per_node=8).num_gpus == 64
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            ClusterSpec(num_nodes=0)
+
+    def test_node_of(self):
+        cluster = ClusterSpec(num_nodes=2, gpus_per_node=8)
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(7) == 0
+        assert cluster.node_of(8) == 1
+        assert cluster.node_of(15) == 1
+
+    def test_node_of_rejects_out_of_range(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=8)
+        with pytest.raises(ValueError, match="rank"):
+            cluster.node_of(8)
+
+    def test_contiguous_group(self):
+        cluster = ClusterSpec(num_nodes=2, gpus_per_node=8)
+        assert cluster.contiguous_group(4, 4) == (4, 5, 6, 7)
+
+    def test_contiguous_group_rejects_overflow(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=8)
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.contiguous_group(6, 4)
+
+    def test_nodes_spanned(self):
+        cluster = ClusterSpec(num_nodes=2, gpus_per_node=8)
+        assert cluster.nodes_spanned((0, 1, 2, 3)) == 1
+        assert cluster.nodes_spanned((6, 7, 8, 9)) == 2
+
+
+class TestGroupLinks:
+    def test_intra_node_degree_gets_nvlink(self):
+        cluster = standard_cluster(64)
+        link = cluster.link_for_degree(8)
+        assert link.bandwidth == cluster.network.intra_node.bandwidth
+
+    def test_cross_node_degree_gets_shared_ib(self):
+        cluster = standard_cluster(64)
+        link = cluster.link_for_degree(16)
+        assert link.bandwidth < cluster.network.intra_node.bandwidth / 4
+
+    def test_degree_bandwidth_monotone_nonincreasing(self):
+        cluster = standard_cluster(64)
+        degrees = [1, 2, 4, 8, 16, 32, 64]
+        bandwidths = [cluster.link_for_degree(d).bandwidth for d in degrees]
+        for earlier, later in zip(bandwidths, bandwidths[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_rejects_degree_exceeding_cluster(self):
+        with pytest.raises(ValueError, match="exceeds cluster size"):
+            standard_cluster(8).link_for_degree(16)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            standard_cluster(8).group_link(())
+
+
+class TestStandardCluster:
+    def test_paper_shape(self):
+        cluster = standard_cluster(64)
+        assert cluster.num_nodes == 8
+        assert cluster.gpus_per_node == 8
+
+    def test_single_partial_node(self):
+        cluster = standard_cluster(4)
+        assert cluster.num_nodes == 1
+        assert cluster.gpus_per_node == 4
+
+    def test_rejects_non_multiple_of_eight(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            standard_cluster(12)
+
+    def test_total_memory_budget(self):
+        cluster = standard_cluster(8)
+        assert cluster.total_memory_budget() == pytest.approx(
+            8 * cluster.gpu.usable_memory_bytes
+        )

@@ -1,0 +1,165 @@
+"""Tests for repro.core.bucketing: DP-optimal and naive bucketing."""
+
+import pytest
+
+from repro.core.bucketing import (
+    fixed_interval_buckets,
+    Bucket,
+    bucket_sequences,
+    bucketing_error,
+    naive_buckets,
+    optimal_buckets,
+    token_error_ratio,
+)
+
+
+class TestBucket:
+    def test_deviation(self):
+        bucket = Bucket(upper=10, lengths=(7, 9, 10))
+        assert bucket.deviation == (10 - 7) + (10 - 9) + 0
+
+    def test_rejects_member_above_upper(self):
+        with pytest.raises(ValueError, match="exceed"):
+            Bucket(upper=5, lengths=(6,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Bucket(upper=5, lengths=())
+
+
+class TestOptimalBuckets:
+    def test_partitions_all_sequences(self):
+        lengths = [5, 1, 9, 3, 7, 7, 2, 8]
+        buckets = optimal_buckets(lengths, num_buckets=3)
+        members = sorted(s for b in buckets for s in b.lengths)
+        assert members == sorted(lengths)
+
+    def test_buckets_ordered_and_disjoint(self):
+        buckets = optimal_buckets([1, 2, 3, 10, 11, 100], num_buckets=3)
+        uppers = [b.upper for b in buckets]
+        assert uppers == sorted(uppers)
+        for prev, cur in zip(buckets, buckets[1:]):
+            assert max(prev.lengths) <= prev.upper < min(cur.lengths)
+
+    def test_zero_error_when_buckets_cover_uniques(self):
+        lengths = [4, 4, 8, 8, 8, 15]
+        buckets = optimal_buckets(lengths, num_buckets=3)
+        assert bucketing_error(buckets) == 0
+
+    def test_one_bucket_uses_maximum(self):
+        buckets = optimal_buckets([3, 9, 27], num_buckets=1)
+        assert len(buckets) == 1
+        assert buckets[0].upper == 27
+        assert bucketing_error(buckets) == (27 - 3) + (27 - 9)
+
+    def test_finds_obvious_cluster_split(self):
+        """Two tight clusters with a huge gap: the optimal 2-bucketing
+        must split at the gap."""
+        lengths = [100, 101, 102, 9_000, 9_001]
+        buckets = optimal_buckets(lengths, num_buckets=2)
+        assert [b.upper for b in buckets] == [102, 9_001]
+
+    def test_optimal_beats_or_matches_naive(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        lengths = rng.lognormal(7, 1.2, 300).astype(int) + 16
+        for q in (4, 8, 16):
+            optimal = bucketing_error(optimal_buckets(lengths, q))
+            naive = bucketing_error(naive_buckets(lengths, q))
+            assert optimal <= naive
+
+    def test_more_buckets_never_hurts(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        lengths = rng.lognormal(7, 1.3, 200).astype(int) + 16
+        errors = [
+            bucketing_error(optimal_buckets(lengths, q)) for q in (2, 4, 8, 16, 32)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            optimal_buckets([], num_buckets=4)
+
+    def test_rejects_nonpositive_q(self):
+        with pytest.raises(ValueError, match="num_buckets"):
+            optimal_buckets([1, 2], num_buckets=0)
+
+
+class TestNaiveBuckets:
+    def test_partitions_all_sequences(self):
+        lengths = [5, 1, 9, 3, 7, 7, 2, 8, 1000]
+        buckets = naive_buckets(lengths, num_buckets=4)
+        members = sorted(s for b in buckets for s in b.lengths)
+        assert members == sorted(lengths)
+
+    def test_fixed_width_uppers(self):
+        buckets = naive_buckets([1, 50, 99, 149, 200], num_buckets=4)
+        # width = ceil(200/4) = 50 -> edges at 50, 100, 150, 200.
+        assert [b.upper for b in buckets] == [50, 100, 150, 200]
+
+    def test_long_tail_wastes_buckets(self):
+        """On skewed data, naive intervals leave most mass in one
+        coarse bucket — the failure mode Table 4 quantifies."""
+        lengths = [100] * 95 + [100_000] * 5
+        buckets = naive_buckets(lengths, num_buckets=16)
+        biggest = max(b.count for b in buckets)
+        assert biggest >= 95
+
+
+class TestDispatcherAndMetrics:
+    def test_dispatch(self):
+        lengths = [1, 2, 3, 400]
+        assert bucket_sequences(lengths, 2, "optimal") == optimal_buckets(lengths, 2)
+        assert bucket_sequences(lengths, 2, "naive") == naive_buckets(lengths, 2)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown bucketing"):
+            bucket_sequences([1], 1, "fancy")
+
+    def test_token_error_ratio(self):
+        buckets = [Bucket(upper=10, lengths=(5, 10))]
+        assert token_error_ratio(buckets) == pytest.approx(5 / 15)
+
+    def test_paper_table4_gap(self):
+        """DP bucketing error must be far below the paper's fixed-2K
+        naive method on long-tail data, measured in the pipeline
+        context (bucketing per sorted micro-batch)."""
+        import numpy as np
+
+        from repro.core.blaster import blast
+        from repro.core.types import SequenceBatch
+        from repro.data.distributions import WIKIPEDIA
+
+        lengths = WIKIPEDIA.sample(512, np.random.default_rng(5))
+        batch = SequenceBatch(lengths=tuple(int(s) for s in lengths))
+        dp_error = 0
+        fixed_error = 0
+        for mb in blast(batch, 5):
+            dp_error += bucketing_error(optimal_buckets(mb.lengths, 16))
+            fixed_error += bucketing_error(fixed_interval_buckets(mb.lengths))
+        assert dp_error / batch.total_tokens < 0.03
+        assert fixed_error > 5 * dp_error
+
+
+class TestFixedIntervalBuckets:
+    def test_uppers_are_multiples_of_width(self):
+        buckets = fixed_interval_buckets([100, 3000, 5000], width=2048)
+        assert [b.upper for b in buckets] == [2048, 4096, 6144]
+
+    def test_partitions_all(self):
+        lengths = [10, 2049, 4097, 100_000]
+        buckets = fixed_interval_buckets(lengths)
+        members = sorted(s for b in buckets for s in b.lengths)
+        assert members == sorted(lengths)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            fixed_interval_buckets([10], width=0)
+
+    def test_dispatcher_fixed(self):
+        assert bucket_sequences([10, 3000], 16, "fixed") == fixed_interval_buckets(
+            [10, 3000]
+        )

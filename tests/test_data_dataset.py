@@ -1,0 +1,73 @@
+"""Tests for repro.data.dataset: the synthetic corpus."""
+
+import pytest
+
+from repro.data.dataset import GlobalBatch, SyntheticCorpus
+from repro.data.distributions import COMMONCRAWL, GITHUB
+
+
+class TestGlobalBatch:
+    def test_aggregates(self):
+        batch = GlobalBatch(lengths=(100, 200, 300))
+        assert batch.num_sequences == 3
+        assert batch.total_tokens == 600
+        assert batch.max_length == 300
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GlobalBatch(lengths=())
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError, match="positive"):
+            GlobalBatch(lengths=(100, 0))
+
+
+class TestSyntheticCorpus:
+    def test_batch_size_exact(self):
+        corpus = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024,
+                                 global_batch_size=128)
+        assert corpus.batch(0).num_sequences == 128
+
+    def test_context_limit_enforced(self):
+        """Over-length sequences are eliminated (the paper's protocol)."""
+        corpus = SyntheticCorpus(GITHUB, max_context=8 * 1024,
+                                 global_batch_size=512)
+        for step in range(3):
+            assert corpus.batch(step).max_length <= 8 * 1024
+
+    def test_deterministic_given_seed_and_step(self):
+        a = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024, seed=3)
+        b = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024, seed=3)
+        assert a.batch(5).lengths == b.batch(5).lengths
+
+    def test_steps_differ(self):
+        corpus = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024)
+        assert corpus.batch(0).lengths != corpus.batch(1).lengths
+
+    def test_seeds_differ(self):
+        a = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024, seed=0)
+        b = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024, seed=1)
+        assert a.batch(0).lengths != b.batch(0).lengths
+
+    def test_batches_generator(self):
+        corpus = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024,
+                                 global_batch_size=32)
+        batches = list(corpus.batches(3, start_step=2))
+        assert [b.step for b in batches] == [2, 3, 4]
+
+    def test_rejects_negative_step(self):
+        corpus = SyntheticCorpus(COMMONCRAWL, max_context=64 * 1024)
+        with pytest.raises(ValueError, match="step"):
+            corpus.batch(-1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="max_context"):
+            SyntheticCorpus(COMMONCRAWL, max_context=0)
+        with pytest.raises(ValueError, match="global_batch_size"):
+            SyntheticCorpus(COMMONCRAWL, max_context=1024, global_batch_size=0)
+
+    def test_sample_lengths_unfiltered(self):
+        """Fig. 2 plots the raw marginal, not the filtered stream."""
+        corpus = SyntheticCorpus(GITHUB, max_context=4 * 1024)
+        raw = corpus.sample_lengths(50_000)
+        assert raw.max() > 4 * 1024

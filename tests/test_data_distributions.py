@@ -1,0 +1,120 @@
+"""Tests for repro.data.distributions: long-tail length distributions."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    COMMONCRAWL,
+    GITHUB,
+    MIN_SEQUENCE_LENGTH,
+    WIKIPEDIA,
+    LogNormalMixture,
+    dataset_registry,
+    histogram_buckets,
+    length_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLogNormalMixture:
+    def test_sample_count_and_floor(self, rng):
+        lengths = GITHUB.sample(10_000, rng)
+        assert len(lengths) == 10_000
+        assert lengths.min() >= MIN_SEQUENCE_LENGTH
+
+    def test_sample_zero(self, rng):
+        assert len(GITHUB.sample(0, rng)) == 0
+
+    def test_sample_rejects_negative(self, rng):
+        with pytest.raises(ValueError, match="n must be"):
+            GITHUB.sample(-1, rng)
+
+    def test_rejects_bad_tail_weight(self):
+        with pytest.raises(ValueError, match="tail_weight"):
+            LogNormalMixture(
+                name="bad",
+                body_median=100,
+                body_sigma=1,
+                tail_median=1000,
+                tail_sigma=1,
+                tail_weight=1.0,
+            )
+
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError, match="body_median"):
+            LogNormalMixture(
+                name="bad",
+                body_median=0,
+                body_sigma=1,
+                tail_median=1000,
+                tail_sigma=1,
+                tail_weight=0.1,
+            )
+
+    def test_tail_fraction_monotone(self):
+        fractions = [GITHUB.tail_fraction(t) for t in (1024, 8192, 32768, 131072)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_tail_fraction_matches_samples(self, rng):
+        lengths = COMMONCRAWL.sample(200_000, rng)
+        empirical = float(np.mean(lengths > 8192))
+        analytic = COMMONCRAWL.tail_fraction(8192)
+        assert empirical == pytest.approx(analytic, abs=0.01)
+
+
+class TestPaperShapes:
+    """Fig. 2's qualitative marks must hold."""
+
+    def test_majority_below_8k_everywhere(self):
+        for dist in (GITHUB, COMMONCRAWL, WIKIPEDIA):
+            assert dist.tail_fraction(8192) < 0.25, dist.name
+
+    def test_wikipedia_over_96_percent_below_8k(self):
+        assert WIKIPEDIA.tail_fraction(8192) < 0.04
+
+    def test_tail_ordering_github_heaviest(self):
+        """GitHub has the most long sequences, Wikipedia the fewest."""
+        for threshold in (32 * 1024, 64 * 1024):
+            assert (
+                GITHUB.tail_fraction(threshold)
+                > COMMONCRAWL.tail_fraction(threshold)
+                > WIKIPEDIA.tail_fraction(threshold)
+            )
+
+    def test_only_small_fraction_exceeds_32k(self):
+        for dist in (GITHUB, COMMONCRAWL, WIKIPEDIA):
+            assert dist.tail_fraction(32 * 1024) < 0.05, dist.name
+
+    def test_long_tail_exists(self):
+        """Some mass must exceed 32K or the problem is trivial."""
+        for dist in (GITHUB, COMMONCRAWL):
+            assert dist.tail_fraction(32 * 1024) > 1e-3, dist.name
+
+
+class TestRegistryAndHistogram:
+    def test_registry_names(self):
+        assert set(dataset_registry()) == {"github", "commoncrawl", "wikipedia"}
+
+    def test_histogram_buckets_cover_everything(self):
+        bands = histogram_buckets()
+        assert bands[0][0] == 0
+        for (____, hi), (lo, ____) in zip(bands, bands[1:]):
+            assert hi == lo
+
+    def test_length_histogram_sums_to_one(self, rng):
+        lengths = GITHUB.sample(5000, rng)
+        hist = length_histogram(lengths)
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_length_histogram_labels(self, rng):
+        hist = length_histogram(WIKIPEDIA.sample(1000, rng))
+        assert "<=1K" in hist
+        assert ">256K" in hist
+
+    def test_length_histogram_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            length_histogram(np.asarray([]))

@@ -1,0 +1,72 @@
+"""Tests for repro.experiments.pipeline: disaggregated solve/train."""
+
+import pytest
+
+from repro.core.planner import PlannerConfig
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.data.dataset import SyntheticCorpus
+from repro.data.distributions import COMMONCRAWL
+from repro.experiments.pipeline import TrainingPipeline
+from repro.model.config import GPT_7B
+from repro.simulator.executor import IterationExecutor
+
+
+@pytest.fixture(scope="module")
+def parts(cost_model16, cluster16, gpt7b_64k):
+    solver = FlexSPSolver(
+        cost_model16,
+        SolverConfig(
+            num_trials=1,
+            backend="greedy",
+            planner=PlannerConfig(time_limit=0.3),
+        ),
+    )
+    executor = IterationExecutor(config=gpt7b_64k, cluster=cluster16)
+    corpus = SyntheticCorpus(
+        COMMONCRAWL, max_context=32 * 1024, global_batch_size=16
+    )
+    return solver, executor, corpus
+
+
+class TestPipeline:
+    def test_runs_requested_steps(self, parts):
+        pipeline = TrainingPipeline(*parts, lookahead=2, workers=2)
+        report = pipeline.run(4)
+        assert len(report.plans) == 4
+        assert len(report.iteration_seconds) == 4
+
+    def test_plans_match_direct_solving(self, parts):
+        solver, executor, corpus = parts
+        pipeline = TrainingPipeline(solver, executor, corpus, lookahead=1)
+        report = pipeline.run(2)
+        direct = solver.solve(corpus.batch(0).lengths)
+        assert report.plans[0].predicted_time == pytest.approx(
+            direct.predicted_time
+        )
+
+    def test_prefetch_overlaps_solving(self, parts):
+        """With lookahead, later steps' stalls shrink: their solves ran
+        while earlier steps trained."""
+        pipeline = TrainingPipeline(*parts, lookahead=3, workers=3)
+        report = pipeline.run(5)
+        # Solving happened (positive solve time) but stalls after the
+        # first step are a small fraction of it.
+        assert sum(report.solve_seconds) > 0
+        later_stall = sum(report.stall_seconds[1:])
+        assert later_stall <= sum(report.solve_seconds)
+        assert 0.0 <= report.overlap_fraction <= 1.0
+
+    def test_zero_lookahead_still_correct(self, parts):
+        pipeline = TrainingPipeline(*parts, lookahead=0, workers=1)
+        report = pipeline.run(2)
+        assert len(report.plans) == 2
+
+    def test_rejects_bad_args(self, parts):
+        solver, executor, corpus = parts
+        with pytest.raises(ValueError, match="lookahead"):
+            TrainingPipeline(solver, executor, corpus, lookahead=-1)
+        with pytest.raises(ValueError, match="workers"):
+            TrainingPipeline(solver, executor, corpus, workers=0)
+        pipeline = TrainingPipeline(solver, executor, corpus)
+        with pytest.raises(ValueError, match="num_steps"):
+            pipeline.run(0)

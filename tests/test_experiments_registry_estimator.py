@@ -1,0 +1,97 @@
+"""Tests for the experiment registry and the estimator helpers."""
+
+import pathlib
+
+import pytest
+
+from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+from repro.cost.estimator import (
+    estimate_iteration_time,
+    estimate_microbatch_time,
+    group_imbalance,
+    microbatch_peak_memory,
+    validate_plan_memory,
+)
+from repro.experiments.registry import all_experiments, experiment
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def group(degree, start, lengths):
+    return GroupAssignment(
+        degree=degree,
+        device_ranks=tuple(range(start, start + degree)),
+        lengths=tuple(lengths),
+    )
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        keys = {e.key for e in all_experiments()}
+        assert keys == {
+            "table1", "fig2", "fig4", "table3", "fig5a", "fig5b",
+            "fig6", "table4", "fig7", "fig8", "fig9",
+        }
+
+    def test_lookup(self):
+        assert experiment("fig4").artefact == "Fig. 4"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            experiment("fig99")
+
+    def test_benchmarks_exist_on_disk(self):
+        for exp in all_experiments():
+            assert (REPO_ROOT / exp.benchmark).exists(), exp.benchmark
+
+    def test_modules_importable(self):
+        import importlib
+
+        for exp in all_experiments():
+            for module in exp.modules:
+                importlib.import_module(module)
+
+
+class TestEstimatorHelpers:
+    def test_microbatch_time_is_max_over_groups(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [16384]), group(8, 8, [1024])))
+        t = estimate_microbatch_time(cost_model16, mb)
+        slow = cost_model16.time_with_overheads([16384], 8)
+        assert t == pytest.approx(slow)
+
+    def test_iteration_time_sums(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [4096]),))
+        plan = IterationPlan(microbatches=(mb, mb, mb))
+        assert estimate_iteration_time(cost_model16, plan) == pytest.approx(
+            3 * estimate_microbatch_time(cost_model16, mb)
+        )
+
+    def test_peak_memory(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [16384]), group(4, 8, [512])))
+        peak = microbatch_peak_memory(cost_model16, mb)
+        assert peak == pytest.approx(
+            max(
+                cost_model16.memory([16384], 8),
+                cost_model16.memory([512], 4),
+            )
+        )
+
+    def test_validate_plan_memory_passes_feasible(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [4096]),))
+        validate_plan_memory(cost_model16, IterationPlan(microbatches=(mb,)))
+
+    def test_validate_plan_memory_rejects_overflow(self, cost_model16):
+        huge = int(cost_model16.max_tokens_per_device() * 3)
+        mb = MicroBatchPlan(groups=(group(2, 0, [huge]),))
+        with pytest.raises(ValueError, match="budget"):
+            validate_plan_memory(
+                cost_model16, IterationPlan(microbatches=(mb,))
+            )
+
+    def test_imbalance_zero_for_identical_groups(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [4096]), group(8, 8, [4096])))
+        assert group_imbalance(cost_model16, mb) == pytest.approx(0.0, abs=1e-9)
+
+    def test_imbalance_positive_for_stragglers(self, cost_model16):
+        mb = MicroBatchPlan(groups=(group(8, 0, [32768]), group(8, 8, [512])))
+        assert group_imbalance(cost_model16, mb) > 0.2

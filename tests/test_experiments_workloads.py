@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.workloads: the evaluation grid."""
+
+import pytest
+
+from repro.data.distributions import COMMONCRAWL
+from repro.experiments.workloads import (
+    Workload,
+    case_study_workload,
+    fig4_workloads,
+    fig6_context_scaling_workloads,
+    fig6_gpu_scaling_workloads,
+)
+from repro.model.config import GPT_7B, GPT_13B, GPT_30B
+from repro.model.memory import ActivationCheckpointing
+
+
+class TestWorkload:
+    def test_name_encodes_configuration(self):
+        w = Workload(model=GPT_7B, distribution=COMMONCRAWL, max_context=192 * 1024)
+        assert w.name == "gpt-7b/commoncrawl/192K/64gpu"
+
+    def test_model_at_context_resizes_positional(self):
+        w = Workload(model=GPT_7B, distribution=COMMONCRAWL, max_context=64 * 1024)
+        assert w.model_at_context.max_context == 64 * 1024
+
+    def test_checkpointing_policy_follows_paper(self):
+        for model, expected in (
+            (GPT_7B, ActivationCheckpointing.NONE),
+            (GPT_13B, ActivationCheckpointing.SELECTIVE),
+            (GPT_30B, ActivationCheckpointing.FULL),
+        ):
+            w = Workload(model=model, distribution=COMMONCRAWL,
+                         max_context=384 * 1024)
+            assert w.checkpointing is expected
+
+    def test_corpus_respects_limit(self):
+        w = Workload(model=GPT_7B, distribution=COMMONCRAWL,
+                     max_context=32 * 1024, global_batch_size=64)
+        assert w.corpus().batch(0).max_length <= 32 * 1024
+
+    def test_rejects_bad_context(self):
+        with pytest.raises(ValueError, match="max_context"):
+            Workload(model=GPT_7B, distribution=COMMONCRAWL, max_context=0)
+
+
+class TestGrids:
+    def test_fig4_grid_is_eighteen(self):
+        workloads = fig4_workloads()
+        assert len(workloads) == 18
+        assert len({w.name for w in workloads}) == 18
+
+    def test_fig4_covers_both_contexts(self):
+        contexts = {w.max_context for w in fig4_workloads()}
+        assert contexts == {192 * 1024, 384 * 1024}
+
+    def test_fig6_gpu_scaling_sizes(self):
+        sizes = [w.cluster.num_gpus for w in fig6_gpu_scaling_workloads()]
+        assert sizes == [16, 32, 64]
+
+    def test_fig6_context_scaling_contexts(self):
+        contexts = [w.max_context // 1024 for w in fig6_context_scaling_workloads()]
+        assert contexts == [64, 128, 192, 256, 384]
+
+    def test_case_study_matches_section_6_3(self):
+        w = case_study_workload()
+        assert w.model is GPT_7B
+        assert w.distribution.name == "commoncrawl"
+        assert w.max_context == 384 * 1024

@@ -1,0 +1,80 @@
+"""Tests for the Appendix E extension: flexible context parallelism.
+
+The same planner drives ring-attention CP groups when the cost model
+is fit with ``comm_model="ring"``: alpha3 then measures KV-rotation
+volume, and the per-token communication time scales as ``(d-1)/d``
+instead of ``1/d``.
+"""
+
+import pytest
+
+from repro.core.planner import PlannerConfig, plan_microbatch
+from repro.cost.profiler import fit_cost_model
+from repro.cluster.topology import standard_cluster
+from repro.model.config import GPT_7B
+
+FAST = PlannerConfig(time_limit=0.5, mip_rel_gap=0.05)
+
+
+@pytest.fixture(scope="module")
+def ring_model(cluster16, gpt7b_64k):
+    return fit_cost_model(gpt7b_64k, cluster16, comm_model="ring")
+
+
+class TestRingCostModel:
+    def test_comm_model_recorded(self, ring_model):
+        assert ring_model.comm_model == "ring"
+
+    def test_rejects_unknown_comm_model(self, cost_model16):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="comm_model"):
+            replace(cost_model16, comm_model="smoke-signals")
+
+    def test_ring_comm_does_not_shrink_with_degree(self, ring_model):
+        """KV rotation volume per GPU is ~degree-independent: doubling
+        the intra-node group barely reduces per-token comm time."""
+        t2 = ring_model.comm_seconds_per_token(2)
+        t8 = ring_model.comm_seconds_per_token(8)
+        assert t8 > t2 * 0.5  # nowhere near the 4x drop All-to-All gets
+
+    def test_alltoall_comm_shrinks_with_degree(self, cost_model16):
+        t2 = cost_model16.comm_seconds_per_token(2)
+        t8 = cost_model16.comm_seconds_per_token(8)
+        assert t8 < t2 / 2
+
+    def test_ring_costlier_than_alltoall(self, ring_model, cost_model16):
+        """Appendix D: for equal groups, the ring moves more bytes."""
+        lengths = [8192] * 4
+        assert ring_model.comm_time(lengths, 8) > cost_model16.comm_time(
+            lengths, 8
+        )
+
+    def test_degree_one_free(self, ring_model):
+        assert ring_model.comm_seconds_per_token(1) == 0.0
+
+
+class TestFlexibleCPPlanning:
+    def test_planner_accepts_ring_model(self, ring_model):
+        lengths = (8192, 4096, 2048, 1024)
+        plan, predicted = plan_microbatch(lengths, ring_model, FAST)
+        assigned = sorted(s for g in plan.groups for s in g.lengths)
+        assert assigned == sorted(lengths)
+        assert predicted > 0
+
+    def test_ring_planner_respects_memory(self, ring_model):
+        lengths = (20_000, 10_000, 4096)
+        plan, __ = plan_microbatch(lengths, ring_model, FAST)
+        for g in plan.groups:
+            assert ring_model.fits(g.lengths, g.degree)
+
+    def test_ring_prefers_even_smaller_groups(self, ring_model, cost_model16):
+        """Because ring comm does not amortise with degree, the
+        flexible-CP planner's predicted time for short sequences is
+        minimised at degrees no larger than the Ulysses planner's."""
+        lengths = (2048,) * 16
+        ring_plan, __ = plan_microbatch(lengths, ring_model, FAST)
+        sp_plan, __ = plan_microbatch(lengths, cost_model16, FAST)
+        assert max(g.degree for g in ring_plan.groups) <= max(
+            g.degree for g in sp_plan.groups
+        )

@@ -1,0 +1,138 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+These run the full pipeline (profile -> solve -> execute) on a 16-GPU
+simulated cluster with small batches, asserting the *shape* of the
+paper's results: system ordering, communication behaviour, skewness
+sensitivity, and the case-study layout structure.
+"""
+
+import pytest
+
+from repro.core.planner import PlannerConfig
+from repro.core.solver import SolverConfig
+from repro.data.distributions import COMMONCRAWL, GITHUB, WIKIPEDIA
+from repro.experiments.runner import run_system, speedup
+from repro.experiments.systems import (
+    DeepSpeedUlyssesSystem,
+    FlexSPBatchAdaSystem,
+    FlexSPSystem,
+)
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+
+FAST_SOLVER = SolverConfig(
+    num_trials=2, planner=PlannerConfig(time_limit=0.5, mip_rel_gap=0.05)
+)
+
+
+def small_workload(cluster, distribution=COMMONCRAWL, max_context=32 * 1024,
+                   batch=48):
+    return Workload(
+        model=GPT_7B,
+        distribution=distribution,
+        max_context=max_context,
+        cluster=cluster,
+        global_batch_size=batch,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(cluster16):
+    return small_workload(cluster16)
+
+
+@pytest.fixture(scope="module")
+def flexsp_result(workload):
+    return run_system(FlexSPSystem(workload, FAST_SOLVER), workload, 3)
+
+
+@pytest.fixture(scope="module")
+def deepspeed_result(workload):
+    return run_system(DeepSpeedUlyssesSystem(workload), workload, 3)
+
+
+@pytest.fixture(scope="module")
+def batchada_result(workload):
+    return run_system(FlexSPBatchAdaSystem(workload), workload, 3)
+
+
+class TestSystemOrdering:
+    """Fig. 4's ordering: FlexSP <= BatchAda <= DeepSpeed."""
+
+    def test_flexsp_not_slower_than_deepspeed(
+        self, flexsp_result, deepspeed_result
+    ):
+        assert (
+            flexsp_result.mean_iteration_seconds
+            <= deepspeed_result.mean_iteration_seconds * 1.02
+        )
+
+    def test_flexsp_not_slower_than_batchada(self, flexsp_result, batchada_result):
+        assert (
+            flexsp_result.mean_iteration_seconds
+            <= batchada_result.mean_iteration_seconds * 1.02
+        )
+
+    def test_batchada_not_slower_than_deepspeed(
+        self, batchada_result, deepspeed_result
+    ):
+        assert (
+            batchada_result.mean_iteration_seconds
+            <= deepspeed_result.mean_iteration_seconds * 1.02
+        )
+
+    def test_flexsp_speedup_is_real(self, flexsp_result, deepspeed_result):
+        """On a long-tail corpus with a 32K worst case forcing the
+        static system to SP=16 (cross-node), FlexSP must win outright."""
+        assert speedup(deepspeed_result, flexsp_result) > 1.05
+
+
+class TestCommunicationBehaviour:
+    """Fig. 5a: the gains come from All-to-All reduction."""
+
+    def test_flexsp_cuts_alltoall_share(self, flexsp_result, deepspeed_result):
+        assert (
+            flexsp_result.mean_alltoall_fraction
+            < deepspeed_result.mean_alltoall_fraction
+        )
+
+    def test_alltoall_shares_in_plausible_range(
+        self, flexsp_result, deepspeed_result
+    ):
+        assert 0 <= flexsp_result.mean_alltoall_fraction < 0.5
+        assert 0 < deepspeed_result.mean_alltoall_fraction < 0.7
+
+
+class TestAssignmentShape:
+    """Fig. 5b: shorter sequences prefer lower SP degrees."""
+
+    def test_short_sequences_get_small_degrees(self, workload):
+        system = FlexSPSystem(workload, FAST_SOLVER)
+        outcome = system.run_iteration(workload.corpus().batch(0).lengths)
+        by_degree = outcome.plan.assignment_by_degree()
+        if len(by_degree) >= 2:
+            degrees = sorted(by_degree)
+            import statistics
+
+            small_median = statistics.median(by_degree[degrees[0]])
+            large_median = statistics.median(by_degree[degrees[-1]])
+            assert small_median <= large_median
+
+
+class TestSolverOverhead:
+    """S4.3: solving must stay within seconds at this scale."""
+
+    def test_solve_time_bounded(self, flexsp_result):
+        assert flexsp_result.mean_solve_seconds < 20.0
+
+
+class TestSkewSensitivity:
+    """S6.2: stronger skew (Wikipedia) gives FlexSP a larger edge than
+    weaker skew, all else equal."""
+
+    @pytest.mark.parametrize("distribution", [WIKIPEDIA, GITHUB])
+    def test_flexsp_wins_on_every_corpus(self, cluster16, distribution):
+        w = small_workload(cluster16, distribution=distribution, batch=32)
+        flexsp = run_system(FlexSPSystem(w, FAST_SOLVER), w, 2)
+        static = run_system(DeepSpeedUlyssesSystem(w), w, 2)
+        assert flexsp.mean_iteration_seconds <= static.mean_iteration_seconds * 1.02

@@ -1,0 +1,105 @@
+"""Tests for repro.model.config: architectures and parameter counts."""
+
+import pytest
+
+from repro.model.config import (
+    GPT_7B,
+    GPT_13B,
+    GPT_30B,
+    GPT_TINY,
+    ModelConfig,
+    model_registry,
+)
+
+
+class TestModelConfigValidation:
+    def test_rejects_nonpositive_layers(self):
+        with pytest.raises(ValueError, match="num_layers"):
+            ModelConfig(name="bad", num_layers=0, hidden_size=64, num_heads=4)
+
+    def test_rejects_nonpositive_hidden(self):
+        with pytest.raises(ValueError, match="hidden_size"):
+            ModelConfig(name="bad", num_layers=2, hidden_size=-1, num_heads=4)
+
+    def test_rejects_heads_not_dividing_hidden(self):
+        with pytest.raises(ValueError, match="num_heads"):
+            ModelConfig(name="bad", num_layers=2, hidden_size=100, num_heads=3)
+
+    def test_rejects_zero_heads(self):
+        with pytest.raises(ValueError, match="num_heads"):
+            ModelConfig(name="bad", num_layers=2, hidden_size=64, num_heads=0)
+
+    def test_rejects_nonpositive_context(self):
+        with pytest.raises(ValueError, match="max_context"):
+            ModelConfig(
+                name="bad", num_layers=2, hidden_size=64, num_heads=4, max_context=0
+            )
+
+
+class TestDerivedDimensions:
+    def test_head_dim(self):
+        assert GPT_7B.head_dim == 4096 // 32
+
+    def test_ffn_hidden_size(self):
+        assert GPT_7B.ffn_hidden_size == 4 * 4096
+
+    def test_layer_params_dominated_by_12_h_squared(self):
+        h = GPT_7B.hidden_size
+        assert GPT_7B.layer_parameter_count() == pytest.approx(12 * h * h, rel=0.01)
+
+
+class TestPaperParameterCounts:
+    """Appendix B.1 quotes parameter counts at 384K max context."""
+
+    def test_gpt7b_total_near_paper(self):
+        assert GPT_7B.parameter_count() == pytest.approx(7.85e9, rel=0.08)
+
+    def test_gpt13b_total_near_paper(self):
+        assert GPT_13B.parameter_count() == pytest.approx(14.03e9, rel=0.08)
+
+    def test_gpt30b_total_near_paper(self):
+        assert GPT_30B.parameter_count() == pytest.approx(32.72e9, rel=0.08)
+
+    def test_positional_embedding_is_one_to_two_billion(self):
+        """The paper notes 1-2B positional parameters at 384K."""
+        for cfg in (GPT_7B, GPT_13B, GPT_30B):
+            pos = cfg.max_context * cfg.hidden_size
+            assert 1e9 <= pos <= 2.7e9
+
+    def test_ordering_by_size(self):
+        assert (
+            GPT_7B.parameter_count()
+            < GPT_13B.parameter_count()
+            < GPT_30B.parameter_count()
+        )
+
+
+class TestWithMaxContext:
+    def test_returns_new_config(self):
+        shorter = GPT_7B.with_max_context(64 * 1024)
+        assert shorter.max_context == 64 * 1024
+        assert GPT_7B.max_context == 384 * 1024
+
+    def test_shrinks_parameter_count(self):
+        shorter = GPT_7B.with_max_context(64 * 1024)
+        assert shorter.parameter_count() < GPT_7B.parameter_count()
+
+    def test_preserves_other_fields(self):
+        shorter = GPT_7B.with_max_context(1024)
+        assert shorter.num_layers == GPT_7B.num_layers
+        assert shorter.hidden_size == GPT_7B.hidden_size
+        assert shorter.name == GPT_7B.name
+
+
+class TestRegistry:
+    def test_contains_paper_models(self):
+        registry = model_registry()
+        for name in ("gpt-7b", "gpt-13b", "gpt-30b"):
+            assert name in registry
+
+    def test_keys_match_names(self):
+        for name, cfg in model_registry().items():
+            assert cfg.name == name
+
+    def test_tiny_model_valid(self):
+        assert GPT_TINY.parameter_count() > 0

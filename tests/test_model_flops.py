@@ -1,0 +1,78 @@
+"""Tests for repro.model.flops: FLOP accounting."""
+
+import pytest
+
+from repro.model.config import GPT_7B, GPT_TINY
+from repro.model.flops import (
+    attention_flops,
+    batch_flops,
+    dense_flops_per_token,
+    sequence_flops,
+    training_flops_multiplier,
+)
+from repro.model.memory import ActivationCheckpointing
+
+
+class TestDenseFlops:
+    def test_matches_24_h_squared_per_layer(self):
+        """Classic GPT block: 24 h^2 forward FLOPs per token per layer."""
+        h = GPT_7B.hidden_size
+        expected_blocks = GPT_7B.num_layers * 24 * h * h
+        head = 2 * h * GPT_7B.vocab_size
+        assert dense_flops_per_token(GPT_7B) == expected_blocks + head
+
+    def test_scales_with_layers(self):
+        deeper = GPT_TINY.with_max_context(GPT_TINY.max_context)
+        assert dense_flops_per_token(GPT_7B) > dense_flops_per_token(deeper)
+
+
+class TestAttentionFlops:
+    def test_quadratic_in_sequence_length(self):
+        base = attention_flops(GPT_7B, 1024)
+        assert attention_flops(GPT_7B, 2048) == pytest.approx(4 * base)
+
+    def test_causal_halves_full(self):
+        causal = attention_flops(GPT_7B, 4096, causal=True)
+        full = attention_flops(GPT_7B, 4096, causal=False)
+        assert causal == pytest.approx(full / 2)
+
+    def test_zero_length(self):
+        assert attention_flops(GPT_7B, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            attention_flops(GPT_7B, -1)
+
+
+class TestSequenceAndBatchFlops:
+    def test_sequence_is_dense_plus_attention(self):
+        s = 8192
+        expected = s * dense_flops_per_token(GPT_7B) + attention_flops(GPT_7B, s)
+        assert sequence_flops(GPT_7B, s) == expected
+
+    def test_batch_is_sum_of_sequences(self):
+        lengths = [1024, 2048, 4096]
+        assert batch_flops(GPT_7B, lengths) == pytest.approx(
+            sum(sequence_flops(GPT_7B, s) for s in lengths)
+        )
+
+    def test_packing_beats_one_long_sequence(self):
+        """Varlen attention: sum of quadratics < quadratic of the sum."""
+        packed = batch_flops(GPT_7B, [8192] * 4)
+        monolith = batch_flops(GPT_7B, [8192 * 4])
+        assert packed < monolith
+
+    def test_empty_batch_is_zero(self):
+        assert batch_flops(GPT_7B, []) == 0.0
+
+
+class TestTrainingMultiplier:
+    def test_no_checkpointing_is_3x(self):
+        assert training_flops_multiplier(ActivationCheckpointing.NONE) == 3.0
+
+    def test_full_checkpointing_is_4x(self):
+        assert training_flops_multiplier(ActivationCheckpointing.FULL) == 4.0
+
+    def test_selective_between(self):
+        selective = training_flops_multiplier(ActivationCheckpointing.SELECTIVE)
+        assert 3.0 < selective < 4.0

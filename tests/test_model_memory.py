@@ -1,0 +1,125 @@
+"""Tests for repro.model.memory: model-state and activation accounting."""
+
+import pytest
+
+from repro.model.config import GPT_7B, GPT_13B, GPT_30B
+from repro.model.memory import (
+    ActivationCheckpointing,
+    activation_bytes_per_token,
+    default_checkpointing,
+    model_state_bytes,
+    model_state_bytes_per_device,
+)
+
+
+class TestModelStates:
+    def test_sixteen_bytes_per_parameter(self):
+        assert model_state_bytes(GPT_7B) == 16 * GPT_7B.parameter_count()
+
+    def test_zero3_shards_everything(self):
+        per_device = model_state_bytes_per_device(GPT_7B, 64, zero_stage=3)
+        assert per_device == pytest.approx(model_state_bytes(GPT_7B) / 64)
+
+    def test_zero1_shards_only_optimizer(self):
+        params = GPT_7B.parameter_count()
+        per_device = model_state_bytes_per_device(GPT_7B, 64, zero_stage=1)
+        assert per_device == pytest.approx(4 * params + 12 * params / 64)
+
+    def test_zero0_replicates_everything(self):
+        per_device = model_state_bytes_per_device(GPT_7B, 64, zero_stage=0)
+        assert per_device == model_state_bytes(GPT_7B)
+
+    def test_stage_monotonicity(self):
+        values = [
+            model_state_bytes_per_device(GPT_7B, 64, zero_stage=stage)
+            for stage in (0, 1, 2, 3)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > values[3]
+
+    def test_rejects_bad_stage(self):
+        with pytest.raises(ValueError, match="zero_stage"):
+            model_state_bytes_per_device(GPT_7B, 64, zero_stage=4)
+
+    def test_rejects_nonpositive_devices(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            model_state_bytes_per_device(GPT_7B, 0)
+
+
+class TestActivations:
+    def test_checkpointing_reduces_footprint(self):
+        none = activation_bytes_per_token(GPT_7B, ActivationCheckpointing.NONE)
+        selective = activation_bytes_per_token(
+            GPT_7B, ActivationCheckpointing.SELECTIVE
+        )
+        full = activation_bytes_per_token(GPT_7B, ActivationCheckpointing.FULL)
+        assert none > selective > full
+
+    def test_gpt7b_roughly_4mb_per_token(self):
+        """34 * h * L bytes: the figure behind Table 1's OOM frontier."""
+        per_token = activation_bytes_per_token(GPT_7B)
+        assert per_token == pytest.approx(34 * 4096 * 32, rel=1e-6)
+
+    def test_scales_with_model_size(self):
+        assert activation_bytes_per_token(GPT_30B) > activation_bytes_per_token(
+            GPT_7B
+        )
+
+
+class TestDefaultCheckpointing:
+    """Appendix B.2: no ckpt for 7B, MLP-only for 13B, full for 30B."""
+
+    def test_gpt7b_no_checkpointing(self):
+        policy = default_checkpointing(GPT_7B, 384 * 1024)
+        assert policy is ActivationCheckpointing.NONE
+
+    def test_gpt13b_selective_at_long_context(self):
+        policy = default_checkpointing(GPT_13B, 384 * 1024)
+        assert policy is ActivationCheckpointing.SELECTIVE
+
+    def test_gpt13b_relaxed_at_short_context(self):
+        policy = default_checkpointing(GPT_13B, 64 * 1024)
+        assert policy is ActivationCheckpointing.NONE
+
+    def test_gpt30b_full(self):
+        policy = default_checkpointing(GPT_30B, 384 * 1024)
+        assert policy is ActivationCheckpointing.FULL
+
+
+class TestTable1OOMFrontier:
+    """The Table 1 OOM pattern must fall out of the memory numbers.
+
+    On A100-40GB with ZeRO-3 over 64 GPUs: a 32K sequence fits at SP=8
+    but not SP=4; 64K needs SP>=16; 128K needs SP>=32; 256K needs SP=64.
+    """
+
+    @pytest.fixture()
+    def budget(self):
+        from repro.cluster.device import A100_40GB
+
+        return A100_40GB.usable_memory_bytes
+
+    @pytest.fixture()
+    def m_token(self):
+        return activation_bytes_per_token(GPT_7B.with_max_context(384 * 1024))
+
+    @pytest.fixture()
+    def m_ms(self):
+        return model_state_bytes_per_device(
+            GPT_7B.with_max_context(384 * 1024), 64, zero_stage=3
+        )
+
+    @pytest.mark.parametrize(
+        "seq_len,oom_degree,ok_degree",
+        [
+            (32 * 1024, 4, 8),
+            (64 * 1024, 8, 16),
+            (128 * 1024, 16, 32),
+            (256 * 1024, 32, 64),
+        ],
+    )
+    def test_frontier(self, budget, m_token, m_ms, seq_len, oom_degree, ok_degree):
+        oom_usage = seq_len / oom_degree * m_token + m_ms
+        ok_usage = seq_len / ok_degree * m_token + m_ms
+        assert oom_usage > budget, f"{seq_len} @ SP={oom_degree} should OOM"
+        assert ok_usage <= budget, f"{seq_len} @ SP={ok_degree} should fit"

@@ -1,0 +1,83 @@
+"""Tests for repro.parallelism.ring: CP ring-attention accounting."""
+
+import pytest
+
+from repro.cluster.network import LinkSpec
+from repro.model.config import GPT_7B
+from repro.parallelism.ring import (
+    cp_exposed_comm_time,
+    cp_kv_ring_bytes_per_step,
+    cp_ring_time,
+    cp_step_comm_bytes_per_gpu,
+)
+
+LINK = LinkSpec(name="test", bandwidth=50e9, latency=10e-6)
+
+
+class TestRingVolume:
+    def test_cp1_is_free(self):
+        assert cp_kv_ring_bytes_per_step(GPT_7B, 8192, 1) == 0.0
+
+    def test_rotation_steps(self):
+        v2 = cp_kv_ring_bytes_per_step(GPT_7B, 8192, 2)
+        v4 = cp_kv_ring_bytes_per_step(GPT_7B, 8192, 4)
+        # shard shrinks 2x but steps grow 3x: ratio 3/2.
+        assert v4 == pytest.approx(v2 * 3 / 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="cp_degree"):
+            cp_kv_ring_bytes_per_step(GPT_7B, 100, 0)
+        with pytest.raises(ValueError, match="seq_len"):
+            cp_kv_ring_bytes_per_step(GPT_7B, -1, 2)
+
+    def test_step_volume_scales_with_layers(self):
+        """Two rotation schedules (fwd + bwd), causal-halved."""
+        per_layer = cp_kv_ring_bytes_per_step(GPT_7B, 8192, 4)
+        total = cp_step_comm_bytes_per_gpu(GPT_7B, 8192, 4)
+        assert total == pytest.approx(per_layer * GPT_7B.num_layers * 2 / 2)
+
+    def test_causal_halves_volume(self):
+        causal = cp_step_comm_bytes_per_gpu(GPT_7B, 8192, 4, causal=True)
+        full = cp_step_comm_bytes_per_gpu(GPT_7B, 8192, 4, causal=False)
+        assert causal == pytest.approx(full / 2)
+
+    def test_cp_volume_exceeds_ulysses(self):
+        """Appendix D: CP ring volume is substantially larger than
+        Ulysses All-to-All for the same workload."""
+        from repro.parallelism.ulysses import sp_step_comm_bytes_per_gpu
+
+        tokens = 32 * 1024
+        cp = cp_step_comm_bytes_per_gpu(GPT_7B, tokens, 8)
+        sp = sp_step_comm_bytes_per_gpu(GPT_7B, tokens, 8)
+        assert cp > 1.5 * sp
+
+
+class TestOverlap:
+    def test_fully_hidden_when_compute_dominates(self):
+        assert cp_exposed_comm_time(10.0, 1.0) == 0.0
+
+    def test_exposed_when_comm_dominates(self):
+        exposed = cp_exposed_comm_time(1.0, 10.0, overlap_efficiency=1.0)
+        assert exposed == pytest.approx(9.0)
+
+    def test_overlap_efficiency_limits_hiding(self):
+        exposed = cp_exposed_comm_time(10.0, 5.0, overlap_efficiency=0.4)
+        assert exposed == pytest.approx(1.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="overlap_efficiency"):
+            cp_exposed_comm_time(1.0, 1.0, overlap_efficiency=1.5)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            cp_exposed_comm_time(-1.0, 1.0)
+
+
+class TestRingTime:
+    def test_cp1_free(self):
+        assert cp_ring_time(GPT_7B, 8192, 1, LINK) == 0.0
+
+    def test_grows_with_tokens(self):
+        t1 = cp_ring_time(GPT_7B, 8192, 4, LINK)
+        t2 = cp_ring_time(GPT_7B, 16384, 4, LINK)
+        assert t2 > t1

@@ -1,0 +1,59 @@
+"""Tests for repro.parallelism.strategies: hybrid strategy descriptors."""
+
+import pytest
+
+from repro.parallelism.strategies import HybridStrategy, candidate_sp_degrees
+
+
+class TestHybridStrategy:
+    def test_world_size(self):
+        s = HybridStrategy(dp=2, sp=4, tp=2)
+        assert s.world_size == 16
+
+    def test_rejects_nonpositive_degree(self):
+        with pytest.raises(ValueError, match="dp degree"):
+            HybridStrategy(dp=0)
+
+    def test_rejects_bad_zero_stage(self):
+        with pytest.raises(ValueError, match="zero_stage"):
+            HybridStrategy(zero_stage=5)
+
+    def test_rejects_sp_with_cp(self):
+        with pytest.raises(ValueError, match="alternative"):
+            HybridStrategy(sp=2, cp=2)
+
+    def test_sequence_shards(self):
+        assert HybridStrategy(sp=8).sequence_shards == 8
+        assert HybridStrategy(cp=4).sequence_shards == 4
+
+    def test_model_shards_excludes_dp(self):
+        s = HybridStrategy(dp=4, tp=2, pp=2)
+        assert s.model_shards == 4
+
+    def test_validate_for_matching_cluster(self):
+        HybridStrategy(dp=2, sp=8).validate_for(num_gpus=16, gpus_per_node=8)
+
+    def test_validate_for_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="occupies"):
+            HybridStrategy(dp=2, sp=8).validate_for(num_gpus=8, gpus_per_node=8)
+
+    def test_describe_compact(self):
+        assert HybridStrategy(dp=2, sp=32).describe() == "dp=2 sp=32 zero=3"
+
+    def test_describe_trivial(self):
+        assert HybridStrategy().describe() == "dp=1 zero=3"
+
+
+class TestCandidateDegrees:
+    def test_powers_of_two_up_to_cluster(self):
+        assert candidate_sp_degrees(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_non_power_cluster_capped(self):
+        assert candidate_sp_degrees(48) == [1, 2, 4, 8, 16, 32]
+
+    def test_max_degree_cap(self):
+        assert candidate_sp_degrees(64, max_degree=8) == [1, 2, 4, 8]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="num_gpus"):
+            candidate_sp_degrees(0)

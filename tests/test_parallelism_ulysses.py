@@ -1,0 +1,51 @@
+"""Tests for repro.parallelism.ulysses: All-to-All volume accounting."""
+
+import pytest
+
+from repro.model.config import GPT_7B, GPT_TINY
+from repro.parallelism.ulysses import (
+    alltoall_bytes_per_gpu,
+    alltoall_rounds_per_step,
+    sp_step_comm_bytes_per_gpu,
+)
+
+
+class TestPerRoundVolume:
+    def test_proportional_to_resident_tokens(self):
+        one = alltoall_bytes_per_gpu(GPT_7B, 1000)
+        two = alltoall_bytes_per_gpu(GPT_7B, 2000)
+        assert two == pytest.approx(2 * one)
+
+    def test_matches_hidden_times_bytes(self):
+        assert alltoall_bytes_per_gpu(GPT_7B, 1) == GPT_7B.hidden_size * 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="resident_tokens"):
+            alltoall_bytes_per_gpu(GPT_7B, -1)
+
+
+class TestRounds:
+    def test_four_per_layer_per_direction(self):
+        assert alltoall_rounds_per_step(GPT_7B) == GPT_7B.num_layers * 4 * 2
+
+    def test_scales_with_depth(self):
+        assert alltoall_rounds_per_step(GPT_7B) > alltoall_rounds_per_step(GPT_TINY)
+
+
+class TestStepVolume:
+    def test_volume_independent_of_degree_given_resident_share(self):
+        """Per-GPU payload is tokens/P x h: doubling P halves it."""
+        v8 = sp_step_comm_bytes_per_gpu(GPT_7B, group_tokens=64_000, sp_degree=8)
+        v16 = sp_step_comm_bytes_per_gpu(GPT_7B, group_tokens=64_000, sp_degree=16)
+        assert v8 == pytest.approx(2 * v16)
+
+    def test_linear_in_tokens(self):
+        v1 = sp_step_comm_bytes_per_gpu(GPT_7B, group_tokens=10_000, sp_degree=8)
+        v2 = sp_step_comm_bytes_per_gpu(GPT_7B, group_tokens=20_000, sp_degree=8)
+        assert v2 == pytest.approx(2 * v1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="sp_degree"):
+            sp_step_comm_bytes_per_gpu(GPT_7B, 1000, 0)
+        with pytest.raises(ValueError, match="group_tokens"):
+            sp_step_comm_bytes_per_gpu(GPT_7B, -1, 8)

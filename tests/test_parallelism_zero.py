@@ -1,0 +1,48 @@
+"""Tests for repro.parallelism.zero: ZeRO accounting."""
+
+import pytest
+
+from repro.model.config import GPT_7B, GPT_TINY
+from repro.parallelism.zero import (
+    zero3_gather_bytes_per_microbatch,
+    zero_gradient_sync_bytes,
+    zero_state_bytes_per_device,
+)
+
+
+class TestStateSharding:
+    def test_matches_model_memory_module(self):
+        from repro.model.memory import model_state_bytes_per_device
+
+        assert zero_state_bytes_per_device(GPT_7B, 64, 3) == pytest.approx(
+            model_state_bytes_per_device(GPT_7B, 64, 3)
+        )
+
+    def test_independent_of_sp_layout(self):
+        """M_ms depends only on (model, N, stage) — the property that
+        keeps the planner's memory constraint linear (S4.1.2)."""
+        assert zero_state_bytes_per_device(GPT_7B, 64, 3) == pytest.approx(
+            zero_state_bytes_per_device(GPT_7B, 64, 3)
+        )
+
+
+class TestGatherVolume:
+    def test_two_gathers_per_microbatch(self):
+        per_mb = zero3_gather_bytes_per_microbatch(GPT_7B)
+        layer_bytes = 2 * GPT_7B.num_layers * GPT_7B.layer_parameter_count()
+        assert per_mb == pytest.approx(2 * layer_bytes)
+
+    def test_scales_with_model(self):
+        assert zero3_gather_bytes_per_microbatch(
+            GPT_7B
+        ) > zero3_gather_bytes_per_microbatch(GPT_TINY)
+
+
+class TestGradientSync:
+    def test_bf16_gradient_bytes(self):
+        assert zero_gradient_sync_bytes(GPT_7B) == 2 * GPT_7B.parameter_count()
+
+    def test_charged_once_per_step_not_per_microbatch(self):
+        """The value carries no micro-batch dependence by construction;
+        the executor charges it exactly once (gradient accumulation)."""
+        assert zero_gradient_sync_bytes(GPT_7B) == zero_gradient_sync_bytes(GPT_7B)

@@ -1,0 +1,69 @@
+"""Property-based tests for the sequence blaster (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.blaster import balanced_cut_points, blast, max_microbatch_tokens
+from repro.core.types import SequenceBatch
+
+lengths_strategy = st.lists(
+    st.integers(min_value=1, max_value=100_000), min_size=1, max_size=80
+)
+
+
+@given(lengths=lengths_strategy, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_blast_is_a_partition(lengths, data):
+    m = data.draw(st.integers(min_value=1, max_value=len(lengths)))
+    batch = SequenceBatch(lengths=tuple(lengths))
+    parts = blast(batch, m)
+    assert len(parts) == m
+    combined = sorted(s for p in parts for s in p.lengths)
+    assert combined == sorted(lengths)
+
+
+@given(lengths=lengths_strategy, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_sorted_blast_produces_contiguous_ranges(lengths, data):
+    """Takeaway 2: micro-batch length ranges must not interleave."""
+    m = data.draw(st.integers(min_value=1, max_value=len(lengths)))
+    parts = blast(SequenceBatch(lengths=tuple(lengths)), m, sort=True)
+    for prev, cur in zip(parts, parts[1:]):
+        assert max(prev.lengths) <= min(cur.lengths)
+
+
+@given(lengths=lengths_strategy, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_max_segment_lower_bound(lengths, data):
+    """The DP optimum can never beat the trivial bounds:
+    max(avg, longest) <= makespan <= total."""
+    m = data.draw(st.integers(min_value=1, max_value=len(lengths)))
+    parts = blast(SequenceBatch(lengths=tuple(lengths)), m)
+    worst = max_microbatch_tokens(parts)
+    total = sum(lengths)
+    assert worst >= max(total / m, max(lengths)) - 1e-9
+    assert worst <= total
+
+
+@given(lengths=lengths_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_dp_beats_even_count_split(lengths, data):
+    """The DP must never be worse than splitting the sorted list into
+    equal-count chunks."""
+    m = data.draw(st.integers(min_value=1, max_value=len(lengths)))
+    ordered = sorted(lengths)
+    dp_worst = max_microbatch_tokens(blast(SequenceBatch(tuple(lengths)), m))
+    chunk = -(-len(ordered) // m)
+    naive_worst = max(
+        sum(ordered[i : i + chunk]) for i in range(0, len(ordered), chunk)
+    )
+    assert dp_worst <= naive_worst
+
+
+@given(lengths=lengths_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cut_points_strictly_increasing(lengths):
+    m = max(1, len(lengths) // 2)
+    cuts = balanced_cut_points(sorted(lengths), m)
+    assert cuts == sorted(set(cuts))
+    assert cuts[-1] == len(lengths)

@@ -1,0 +1,84 @@
+"""Property-based tests for sequence bucketing (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.bucketing import (
+    bucketing_error,
+    fixed_interval_buckets,
+    naive_buckets,
+    optimal_buckets,
+)
+
+lengths_strategy = st.lists(
+    st.integers(min_value=1, max_value=200_000), min_size=1, max_size=120
+)
+
+
+@given(lengths=lengths_strategy, q=st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_optimal_partitions_exactly(lengths, q):
+    """Every sequence lands in exactly one bucket; multiset preserved."""
+    buckets = optimal_buckets(lengths, q)
+    members = sorted(s for b in buckets for s in b.lengths)
+    assert members == sorted(lengths)
+
+
+@given(lengths=lengths_strategy, q=st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_optimal_buckets_are_intervals(lengths, q):
+    """Buckets form disjoint ascending intervals with valid uppers."""
+    buckets = optimal_buckets(lengths, q)
+    for b in buckets:
+        assert max(b.lengths) <= b.upper
+    for prev, cur in zip(buckets, buckets[1:]):
+        assert prev.upper < min(cur.lengths)
+
+
+@given(lengths=lengths_strategy, q=st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_optimal_never_worse_than_naive(lengths, q):
+    """DP optimality: no fixed-interval scheme with the same bucket
+    count can have lower deviation."""
+    optimal = optimal_buckets(lengths, q)
+    naive = naive_buckets(lengths, q)
+    if len(naive) <= len(optimal) or len(optimal) == q:
+        # Fair comparison only when naive doesn't get extra buckets.
+        if len(naive) <= q:
+            assert bucketing_error(optimal) <= bucketing_error(naive)
+
+
+@given(lengths=lengths_strategy)
+@settings(max_examples=60, deadline=None)
+def test_bucket_count_never_exceeds_unique_lengths(lengths):
+    buckets = optimal_buckets(lengths, 16)
+    assert len(buckets) <= min(16, len(set(lengths)))
+
+
+@given(lengths=lengths_strategy)
+@settings(max_examples=60, deadline=None)
+def test_enough_buckets_means_zero_error(lengths):
+    """With Q >= distinct lengths, bucketing must be lossless."""
+    buckets = optimal_buckets(lengths, len(set(lengths)))
+    assert bucketing_error(buckets) == 0
+
+
+@given(
+    lengths=lengths_strategy,
+    width=st.integers(min_value=128, max_value=8192),
+)
+@settings(max_examples=60, deadline=None)
+def test_fixed_interval_deviation_bounded_by_width(lengths, width):
+    """No sequence deviates more than one interval width."""
+    for bucket in fixed_interval_buckets(lengths, width=width):
+        for s in bucket.lengths:
+            assert bucket.upper - s < width
+
+
+@given(lengths=lengths_strategy, q=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_error_is_nonnegative_and_bounded(lengths, q):
+    buckets = optimal_buckets(lengths, q)
+    error = bucketing_error(buckets)
+    assert error >= 0
+    assert error <= max(lengths) * len(lengths)

@@ -1,0 +1,77 @@
+"""Property-based tests for the cost model and simulator timing."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.simulator.timing import group_alltoall_time, group_compute_time
+
+lengths_strategy = st.lists(
+    st.integers(min_value=16, max_value=50_000), min_size=1, max_size=10
+)
+degree_strategy = st.sampled_from([1, 2, 4, 8, 16])
+
+
+class TestCostModelProperties:
+    @given(lengths=lengths_strategy, degree=degree_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_time_positive(self, cost_model16, lengths, degree):
+        assert cost_model16.time(lengths, degree) > 0
+
+    @given(lengths=lengths_strategy, degree=degree_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_memory_monotone_in_tokens(self, cost_model16, lengths, degree):
+        base = cost_model16.memory(lengths, degree)
+        more = cost_model16.memory(lengths + [1024], degree)
+        assert more > base
+
+    @given(lengths=lengths_strategy, degree=degree_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_compute_monotone_in_degree(self, cost_model16, lengths, degree):
+        """More devices never increase Eq. 12's compute time."""
+        if degree < 16:
+            slower = cost_model16.compute_time(lengths, degree)
+            faster = cost_model16.compute_time(lengths, degree * 2)
+            assert faster <= slower + 1e-12
+
+    @given(lengths=lengths_strategy, degree=degree_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_memory_monotone_in_degree(self, cost_model16, lengths, degree):
+        """Scattering over more devices never increases per-device memory."""
+        if degree < 16:
+            assert cost_model16.memory(lengths, degree * 2) <= cost_model16.memory(
+                lengths, degree
+            )
+
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_time_additivity_direction(self, cost_model16, lengths):
+        """Splitting a workload across two groups of the same degree
+        can only reduce the per-group time (superadditivity of load)."""
+        whole = cost_model16.time(lengths, 8)
+        half = cost_model16.time(lengths[: max(1, len(lengths) // 2)], 8)
+        assert half <= whole + 1e-12
+
+
+class TestSimulatorTimingProperties:
+    @given(lengths=lengths_strategy, degree=degree_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_compute_positive_and_finite(
+        self, cluster16, gpt7b_64k, lengths, degree
+    ):
+        t = group_compute_time(gpt7b_64k, cluster16, lengths, degree)
+        assert 0 < t < 1e4
+
+    @given(
+        tokens=st.integers(min_value=1, max_value=500_000),
+        degree=degree_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alltoall_nonnegative(self, cluster16, gpt7b_64k, tokens, degree):
+        assert group_alltoall_time(gpt7b_64k, cluster16, tokens, degree) >= 0
+
+    @given(tokens=st.integers(min_value=1000, max_value=500_000))
+    @settings(max_examples=60, deadline=None)
+    def test_alltoall_monotone_in_tokens(self, cluster16, gpt7b_64k, tokens):
+        t1 = group_alltoall_time(gpt7b_64k, cluster16, tokens, 8)
+        t2 = group_alltoall_time(gpt7b_64k, cluster16, tokens * 2, 8)
+        assert t2 >= t1

@@ -1,0 +1,82 @@
+"""Property-based tests for sequence packing (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.data.packing import best_fit_decreasing, first_fit_decreasing
+
+
+@st.composite
+def lengths_and_capacity(draw):
+    capacity = draw(st.integers(min_value=10, max_value=10_000))
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=capacity), min_size=1, max_size=100
+        )
+    )
+    return lengths, capacity
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=100, deadline=None)
+def test_bfd_conserves_sequences(case):
+    lengths, capacity = case
+    packs = best_fit_decreasing(lengths, capacity)
+    packed = sorted(s for p in packs for s in p.lengths)
+    assert packed == sorted(lengths)
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=100, deadline=None)
+def test_bfd_respects_capacity(case):
+    lengths, capacity = case
+    for pack in best_fit_decreasing(lengths, capacity):
+        assert 0 < pack.used <= capacity
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=100, deadline=None)
+def test_bfd_lower_bound_on_pack_count(case):
+    """No packing can use fewer than ceil(total / capacity) packs."""
+    lengths, capacity = case
+    packs = best_fit_decreasing(lengths, capacity)
+    assert len(packs) >= -(-sum(lengths) // capacity)
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=100, deadline=None)
+def test_bfd_half_full_bound(case):
+    """Since any two BFD packs jointly overflow capacity, at most one
+    pack is half-empty, bounding the count by 2 * volume / capacity + 1."""
+    lengths, capacity = case
+    packs = best_fit_decreasing(lengths, capacity)
+    assert len(packs) <= 2 * sum(lengths) / capacity + 1
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=100, deadline=None)
+def test_bfd_matches_ffd_conservation(case):
+    """BFD and FFD pack the same multiset (pack counts may differ)."""
+    lengths, capacity = case
+    bfd = best_fit_decreasing(lengths, capacity)
+    ffd = first_fit_decreasing(lengths, capacity)
+    assert sorted(s for p in bfd for s in p.lengths) == sorted(
+        s for p in ffd for s in p.lengths
+    )
+
+
+@given(lengths_and_capacity())
+@settings(max_examples=60, deadline=None)
+def test_bfd_no_two_packs_mergeable(case):
+    """Optimality sanity: BFD never leaves two packs that could merge
+    into one (their combined load fitting capacity) when one holds a
+    single smallest item... weaker invariant: the *two emptiest* packs
+    cannot both be half-empty unless there is only one pack."""
+    lengths, capacity = case
+    packs = best_fit_decreasing(lengths, capacity)
+    if len(packs) >= 2:
+        loads = sorted(p.used for p in packs)
+        # The fullest and emptiest pack cannot be merged only if their
+        # sum exceeds capacity OR every pack pair overflows; check the
+        # two emptiest — if they fit together, BFD would have merged.
+        assert loads[0] + loads[1] > capacity or len(packs) == 1

@@ -1,0 +1,96 @@
+"""Property-based tests for the planners (hypothesis).
+
+Uses the greedy planner (sub-millisecond) for broad input coverage and
+the MILP planner on a narrower budget; both must uphold the plan
+invariants: partition of the input, device budget, power-of-two
+degrees, memory feasibility.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.planner import PlanInfeasibleError, PlannerConfig, plan_microbatch
+from repro.core.planner_greedy import plan_microbatch_greedy
+
+
+@pytest.fixture(scope="module")
+def model(cost_model16):
+    return cost_model16
+
+
+def _check_invariants(plan, lengths, model):
+    assigned = sorted(s for g in plan.groups for s in g.lengths)
+    assert assigned == sorted(lengths)
+    assert plan.devices_used <= model.cluster.num_gpus
+    seen = set()
+    for g in plan.groups:
+        assert g.degree & (g.degree - 1) == 0
+        assert model.fits(g.lengths, g.degree)
+        for r in g.device_ranks:
+            assert r not in seen
+            seen.add(r)
+
+
+# Keep totals below the 16-GPU cluster capacity (~105K tokens) so the
+# planner is exercised on feasible inputs.
+feasible_lengths = st.lists(
+    st.integers(min_value=16, max_value=20_000), min_size=1, max_size=12
+).filter(lambda ls: sum(ls) < 90_000)
+
+
+class TestGreedyProperties:
+    @given(lengths=feasible_lengths)
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, model, lengths):
+        plan, predicted = plan_microbatch_greedy(tuple(lengths), model)
+        _check_invariants(plan, lengths, model)
+        assert predicted > 0
+
+    @given(lengths=feasible_lengths)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_lower_bound(self, model, lengths):
+        """No plan can beat the all-devices-on-everything bound."""
+        plan, predicted = plan_microbatch_greedy(tuple(lengths), model)
+        ideal = model.compute_time(lengths, model.cluster.num_gpus)
+        assert predicted >= ideal - 1e-9
+
+    @given(
+        lengths=feasible_lengths,
+        scale=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_workload(self, model, lengths, scale):
+        """Duplicating the workload cannot make the makespan smaller."""
+        __, base = plan_microbatch_greedy(tuple(lengths), model)
+        bigger = tuple(lengths) * scale
+        if sum(bigger) < model.cluster_token_capacity():
+            __, larger = plan_microbatch_greedy(bigger, model)
+            assert larger >= base * 0.999
+
+
+class TestMilpProperties:
+    @given(lengths=feasible_lengths)
+    @settings(max_examples=15, deadline=None)
+    def test_invariants(self, model, lengths):
+        cfg = PlannerConfig(time_limit=0.3, mip_rel_gap=0.10)
+        plan, predicted = plan_microbatch(tuple(lengths), model, cfg)
+        _check_invariants(plan, lengths, model)
+        assert predicted > 0
+
+    @given(lengths=feasible_lengths)
+    @settings(max_examples=15, deadline=None)
+    def test_never_worse_than_greedy(self, model, lengths):
+        cfg = PlannerConfig(time_limit=0.3, mip_rel_gap=0.10)
+        __, milp_pred = plan_microbatch(tuple(lengths), model, cfg)
+        __, greedy_pred = plan_microbatch_greedy(tuple(lengths), model)
+        assert milp_pred <= greedy_pred * 1.001
+
+
+class TestInfeasibleInputs:
+    @given(extra=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_overlong_sequence_always_rejected(self, model, extra):
+        too_long = int(model.max_tokens_per_device() * model.cluster.num_gpus)
+        with pytest.raises(PlanInfeasibleError):
+            plan_microbatch_greedy((too_long + extra * 1000,), model)

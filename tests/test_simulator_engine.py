@@ -1,0 +1,86 @@
+"""Tests for repro.simulator.engine: the discrete-event loop."""
+
+import pytest
+
+from repro.simulator.engine import DiscreteEventEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(2.0, lambda e: fired.append("late"))
+        engine.schedule(1.0, lambda e: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append("first"))
+        engine.schedule(1.0, lambda e: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances(self):
+        engine = DiscreteEventEngine()
+        times = []
+        engine.schedule(0.5, lambda e: times.append(e.now))
+        engine.schedule(1.5, lambda e: times.append(e.now))
+        final = engine.run()
+        assert times == [0.5, 1.5]
+        assert final == 1.5
+
+    def test_actions_can_schedule_more_events(self):
+        engine = DiscreteEventEngine()
+        fired = []
+
+        def chain(e):
+            fired.append(e.now)
+            if len(fired) < 3:
+                e.schedule_after(1.0, chain)
+
+        engine.schedule(0.0, chain)
+        engine.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_rejects_scheduling_in_the_past(self):
+        engine = DiscreteEventEngine()
+        engine.schedule(5.0, lambda e: e.schedule(1.0, lambda e2: None))
+        with pytest.raises(ValueError, match="clock"):
+            engine.run()
+
+    def test_rejects_negative_delay(self):
+        engine = DiscreteEventEngine()
+        with pytest.raises(ValueError, match="delay"):
+            engine.schedule_after(-1.0, lambda e: None)
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(10.0, lambda e: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_resume_after_until(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(10.0, lambda e: fired.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_events_processed_counter(self):
+        engine = DiscreteEventEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda e: None)
+        engine.run()
+        assert engine.events_processed == 3
+
+    def test_empty_run_returns_zero(self):
+        assert DiscreteEventEngine().run() == 0.0
