@@ -1,0 +1,17 @@
+# Convenience targets; all assume the repo root as working directory.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-solver
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m repro.bench all
+
+# Solver-throughput benchmark only; results land in
+# benchmarks/results/BENCH_solver.json for trajectory tracking.
+bench-solver:
+	$(PYTHON) -m repro.bench solver_throughput

@@ -14,6 +14,7 @@ iterations — so the whole suite runs in minutes on a laptop.  Set
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -36,6 +37,52 @@ BENCH_SOLVER = SolverConfig(
     num_trials=5 if FULL else 2,
     planner=PlannerConfig(time_limit=5.0 if FULL else 1.0, mip_rel_gap=0.05),
 )
+
+
+#: Wall-clock of each benchmark's call phase, written at session end so
+#: future PRs can diff the perf trajectory (see BENCH_wallclock.json).
+_WALLCLOCK: dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _WALLCLOCK[report.nodeid] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _WALLCLOCK:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        # Reduced and REPRO_BENCH_FULL runs use workloads of different
+        # size, so each mode keeps its own trajectory file.
+        suffix = "_full" if FULL else ""
+        path = RESULTS_DIR / f"BENCH_wallclock{suffix}.json"
+        merged: dict[str, float] = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except (OSError, ValueError):
+                merged = {}
+        merged.update(_WALLCLOCK)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture()
+def bench_json(request):
+    """Write a benchmark's structured metrics to results/BENCH_<name>.json.
+
+    Benchmarks push whatever numbers define their perf contract
+    (plans/sec, hit rates, speedups); each file is overwritten per run
+    so the checked-in trajectory always reflects the latest code.
+    """
+
+    def _write(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        record = {"benchmark": request.node.nodeid, "full_protocol": FULL, **payload}
+        with open(RESULTS_DIR / f"BENCH_{name}.json", "w") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    return _write
 
 
 @pytest.fixture()

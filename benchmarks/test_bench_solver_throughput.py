@@ -1,0 +1,336 @@
+"""Solver-throughput benchmark: plans/sec before vs. after the
+vectorized-kernel + plan-cache + persistent-service overhaul.
+
+The *reference* path is a faithful re-implementation of the pre-PR
+solver loop — per-trial planning of every micro-batch from scratch
+with the scalar ``CostModel`` evaluated per (group, sequence) step —
+kept here so the speedup stays measurable after the optimized code
+replaced it in-tree (both paths produce bit-identical plans, which
+this benchmark asserts).
+
+Contract (the PR's acceptance bar, on a 4-trial ~8-micro-batch
+workload):
+
+* cold (empty plan cache): >= 1.5x reference plans/sec;
+* warm (recurring batches): >= 3x reference plans/sec;
+* predicted iteration times bit-for-bit equal to the reference.
+
+Results land in ``results/BENCH_solver.json`` for trajectory tracking.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.cluster.topology import standard_cluster
+from repro.core.blaster import blast, min_microbatch_count
+from repro.core.planner import PlanInfeasibleError, PlannerConfig
+from repro.core.planner_greedy import candidate_layouts
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.core.types import GroupAssignment, MicroBatchPlan, SequenceBatch
+from repro.cost.profiler import fit_cost_model
+from repro.experiments.reporting import format_table
+from repro.model.config import GPT_7B
+
+NUM_TRIALS = 4
+NUM_BATCHES = 8 if FULL else 4
+TARGET_MICROBATCHES = 8
+
+
+def _workload(model, dense: bool):
+    """Batches sized for ~8 micro-batches; 256-quantized lengths (a
+    packed corpus), so shapes recur across trials within one solve."""
+    rng = random.Random(3)
+    top = 2_500 if dense else 16_000
+    target = (TARGET_MICROBATCHES - 0.5) * model.cluster_token_capacity()
+    batches = []
+    for __ in range(NUM_BATCHES):
+        lengths: list[int] = []
+        while sum(lengths) < target:
+            lengths.append(max(1, rng.randint(256, top) // 256) * 256)
+        batches.append(tuple(lengths))
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# Pre-PR reference: scalar LPT greedy, per-trial loop, no reuse.
+# ---------------------------------------------------------------------------
+
+
+def _reference_assign_lpt(lengths, degrees, model):
+    group_lengths = [[] for __ in degrees]
+    group_tokens = [0.0] * len(degrees)
+    activation_budget = model.memory_budget - model.coeffs.model_state_bytes
+    caps = [activation_budget / model.coeffs.memory_per_token * d for d in degrees]
+    for s in sorted(lengths, reverse=True):
+        best_index = None
+        best_time = None
+        for i, d in enumerate(degrees):
+            if group_tokens[i] + s > caps[i]:
+                continue
+            t = model.time_with_overheads(group_lengths[i] + [s], d)
+            if best_time is None or t < best_time:
+                best_time = t
+                best_index = i
+        if best_index is None:
+            return None
+        group_lengths[best_index].append(s)
+        group_tokens[best_index] += s
+    makespan = max(
+        model.time_with_overheads(gl, d)
+        for gl, d in zip(group_lengths, degrees)
+        if gl
+    )
+    return group_lengths, makespan
+
+
+def _reference_plan_microbatch(lengths, model):
+    lengths = tuple(int(s) for s in lengths)
+    total = sum(lengths)
+    if total > model.cluster_token_capacity():
+        raise PlanInfeasibleError("micro-batch exceeds cluster capacity")
+    best = None
+    for layout in candidate_layouts(model, max(lengths)):
+        assigned = _reference_assign_lpt(lengths, layout, model)
+        if assigned is None:
+            continue
+        group_lengths, makespan = assigned
+        if best is not None and makespan >= best[1]:
+            continue
+        assignments = []
+        offset = 0
+        order = sorted(range(len(layout)), key=lambda i: (-layout[i], i))
+        for i in order:
+            if not group_lengths[i]:
+                continue
+            degree = layout[i]
+            ranks = tuple(range(offset, offset + degree))
+            offset += degree
+            assignments.append(
+                GroupAssignment(
+                    degree=degree,
+                    device_ranks=ranks,
+                    lengths=tuple(sorted(group_lengths[i], reverse=True)),
+                )
+            )
+        best = (MicroBatchPlan(groups=tuple(assignments)), makespan)
+    if best is None:
+        raise PlanInfeasibleError("no layout could host the micro-batch")
+    return best
+
+
+def _reference_solve(batch, model, num_trials=NUM_TRIALS):
+    """The pre-PR Alg. 1 loop: every trial plans every micro-batch."""
+    batch = SequenceBatch(lengths=tuple(batch))
+    m_min = min_microbatch_count(
+        batch.total_tokens, model.cluster_token_capacity()
+    )
+    trials = [
+        m for m in range(m_min, m_min + num_trials) if m <= len(batch.lengths)
+    ] or [len(batch.lengths)]
+    best = None
+    for m in trials:
+        try:
+            microbatches = blast(batch, m)
+        except ValueError:
+            continue
+        total = 0.0
+        plans = []
+        try:
+            for mb in microbatches:
+                plan, predicted = _reference_plan_microbatch(mb.lengths, model)
+                plans.append(plan)
+                total += predicted
+        except PlanInfeasibleError:
+            continue
+        if best is None or total < best[0]:
+            best = (total, plans)
+    assert best is not None
+    return best
+
+
+def _throughput(plans_produced: int, seconds: float) -> float:
+    return plans_produced / max(seconds, 1e-9)
+
+
+def test_solver_throughput(emit, bench_json):
+    model = fit_cost_model(GPT_7B.with_max_context(64 * 1024), standard_cluster(8))
+    batches = _workload(model, dense=True)
+
+    # Reference: pre-PR scalar greedy, no cache, no reuse.
+    start = time.perf_counter()
+    reference = [_reference_solve(batch, model) for batch in batches]
+    ref_seconds = time.perf_counter() - start
+    ref_plans = sum(len(plans) for __, plans in reference)
+
+    # Optimized, cold: fresh solver, empty cache.
+    solver = FlexSPSolver(
+        model, SolverConfig(num_trials=NUM_TRIALS, backend="greedy")
+    )
+    start = time.perf_counter()
+    cold = [solver.solve(batch) for batch in batches]
+    cold_seconds = time.perf_counter() - start
+    cold_plans = sum(p.num_microbatches for p in cold)
+
+    # Optimized, warm: recurring batches hit the cross-iteration cache.
+    start = time.perf_counter()
+    warm = [solver.solve(batch) for batch in batches]
+    warm_seconds = time.perf_counter() - start
+
+    # Identical outputs: the fast paths must reproduce the pre-PR
+    # plans and predicted iteration times bit-for-bit.
+    for (ref_total, ref_plans_list), cold_plan, warm_plan in zip(
+        reference, cold, warm
+    ):
+        assert cold_plan.predicted_time == ref_total
+        assert warm_plan.predicted_time == ref_total
+        assert tuple(ref_plans_list) == cold_plan.microbatches
+        assert warm_plan.microbatches == cold_plan.microbatches
+
+    ref_rate = _throughput(ref_plans, ref_seconds)
+    cold_rate = _throughput(cold_plans, cold_seconds)
+    warm_rate = _throughput(cold_plans, warm_seconds)
+    cold_speedup = cold_rate / ref_rate
+    warm_speedup = warm_rate / ref_rate
+    # "Reuse" counts both cross-solve cache hits and intra-solve
+    # duplicate-shape dedup — every micro-batch that skipped a planner
+    # call (SolveStats.hit_rate semantics).
+    cold_hits = sum(p.stats.cache_hits + p.stats.dedup_hits for p in cold)
+    cold_lookups = sum(p.stats.microbatches for p in cold)
+    warm_hits = sum(p.stats.cache_hits + p.stats.dedup_hits for p in warm)
+    warm_lookups = sum(p.stats.microbatches for p in warm)
+
+    rows = [
+        ("reference (pre-PR scalar)", f"{ref_rate:.1f}", "-", "-"),
+        (
+            "optimized cold",
+            f"{cold_rate:.1f}",
+            f"{cold_speedup:.2f}x",
+            f"{cold_hits / cold_lookups:.0%}",
+        ),
+        (
+            "optimized warm",
+            f"{warm_rate:.1f}",
+            f"{warm_speedup:.2f}x",
+            f"{warm_hits / warm_lookups:.0%}",
+        ),
+    ]
+    emit(
+        "Solver throughput (greedy backend, plans/sec; "
+        f"{NUM_BATCHES} batches x {NUM_TRIALS} trials, "
+        f"~{TARGET_MICROBATCHES} micro-batches/solve)\n"
+        + format_table(
+            ["path", "plans/sec", "speedup", "reuse rate"], rows
+        )
+    )
+    bench_json(
+        "solver",
+        {
+            "reference_plans_per_sec": round(ref_rate, 2),
+            "cold_plans_per_sec": round(cold_rate, 2),
+            "warm_plans_per_sec": round(warm_rate, 2),
+            "cold_speedup": round(cold_speedup, 3),
+            "warm_speedup": round(warm_speedup, 3),
+            "cold_reuse_rate": round(cold_hits / cold_lookups, 4),
+            "warm_reuse_rate": round(warm_hits / warm_lookups, 4),
+        },
+    )
+
+    assert cold_speedup >= 1.5, f"cold speedup {cold_speedup:.2f}x < 1.5x"
+    assert warm_speedup >= 3.0, f"warm speedup {warm_speedup:.2f}x < 3x"
+    assert warm_hits == warm_lookups  # fully cached second pass
+
+
+def test_milp_cache_skips_solves(emit, bench_json):
+    """MILP backend: a warm cache skips the HiGHS solves entirely and
+    reproduces the cold plans exactly."""
+    model = fit_cost_model(GPT_7B.with_max_context(64 * 1024), standard_cluster(8))
+    batches = _workload(model, dense=False)
+    planner = PlannerConfig(time_limit=10.0, mip_rel_gap=0.05)
+
+    uncached = FlexSPSolver(
+        model,
+        SolverConfig(num_trials=NUM_TRIALS, planner=planner, plan_cache=False),
+    )
+    start = time.perf_counter()
+    baseline = [uncached.solve(batch) for batch in batches]
+    base_seconds = time.perf_counter() - start
+
+    solver = FlexSPSolver(
+        model, SolverConfig(num_trials=NUM_TRIALS, planner=planner)
+    )
+    start = time.perf_counter()
+    cold = [solver.solve(batch) for batch in batches]
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = [solver.solve(batch) for batch in batches]
+    warm_seconds = time.perf_counter() - start
+
+    for base_plan, cold_plan, warm_plan in zip(baseline, cold, warm):
+        assert cold_plan.predicted_time == base_plan.predicted_time
+        assert warm_plan.predicted_time == base_plan.predicted_time
+        assert cold_plan.microbatches == base_plan.microbatches
+        assert warm_plan.microbatches == cold_plan.microbatches
+
+    warm_speedup = base_seconds / max(warm_seconds, 1e-9)
+    planner_calls_cold = sum(p.stats.planner_calls for p in cold)
+    planner_calls_warm = sum(p.stats.planner_calls for p in warm)
+    emit(
+        "MILP plan-cache effect (seconds for "
+        f"{NUM_BATCHES} batches)\n"
+        + format_table(
+            ["path", "seconds", "planner calls"],
+            [
+                (
+                    "no cache",
+                    f"{base_seconds:.2f}",
+                    f"{sum(p.stats.planner_calls for p in baseline)}",
+                ),
+                ("cold cache", f"{cold_seconds:.2f}", f"{planner_calls_cold}"),
+                ("warm cache", f"{warm_seconds:.3f}", f"{planner_calls_warm}"),
+            ],
+        )
+    )
+    bench_json(
+        "solver_milp",
+        {
+            "uncached_seconds": round(base_seconds, 3),
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup_vs_uncached": round(warm_speedup, 2),
+        },
+    )
+    assert planner_calls_warm == 0
+    assert warm_speedup >= 3.0
+
+
+@pytest.mark.skipif(FULL, reason="service timing covered by reduced run")
+def test_persistent_service_reuses_pool(emit):
+    """The parallel path must keep its worker pool across solves and
+    match the serial path's plans exactly."""
+    model = fit_cost_model(GPT_7B.with_max_context(64 * 1024), standard_cluster(8))
+    batches = _workload(model, dense=True)[:2]
+    serial = FlexSPSolver(
+        model, SolverConfig(num_trials=NUM_TRIALS, backend="greedy")
+    )
+    with FlexSPSolver(
+        model,
+        SolverConfig(num_trials=NUM_TRIALS, backend="greedy", workers=2),
+    ) as parallel:
+        a = serial.solve(batches[0])
+        b = parallel.solve(batches[0])  # cold: spawns the pool
+        assert a.predicted_time == b.predicted_time
+        assert a.microbatches == b.microbatches
+        assert parallel._service is not None
+        first_pool = parallel._service._pool
+        assert first_pool is not None
+        a = serial.solve(batches[1])
+        b = parallel.solve(batches[1])  # cold again: must reuse the pool
+        assert a.predicted_time == b.predicted_time
+        assert a.microbatches == b.microbatches
+        assert parallel._service._pool is first_pool
+    emit("Persistent service: parallel == serial plans; pool reused across solves")

@@ -1,0 +1,62 @@
+"""Command-line entry point for the perf-tracking benchmarks.
+
+``python -m repro.bench`` (or ``make bench-solver``) runs the
+solver-throughput benchmark and leaves machine-readable results in
+``benchmarks/results/BENCH_solver.json`` (plus per-test wall-clocks in
+``BENCH_wallclock.json``), so successive PRs can track the planning
+throughput trajectory without parsing pytest output.
+
+Usage::
+
+    python -m repro.bench             # solver-throughput suite
+    python -m repro.bench all         # every benchmark
+    python -m repro.bench fig8        # any substring of a benchmark file
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+
+def _benchmarks_dir() -> pathlib.Path:
+    """Locate ``benchmarks/`` next to the source tree.
+
+    The repo layout is ``<root>/src/repro/bench.py`` with benchmarks at
+    ``<root>/benchmarks``; fall back to the working directory for
+    installed-package runs driven from a checkout.
+    """
+    here = pathlib.Path(__file__).resolve()
+    for base in (here.parents[2], pathlib.Path.cwd()):
+        candidate = base / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    raise SystemExit(
+        "cannot locate the benchmarks/ directory; run from the repo root"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import pytest
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    selector = argv[0] if argv else "solver_throughput"
+    bench_dir = _benchmarks_dir()
+    if selector == "all":
+        targets = [str(bench_dir)]
+    else:
+        matches = sorted(bench_dir.glob(f"test_bench_*{selector}*.py"))
+        if not matches:
+            options = ", ".join(
+                p.stem.replace("test_bench_", "")
+                for p in sorted(bench_dir.glob("test_bench_*.py"))
+            )
+            raise SystemExit(
+                f"no benchmark matches {selector!r}; options: all, {options}"
+            )
+        targets = [str(p) for p in matches]
+    return pytest.main(["-q", *targets, *argv[1:]])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from collections.abc import Sequence as SequenceABC
 
 import numpy as np
 
+from repro.core._dp import solve_monotone_layer
 from repro.core.types import SequenceBatch
 
 #: The paper's default number of micro-batch-count trials M'.
@@ -63,22 +64,36 @@ def balanced_cut_points(lengths: SequenceABC[int], num_chunks: int) -> list[int]
             f"cannot split {k_total} sequences into {num_chunks} non-empty "
             "micro-batches"
         )
+    # Trivial splits need no DP: one chunk takes everything; as many
+    # chunks as sequences forces singleton chunks.
+    if num_chunks == 1:
+        return [k_total]
+    if num_chunks == k_total:
+        return list(range(1, k_total + 1))
     arr = np.asarray(lengths, dtype=np.int64)
     prefix = np.concatenate(([0], np.cumsum(arr)))
 
+    # Each DP layer has monotone leftmost argmins: the chunk sum
+    # ``prefix[k] - prefix[j]`` shifts by a positive constant as k
+    # grows (lengths are positive) while DP[j][i-1] is nondecreasing
+    # in j, so the f/segment crossing point only moves right — the
+    # shared level-batched divide-and-conquer argmin applies.
     inf = np.iinfo(np.int64).max // 4
     dp = np.full(k_total + 1, inf, dtype=np.int64)
     dp[0] = 0
     choice = np.zeros((k_total + 1, num_chunks + 1), dtype=np.int64)
     for i in range(1, num_chunks + 1):
         new_dp = np.full(k_total + 1, inf, dtype=np.int64)
-        for k in range(i, k_total + 1):
-            j = np.arange(i - 1, k)
-            seg = prefix[k] - prefix[j]
-            candidates = np.maximum(dp[j], seg)
-            best = int(np.argmin(candidates))
-            new_dp[k] = candidates[best]
-            choice[k][i] = j[best]
+
+        def flat_cost(k, lens, flat_j):
+            seg = np.repeat(prefix[k], lens) - prefix[flat_j]
+            return np.maximum(dp[flat_j], seg)
+
+        def assign(k, best, opt):
+            new_dp[k] = best
+            choice[k, i] = opt
+
+        solve_monotone_layer(i, k_total, i - 1, k_total - 1, flat_cost, assign)
         dp = new_dp
 
     cuts: list[int] = []

@@ -1,0 +1,188 @@
+"""Cross-trial and cross-iteration micro-batch plan memoisation.
+
+The solver loop (Alg. 1) re-solves near-identical subproblems
+constantly: within one ``solve()``, adjacent micro-batch-count trials
+blast the *same sorted batch* into contiguous segments, so segments
+recur verbatim across trials (and within a trial whenever the batch
+contains runs of equal lengths); across training iterations, corpora
+with quantised or recurring length mixes reproduce whole micro-batch
+shapes.  Every recurrence would otherwise pay a full MILP solve.
+
+Cache keys and the bucket signature (S4.1.3): the planner is a pure
+function of the micro-batch's *length multiset* plus the cost model
+and planner knobs — bucketing (Eqs. 15-16) runs over the sorted unique
+lengths, so equal multisets yield the same (bucket-upper, count)
+signature, the same MILP instance, and the same plan.  The canonical
+key is therefore the sorted length tuple together with the cost-model
+and planner-config signatures; it subsumes the coarser bucket-upper
+signature while remaining exact (two batches with equal bucket
+signatures but different members must *not* share a plan, since plans
+carry the actual lengths).
+
+Infeasibility is cached too: a micro-batch proven unplannable stays
+unplannable for the same model and knobs, so repeat trials skip the
+doomed solve.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence as SequenceABC
+
+from repro.core.planner import PlannerConfig
+from repro.core.types import MicroBatchPlan, SolveStats
+from repro.cost.model import CostModel
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "INFEASIBLE",
+    "CacheContext",
+    "PlanCache",
+    "SolveStats",  # re-exported from types for convenience
+    "cache_context",
+    "canonical_shape",
+    "model_signature",
+    "plan_key",
+]
+
+#: Default maximum number of memoised micro-batch plans.
+DEFAULT_CAPACITY = 4096
+
+#: Sentinel cached for micro-batches proven infeasible.
+INFEASIBLE = "infeasible"
+
+
+class CacheContext:
+    """Interned (model, planner-config, backend) identity with a
+    precomputed hash.
+
+    Plan-cache keys embed deeply nested frozen dataclasses (cost
+    coefficients, cluster, network specs) whose ``__hash__`` walks
+    every field on each dict operation; a solver performs thousands of
+    lookups per solve, so the context part of the key is wrapped once
+    and its hash cached.  Dict lookups against the same context object
+    short-circuit on identity.
+    """
+
+    __slots__ = ("signature", "_hash")
+
+    def __init__(self, signature: tuple) -> None:
+        self.signature = signature
+        self._hash = hash(signature)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, CacheContext) and self.signature == other.signature
+        )
+
+
+def cache_context(
+    model: CostModel, planner_config: PlannerConfig, backend: str
+) -> CacheContext:
+    """Build the interned context half of a plan-cache key."""
+    return CacheContext((model_signature(model), planner_config, backend))
+
+
+def model_signature(model: CostModel) -> tuple:
+    """Hashable identity of a cost model for cache keying.
+
+    Coefficients, cluster shape, and the communication flavour fully
+    determine every planner decision; the mutable per-instance caches
+    are deliberately excluded.
+    """
+    return (model.coeffs, model.cluster, model.comm_model)
+
+
+def canonical_shape(lengths: SequenceABC[int]) -> tuple[int, ...]:
+    """The canonical (sorted) form of a micro-batch's length multiset.
+
+    Both planner backends are order-insensitive, so this is the exact
+    equivalence class a cached plan is valid for.  Every key producer
+    — :func:`plan_key` and the solver's hot path — must go through
+    this one function.
+    """
+    return tuple(sorted(int(s) for s in lengths))
+
+
+def plan_key(
+    lengths: SequenceABC[int],
+    model: CostModel,
+    planner_config: PlannerConfig,
+    backend: str,
+    context: CacheContext | None = None,
+) -> tuple:
+    """Canonical cache key of one micro-batch planning problem.
+
+    Callers issuing many lookups should pass a prebuilt ``context``
+    (see :func:`cache_context`) so the model/config half of the key is
+    hashed once instead of per lookup.
+    """
+    if context is None:
+        context = cache_context(model, planner_config, backend)
+    return (canonical_shape(lengths), context)
+
+
+class PlanCache:
+    """LRU memo of micro-batch plans keyed by :func:`plan_key`.
+
+    Values are ``(plan, predicted_seconds)`` pairs, or
+    :data:`INFEASIBLE` for shapes proven unplannable.  Eviction is
+    least-recently-used.  Operations take an internal lock, so one
+    cache may serve concurrent ``solve()`` calls (the pipeline's
+    prefetching thread pool shares a solver); two threads planning the
+    same uncached shape at once is benign — both store the same plan.
+
+    Args:
+        capacity: Maximum retained entries (None = unbounded).
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: tuple):
+        """The cached entry for ``key`` — ``(plan, predicted)``,
+        :data:`INFEASIBLE`, or None on a miss (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def store(
+        self, key: tuple, plan: MicroBatchPlan | None, predicted: float | None
+    ) -> None:
+        """Memoise a planning outcome (``plan=None`` marks infeasible)."""
+        with self._lock:
+            if plan is None:
+                self._entries[key] = INFEASIBLE
+            else:
+                self._entries[key] = (plan, predicted)
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

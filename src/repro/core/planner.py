@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 import os
 import sys
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,7 +29,17 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.core.bucketing import DEFAULT_NUM_BUCKETS, Bucket, bucket_sequences
 from repro.core.types import GroupAssignment, MicroBatchPlan
-from repro.cost.model import CostModel
+from repro.cost.model import CostModel, cost_table
+
+
+#: Re-entrancy/ref count of :func:`_quiet_stdout` with the saved
+#: descriptors of the *outermost* entry.  Descriptors 1/2 are
+#: process-wide, so the silencer refcounts across nested *and
+#: concurrent* uses (the pipeline solves from a thread pool): the
+#: first entrant redirects, the last exiter restores.
+_QUIET_LOCK = threading.Lock()
+_QUIET_DEPTH = 0
+_QUIET_SAVED: list[tuple[int, int]] = []
 
 
 @contextlib.contextmanager
@@ -36,24 +47,64 @@ def _quiet_stdout():
     """Silence HiGHS's unconditional C++ diagnostics during a solve.
 
     HiGHS prints branch-and-bound internals straight to file descriptor
-    1, bypassing ``sys.stdout``; the descriptor itself is redirected to
-    the null device for the duration.  Falls back to a no-op when
-    stdout has no descriptor (e.g. fully captured streams).
+    1 and warnings (e.g. time-limit notices) to descriptor 2, bypassing
+    ``sys.stdout``/``sys.stderr``; both descriptors are redirected to
+    the null device for the duration.  Re-entrant and thread-safe:
+    nested or concurrent entries share one redirection, and only the
+    final exit restores the original descriptors.  Streams without a
+    usable descriptor are skipped individually.
     """
+    global _QUIET_DEPTH
+    with _QUIET_LOCK:
+        _QUIET_DEPTH += 1
+        if _QUIET_DEPTH == 1:
+            _redirect_to_devnull()
     try:
-        fd = sys.stdout.fileno()
-    except (OSError, ValueError, AttributeError):
-        yield
-        return
-    sys.stdout.flush()
-    saved = os.dup(fd)
-    try:
-        with open(os.devnull, "w") as devnull:
-            os.dup2(devnull.fileno(), fd)
         yield
     finally:
-        os.dup2(saved, fd)
-        os.close(saved)
+        with _QUIET_LOCK:
+            _QUIET_DEPTH -= 1
+            if _QUIET_DEPTH == 0:
+                for fd, saved in _QUIET_SAVED:
+                    os.dup2(saved, fd)
+                    os.close(saved)
+                _QUIET_SAVED.clear()
+
+
+def _redirect_to_devnull() -> None:
+    """Point descriptors 1/2 at the null device, stashing duplicates
+    in ``_QUIET_SAVED``.  On any failure (e.g. fd exhaustion) the
+    partial redirect is rolled back and the solve proceeds unsilenced
+    — never raising, never leaking descriptors or depth state.
+    """
+    for stream in (sys.stdout, sys.stderr):
+        try:
+            stream.flush()
+        except (OSError, ValueError, AttributeError):
+            pass
+    saved: list[tuple[int, int]] = []
+    try:
+        # HiGHS writes through the C runtime's stdout/stderr, i.e. the
+        # process-level descriptors — not the sys.std* objects (which
+        # pytest may have swapped for pipe-less buffers).
+        for fd in (1, 2):
+            try:
+                saved.append((fd, os.dup(fd)))
+            except OSError:
+                continue
+        if saved:
+            with open(os.devnull, "w") as devnull:
+                for fd, __ in saved:
+                    os.dup2(devnull.fileno(), fd)
+    except OSError:
+        for fd, dup in saved:
+            try:
+                os.dup2(dup, fd)
+                os.close(dup)
+            except OSError:
+                pass
+        return
+    _QUIET_SAVED.extend(saved)
 
 
 class PlanInfeasibleError(Exception):
@@ -175,6 +226,14 @@ def _build_and_solve(
 
     Variable layout: ``x = [m_0..m_{P-1} | A_{0,0}..A_{Q-1,P-1} | C]``
     with A in bucket-major order.
+
+    The constraint matrix is assembled from whole-row numpy blocks:
+    the Eq. 18 time coefficients come from the vectorized
+    :class:`repro.cost.model.CostTable` (one elementwise kernel per
+    *distinct* degree instead of a Python loop per (bucket, group)
+    pair).  Every coefficient value and the row ordering are identical
+    to the original scalar assembly, so HiGHS receives a bit-for-bit
+    equal problem.
     """
     num_groups = len(groups)
     num_buckets = len(buckets)
@@ -184,21 +243,36 @@ def _build_and_solve(
     def a_index(q: int, p: int) -> int:
         return num_groups + q * num_groups + p
 
+    table = cost_table(model)
     coeffs = model.coeffs
-    uppers = [b.upper for b in buckets]
-    counts = [b.count for b in buckets]
+    uppers = np.asarray([b.upper for b in buckets], dtype=np.float64)
+    counts = np.asarray([b.count for b in buckets], dtype=np.float64)
+    degree_list = [g.degree for g in groups]
+    degree_arr = np.asarray(degree_list, dtype=np.float64)
+    degree_idx = np.asarray(
+        [table.degree_index[d] for d in degree_list], dtype=np.intp
+    )
+    #: Eq. 18 compute-branch coefficients per distinct degree; the
+    #: per-token communication seconds and branch betas come straight
+    #: from the table's precomputed per-degree arrays.
+    w_by_degree = {
+        d: table.milp_time_coefficients(uppers, d) for d in sorted(set(degree_list))
+    }
+    cpt = table.comm_per_token[degree_idx]
+    comm_beta = table.comm_beta[degree_idx]
 
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    lower: list[float] = []
-    upper: list[float] = []
-    row = 0
+    #: A-variable columns of group p are ``a_cols + p``.
+    a_cols = num_groups + np.arange(num_buckets, dtype=np.intp) * num_groups
+    all_p = np.arange(num_groups, dtype=np.intp)
 
-    def add(r: int, col: int, val: float) -> None:
-        rows.append(r)
-        cols.append(col)
-        vals.append(val)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+
+    def add_block(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        rows_parts.append(np.asarray(rows, dtype=np.intp))
+        cols_parts.append(np.asarray(cols, dtype=np.intp))
+        vals_parts.append(np.asarray(vals, dtype=np.float64))
 
     # (18) Time: the per-group time including the exposed ZeRO-3
     # gather is max of two linear branches (see CostModel
@@ -206,86 +280,86 @@ def _build_and_solve(
     # "branch <= C" constraints.
     gather = coeffs.zero_gather_seconds
     exposed_gather = (1.0 - coeffs.zero_overlap) * gather
-    for p, g in enumerate(groups):
-        d = g.degree
-        comm_per_token = model.comm_seconds_per_token(d)
-        beta = coeffs.beta1 + (coeffs.beta2 if d > 1 else 0.0)
-        # Branch 1: compute-bound — comp + comm + (1-ov)*gather <= C.
-        for q in range(num_buckets):
-            s = uppers[q]
-            w = (coeffs.alpha1 * s * s + coeffs.alpha2 * s) / d
-            w += comm_per_token * s
-            add(row, a_index(q, p), w)
-        add(row, p, beta + exposed_gather)
-        add(row, c_index, -1.0)
-        lower.append(-np.inf)
-        upper.append(0.0)
-        row += 1
+    rows_per_group = 2 if gather > 0 else 1
+    r1 = np.arange(num_groups, dtype=np.intp) * rows_per_group
+    a_col_matrix = a_cols[None, :] + all_p[:, None]  # (P, Q)
+    # Branch 1: compute-bound — comp + comm + (1-ov)*gather <= C.
+    w_matrix = np.stack([w_by_degree[d] for d in degree_list])  # (P, Q)
+    add_block(np.repeat(r1, num_buckets), a_col_matrix.ravel(), w_matrix.ravel())
+    beta1_vec = coeffs.beta1 + comm_beta
+    add_block(r1, all_p, beta1_vec + exposed_gather)
+    add_block(r1, np.full(num_groups, c_index), np.full(num_groups, -1.0))
+    time_rows = num_groups * rows_per_group
+    if gather > 0:
         # Branch 2: gather-bound — comm + gather <= C.
-        if gather > 0:
-            if d > 1:
-                for q in range(num_buckets):
-                    add(row, a_index(q, p), comm_per_token * uppers[q])
-                comm_beta = coeffs.beta2
-            else:
-                comm_beta = 0.0
-            add(row, p, comm_beta + gather)
-            add(row, c_index, -1.0)
-            lower.append(-np.inf)
-            upper.append(0.0)
-            row += 1
+        r2 = r1 + 1
+        communicating = degree_arr > 1
+        if np.any(communicating):
+            comm_matrix = cpt[communicating, None] * uppers[None, :]
+            add_block(
+                np.repeat(r2[communicating], num_buckets),
+                a_col_matrix[communicating].ravel(),
+                comm_matrix.ravel(),
+            )
+        add_block(r2, all_p, comm_beta + gather)
+        add_block(r2, np.full(num_groups, c_index), np.full(num_groups, -1.0))
 
     # (19)+(21) Memory and linking in one: sum_q s_q A_{q,p} <= cap_d m_p.
-    activation_budget = model.memory_budget - coeffs.model_state_bytes
-    if activation_budget <= 0:
+    if table.activation_budget <= 0:
         raise PlanInfeasibleError("model states alone exceed device memory")
-    for p, g in enumerate(groups):
-        cap = activation_budget / coeffs.memory_per_token * g.degree
-        for q in range(num_buckets):
-            add(row, a_index(q, p), float(uppers[q]))
-        add(row, p, -cap)
-        lower.append(-np.inf)
-        upper.append(0.0)
-        row += 1
+    caps = table.token_caps[degree_idx]
+    mem_rows = time_rows + all_p
+    add_block(
+        np.repeat(mem_rows, num_buckets),
+        a_col_matrix.ravel(),
+        np.broadcast_to(uppers, (num_groups, num_buckets)).ravel(),
+    )
+    add_block(mem_rows, all_p, -caps)
 
     # (20) Device budget: sum_p d_p m_p <= N.
-    for p, g in enumerate(groups):
-        add(row, p, float(g.degree))
-    lower.append(-np.inf)
-    upper.append(float(model.cluster.num_gpus))
-    row += 1
+    budget_row = time_rows + num_groups
+    add_block(np.full(num_groups, budget_row), all_p, degree_arr)
 
     # (22) Completeness: sum_p A_{q,p} = b_q.
-    for q in range(num_buckets):
-        for p in range(num_groups):
-            add(row, a_index(q, p), 1.0)
-        lower.append(float(counts[q]))
-        upper.append(float(counts[q]))
-        row += 1
+    comp_rows = budget_row + 1 + np.arange(num_buckets, dtype=np.intp)
+    add_block(
+        np.repeat(comp_rows, num_groups),
+        (a_cols[:, None] + all_p[None, :]).ravel(),
+        np.ones(num_buckets * num_groups),
+    )
 
     # Symmetry breaking: same-degree groups are interchangeable, so
     # order them by selection then by assigned token load.
     by_degree: dict[int, list[int]] = {}
     for p, g in enumerate(groups):
         by_degree.setdefault(g.degree, []).append(p)
+    row = budget_row + 1 + num_buckets
     for members in by_degree.values():
         for p_a, p_b in zip(members, members[1:]):
-            add(row, p_a, -1.0)
-            add(row, p_b, 1.0)
-            lower.append(-np.inf)
-            upper.append(0.0)
+            add_block([row, row], [p_a, p_b], [-1.0, 1.0])
             row += 1
-            for q in range(num_buckets):
-                add(row, a_index(q, p_a), -float(uppers[q]))
-                add(row, a_index(q, p_b), float(uppers[q]))
-            lower.append(-np.inf)
-            upper.append(0.0)
+            add_block(
+                np.full(2 * num_buckets, row),
+                np.concatenate((a_cols + p_a, a_cols + p_b)),
+                np.concatenate((-uppers, uppers)),
+            )
             row += 1
 
+    lower = np.full(row, -np.inf)
+    upper = np.zeros(row)
+    upper[budget_row] = float(model.cluster.num_gpus)
+    lower[comp_rows] = counts
+    upper[comp_rows] = counts
+
     matrix = sparse.csc_array(
-        (vals, (rows, cols)), shape=(row, num_vars), dtype=np.float64
+        (
+            np.concatenate(vals_parts),
+            (np.concatenate(rows_parts), np.concatenate(cols_parts)),
+        ),
+        shape=(row, num_vars),
+        dtype=np.float64,
     )
-    constraints = LinearConstraint(matrix, np.asarray(lower), np.asarray(upper))
+    constraints = LinearConstraint(matrix, lower, upper)
 
     objective = np.zeros(num_vars)
     objective[c_index] = 1.0
@@ -294,9 +368,7 @@ def _build_and_solve(
     var_lower = np.zeros(num_vars)
     var_upper = np.empty(num_vars)
     var_upper[:num_groups] = 1.0
-    for q in range(num_buckets):
-        for p in range(num_groups):
-            var_upper[a_index(q, p)] = counts[q]
+    var_upper[num_groups:c_index] = np.repeat(counts, num_groups)
     var_upper[c_index] = c_upper
 
     with _quiet_stdout():

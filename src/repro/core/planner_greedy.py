@@ -11,13 +11,24 @@ Layout family: for the minimal degree ``d_big`` that fits the longest
 sequence, try every fill degree ``f`` — the layout is one ``d_big``
 group plus ``(N - d_big) / f`` groups of degree ``f`` — as well as the
 uniform all-``f`` layouts for every feasible ``f``.
+
+The LPT inner loop is the solver's single hottest code path (it runs
+inside every MILP solve as the incumbent): it is implemented against
+the vectorized :class:`repro.cost.model.CostTable` with *incremental*
+per-group work/token sums, so each placement step is one elementwise
+numpy evaluation over the layout's groups instead of re-summing every
+group's assigned lengths.  The incremental sums accumulate in the
+same order as the scalar model's sequential ``sum``, so makespans are
+bit-identical to the original O(n^2) formulation.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.planner import PlanInfeasibleError, PlannerConfig
 from repro.core.types import GroupAssignment, MicroBatchPlan
-from repro.cost.model import CostModel
+from repro.cost.model import CostModel, cost_table
 
 
 def candidate_layouts(model: CostModel, longest: int) -> list[tuple[int, ...]]:
@@ -42,39 +53,83 @@ def candidate_layouts(model: CostModel, longest: int) -> list[tuple[int, ...]]:
     return sorted(layouts, reverse=True)
 
 
+#: Below this (sequences x groups) size the scalar incremental loop
+#: beats numpy's per-call overhead; both paths are bit-identical.
+_VECTOR_THRESHOLD = 192
+
+
 def _assign_lpt(
     lengths: tuple[int, ...], degrees: tuple[int, ...], model: CostModel
 ) -> tuple[list[list[int]], float] | None:
     """Longest-processing-time assignment onto a fixed layout.
 
     Returns per-group length lists and the makespan, or None when some
-    sequence fits no group.
+    sequence fits no group.  One numpy evaluation per placed sequence:
+    candidate finish times for *all* groups come from the cost table's
+    elementwise kernel over incrementally maintained work/token sums.
+    Tiny instances take a scalar incremental loop instead (same
+    arithmetic, no array overhead).
     """
+    table = cost_table(model)
+    if table.activation_budget <= 0:
+        return None
+    if len(lengths) * len(degrees) <= _VECTOR_THRESHOLD:
+        return _assign_lpt_scalar(lengths, degrees, table)
+    num_groups = len(degrees)
     group_lengths: list[list[int]] = [[] for __ in degrees]
-    group_tokens = [0.0] * len(degrees)
-    activation_budget = model.memory_budget - model.coeffs.model_state_bytes
-    caps = [activation_budget / model.coeffs.memory_per_token * d for d in degrees]
+    degree_idx = np.asarray([table.degree_index[d] for d in degrees], dtype=np.intp)
+    caps = table.token_caps[degree_idx]
+
+    # Incremental per-group state: sequential work/token sums match the
+    # scalar model's summation order bit-for-bit.
+    work = np.zeros(num_groups)
+    tokens = np.zeros(num_groups)
 
     for s in sorted(lengths, reverse=True):
+        term = table.alpha1 * float(s) * float(s) + table.alpha2 * float(s)
+        cand = table.group_times(work + term, tokens + s, degree_idx)
+        cand = np.where(tokens + s > caps, np.inf, cand)
+        best_index = int(np.argmin(cand))
+        if not np.isfinite(cand[best_index]):
+            return None
+        group_lengths[best_index].append(s)
+        work[best_index] += term
+        tokens[best_index] += s
+    finish = table.group_times(work, tokens, degree_idx)
+    makespan = float(np.max(finish[tokens > 0]))
+    return group_lengths, makespan
+
+
+def _assign_lpt_scalar(
+    lengths: tuple[int, ...], degrees: tuple[int, ...], table
+) -> tuple[list[list[int]], float] | None:
+    """Scalar twin of the vectorized LPT loop (small instances)."""
+    group_lengths: list[list[int]] = [[] for __ in degrees]
+    caps = [float(table.token_caps[table.degree_index[d]]) for d in degrees]
+    work = [0.0] * len(degrees)
+    tokens = [0.0] * len(degrees)
+    for s in sorted(lengths, reverse=True):
+        term = table.alpha1 * float(s) * float(s) + table.alpha2 * float(s)
         best_index = None
         best_time = None
         for i, d in enumerate(degrees):
-            if group_tokens[i] + s > caps[i]:
+            if tokens[i] + s > caps[i]:
                 continue
-            t = model.time_with_overheads(group_lengths[i] + [s], d)
+            t = table.group_time(work[i] + term, tokens[i] + s, d)
             if best_time is None or t < best_time:
                 best_time = t
                 best_index = i
         if best_index is None:
             return None
         group_lengths[best_index].append(s)
-        group_tokens[best_index] += s
+        work[best_index] += term
+        tokens[best_index] += s
     makespan = max(
-        model.time_with_overheads(gl, d)
-        for gl, d in zip(group_lengths, degrees)
-        if gl
+        table.group_time(work[i], tokens[i], d)
+        for i, d in enumerate(degrees)
+        if group_lengths[i]
     )
-    return group_lengths, makespan
+    return group_lengths, float(makespan)
 
 
 def plan_microbatch_greedy(

@@ -9,11 +9,17 @@ file-backed :class:`PlanStore` with the store's read-ahead contract.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 from typing import Any
 
-from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+from repro.core.types import (
+    GroupAssignment,
+    IterationPlan,
+    MicroBatchPlan,
+    SolveStats,
+)
 
 #: Format tag written into every serialized plan.
 FORMAT_VERSION = 1
@@ -21,24 +27,27 @@ FORMAT_VERSION = 1
 
 def plan_to_dict(plan: IterationPlan) -> dict[str, Any]:
     """Lossless JSON-ready representation of an iteration plan."""
-    return {
+    payload: dict[str, Any] = {
         "version": FORMAT_VERSION,
         "solver_name": plan.solver_name,
         "predicted_time": plan.predicted_time,
-        "microbatches": [
-            {
-                "groups": [
-                    {
-                        "degree": g.degree,
-                        "device_ranks": list(g.device_ranks),
-                        "lengths": list(g.lengths),
-                    }
-                    for g in mb.groups
-                ]
-            }
-            for mb in plan.microbatches
-        ],
     }
+    if plan.stats is not None:
+        payload["stats"] = dataclasses.asdict(plan.stats)
+    payload["microbatches"] = [
+        {
+            "groups": [
+                {
+                    "degree": g.degree,
+                    "device_ranks": list(g.device_ranks),
+                    "lengths": list(g.lengths),
+                }
+                for g in mb.groups
+            ]
+        }
+        for mb in plan.microbatches
+    ]
+    return payload
 
 
 def plan_from_dict(payload: dict[str, Any]) -> IterationPlan:
@@ -61,10 +70,12 @@ def plan_from_dict(payload: dict[str, Any]) -> IterationPlan:
             for g in mb["groups"]
         )
         microbatches.append(MicroBatchPlan(groups=groups))
+    stats = payload.get("stats")
     return IterationPlan(
         microbatches=tuple(microbatches),
         predicted_time=payload.get("predicted_time"),
         solver_name=payload.get("solver_name", "unknown"),
+        stats=SolveStats(**stats) if stats is not None else None,
     )
 
 

@@ -1,23 +1,58 @@
-"""FlexSP solver workflow (Alg. 1).
+"""FlexSP solver workflow (Alg. 1) and the persistent solving service.
 
 Given a global batch, sweep the micro-batch count from the minimum
 feasible ``M_min`` upward over ``M'`` trials; for each count, blast the
 batch, plan every micro-batch with the parallelism planner, and keep
-the plan whose *total* predicted time is lowest.  Optionally fan the
-trials out over a process pool, mirroring the paper's two-level
-multi-process solving.
+the plan whose *total* predicted time is lowest.
+
+Throughput architecture (the paper's two-level multi-process solving,
+S4.3, plus this repo's cross-trial reuse):
+
+* **Micro-batch granularity.** All trials' micro-batches are collected
+  first, deduplicated by canonical shape (sorted lengths — see
+  :mod:`repro.core.plan_cache`), and only the unique shapes are
+  planned.  Work is dispatched per micro-batch, not per trial, so one
+  slow trial cannot idle the other workers.
+* **Plan cache.** Unique shapes are first resolved against an LRU
+  :class:`~repro.core.plan_cache.PlanCache` that persists across
+  ``solve()`` calls; recurring shapes (across trials of one solve and
+  across iterations of a workload) skip the MILP entirely.  Hit/miss
+  counters are reported per solve via
+  :class:`~repro.core.types.SolveStats` on the returned
+  :class:`IterationPlan`.
+* **Persistent workers.** With ``workers > 1`` the
+  :class:`SolverService` keeps one ``ProcessPoolExecutor`` alive
+  across ``solve()`` calls; the cost model (and its vectorized
+  :class:`~repro.cost.model.CostTable`) is shipped once per worker via
+  the pool initializer instead of once per task.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from repro.core.blaster import DEFAULT_NUM_TRIALS, blast, min_microbatch_count
+from repro.core.plan_cache import (
+    DEFAULT_CAPACITY,
+    INFEASIBLE,
+    PlanCache,
+    cache_context,
+    canonical_shape,
+)
 from repro.core.planner import PlanInfeasibleError, PlannerConfig, plan_microbatch
 from repro.core.planner_greedy import plan_microbatch_greedy
-from repro.core.types import IterationPlan, MicroBatchPlan, SequenceBatch
-from repro.cost.model import CostModel
+from repro.core.types import (
+    IterationPlan,
+    MicroBatchPlan,
+    SequenceBatch,
+    SolveStats,
+)
+from repro.cost.model import CostModel, cost_table
 
 #: Registry of planner backends by name.
 _BACKENDS = {
@@ -37,12 +72,20 @@ class SolverConfig:
         planner: Per-micro-batch planner configuration.
         sort_sequences: Takeaway-2 sorting in the blaster; False gives
             the Fig. 7 "w/o Sort" ablation.
-        workers: Process-pool width for parallel trials (1 = serial).
+        workers: Process-pool width for parallel planning (1 = serial).
         capacity_safety: Fraction of the theoretical cluster token
             capacity assumed usable when computing ``M_min``.  The
             default of 1.0 relies on the trial loop to skip counts
             whose micro-batches turn out unplannable; lower it only to
             bias toward more gradient accumulation.
+        plan_cache: Memoise micro-batch plans across trials and
+            ``solve()`` calls.  Disabling restores the pre-cache
+            behaviour of planning every micro-batch from scratch (the
+            solver-throughput benchmark's reference path).
+        plan_cache_capacity: LRU capacity of the plan cache.
+        persistent_workers: Keep the worker pool alive across
+            ``solve()`` calls.  Disabling recreates (and tears down)
+            the pool every solve — the pre-service behaviour.
     """
 
     num_trials: int = DEFAULT_NUM_TRIALS
@@ -51,6 +94,9 @@ class SolverConfig:
     sort_sequences: bool = True
     workers: int = 1
     capacity_safety: float = 1.0
+    plan_cache: bool = True
+    plan_cache_capacity: int = DEFAULT_CAPACITY
+    persistent_workers: bool = True
 
     def __post_init__(self) -> None:
         if self.num_trials <= 0:
@@ -65,34 +111,146 @@ class SolverConfig:
             raise ValueError(
                 f"capacity_safety must be in (0, 1], got {self.capacity_safety}"
             )
+        if self.plan_cache_capacity <= 0:
+            raise ValueError(
+                f"plan_cache_capacity must be positive, got "
+                f"{self.plan_cache_capacity}"
+            )
 
 
-def _solve_one_trial(
-    batch: SequenceBatch,
-    num_microbatches: int,
-    model: CostModel,
-    config: SolverConfig,
-) -> tuple[float, list[MicroBatchPlan]] | None:
-    """Plan the whole batch at one micro-batch count; None if infeasible."""
-    planner = _BACKENDS[config.backend]
+# ---------------------------------------------------------------------------
+# Worker-side state of the persistent solving service.  The initializer
+# receives the cost model and planner knobs exactly once per worker
+# process; tasks then carry only the micro-batch shape.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: tuple[CostModel, PlannerConfig, str] | None = None
+
+
+def _service_initializer(
+    model: CostModel, planner_config: PlannerConfig, backend: str
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (model, planner_config, backend)
+    # Pre-build the vectorized cost table so every task reuses it.
+    cost_table(model)
+
+
+def _service_plan(
+    lengths: tuple[int, ...]
+) -> tuple[MicroBatchPlan, float] | None:
+    """Plan one micro-batch in a service worker; None if infeasible."""
+    assert _WORKER_STATE is not None, "service worker used before initialization"
+    model, planner_config, backend = _WORKER_STATE
     try:
-        microbatches = blast(batch, num_microbatches, sort=config.sort_sequences)
-    except ValueError:
+        return _BACKENDS[backend](lengths, model, planner_config)
+    except PlanInfeasibleError:
         return None
-    plans: list[MicroBatchPlan] = []
-    total = 0.0
-    for mb in microbatches:
-        try:
-            plan, predicted = planner(mb.lengths, model, config.planner)
-        except PlanInfeasibleError:
-            return None
-        plans.append(plan)
-        total += predicted
-    return total, plans
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """weakref.finalize target: non-blocking best-effort shutdown."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class SolverService:
+    """A persistent pool of planner workers for one (model, config).
+
+    The pool is created lazily on first use and survives across
+    ``solve()`` calls (and across batches of a workload), so process
+    spawn and model shipping are one-time costs.  Usable standalone as
+    a context manager::
+
+        with SolverService(model, config) as service:
+            outcomes = service.plan_shapes(shapes)
+
+    Args:
+        model: Fitted cost model shipped to each worker once.
+        config: Solver knobs (worker count, backend, planner).
+    """
+
+    def __init__(self, model: CostModel, config: SolverConfig) -> None:
+        self.model = model
+        self.config = config
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                # Ship a pristine copy: per-instance caches (bandwidths,
+                # cost tables) rebuild identically in the workers.
+                pristine = CostModel(
+                    coeffs=self.model.coeffs,
+                    cluster=self.model.cluster,
+                    comm_model=self.model.comm_model,
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    initializer=_service_initializer,
+                    initargs=(pristine, self.config.planner, self.config.backend),
+                )
+                # GC fallback for callers that never close(): shut the
+                # workers down when the service is collected, so
+                # fire-and-forget solvers don't accumulate live pools.
+                weakref.finalize(self, _shutdown_pool, self._pool)
+            return self._pool
+
+    def plan_shapes(
+        self, shapes: list[tuple[int, ...]]
+    ) -> list[tuple[MicroBatchPlan, float] | None]:
+        """Plan every shape, dispatching at micro-batch granularity.
+
+        A dead worker poisons a ``ProcessPoolExecutor`` permanently
+        (every later submit raises ``BrokenProcessPool``), and a
+        concurrent ``close()`` can shut the pool down mid-submit
+        (``RuntimeError: cannot schedule new futures``) — in either
+        case the pool is rebuilt and the batch retried once before the
+        error propagates.  The ``RuntimeError`` guard covers only the
+        submission phase: an exception raised *inside* a worker's
+        planner is genuine and propagates without a wasteful retry.
+        """
+        for attempt in (0, 1):
+            try:
+                futures = self._submit(shapes)
+            except (BrokenProcessPool, RuntimeError):
+                if attempt:
+                    raise
+                self.close()
+                continue
+            try:
+                return [f.result() for f in futures]
+            except BrokenProcessPool:
+                if attempt:
+                    raise
+                self.close()
+        raise AssertionError("unreachable: both service attempts returned")
+
+    def _submit(self, shapes: list[tuple[int, ...]]) -> list:
+        pool = self._ensure_pool()
+        return [pool.submit(_service_plan, shape) for shape in shapes]
+
+    def close(self) -> None:
+        """Shut the pool down (the next use restarts it lazily)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class FlexSPSolver:
     """Produces iteration plans for global batches (Fig. 3's solver box).
+
+    The solver owns a cross-call plan cache and (when ``workers > 1``)
+    a persistent :class:`SolverService`; both live as long as the
+    solver object, so a long-running deployment amortises process
+    startup and re-planning across every batch it serves.
 
     Args:
         model: Fitted cost model for the target (model, cluster).
@@ -102,6 +260,19 @@ class FlexSPSolver:
     def __init__(self, model: CostModel, config: SolverConfig | None = None) -> None:
         self.model = model
         self.config = config or SolverConfig()
+        self.cache: PlanCache | None = (
+            PlanCache(self.config.plan_cache_capacity)
+            if self.config.plan_cache
+            else None
+        )
+        self._context = cache_context(
+            model, self.config.planner, self.config.backend
+        )
+        self._service: SolverService | None = None
+        # solve() may be called from several threads at once (the
+        # pipeline prefetches with a thread pool); the cache locks
+        # internally, but lazy service creation needs this guard.
+        self._service_lock = threading.Lock()
 
     def minimum_microbatches(self, batch: SequenceBatch) -> int:
         """``M_min`` for this batch on this cluster (takeaway 1)."""
@@ -115,6 +286,7 @@ class FlexSPSolver:
             PlanInfeasibleError: No trial produced a feasible plan —
                 e.g. a sequence larger than the whole cluster's memory.
         """
+        started = time.perf_counter()
         if not isinstance(batch, SequenceBatch):
             batch = SequenceBatch(lengths=tuple(batch))
         m_min = self.minimum_microbatches(batch)
@@ -126,39 +298,150 @@ class FlexSPSolver:
         if not trials:
             trials = [len(batch.lengths)]
 
-        if self.config.workers > 1:
-            results = self._solve_parallel(batch, trials)
-        else:
-            results = [
-                _solve_one_trial(batch, m, self.model, self.config) for m in trials
-            ]
+        # Blast every trial up front, then resolve the union of
+        # micro-batch shapes: cache first, planner for the rest.
+        trial_shapes: list[list[tuple[int, ...]] | None] = []
+        for m in trials:
+            try:
+                microbatches = blast(batch, m, sort=self.config.sort_sequences)
+            except ValueError:
+                trial_shapes.append(None)
+                continue
+            trial_shapes.append([mb.lengths for mb in microbatches])
+
+        # Resolve shapes.  With the cache enabled, shapes are
+        # canonicalized and deduplicated (within the solve and against
+        # prior solves); with it disabled, every occurrence is planned
+        # from scratch — the faithful pre-cache reference path.  Each
+        # trial keeps a slot per micro-batch: a cache key when caching,
+        # else an index into the planning list.
+        resolved: dict[tuple, object] = {}
+        to_plan: list[tuple[int, ...]] = []
+        trial_slots: list[list[object] | None] = []
+        cache_hits = 0
+        dedup_hits = 0
+        total_microbatches = 0
+        for shapes in trial_shapes:
+            if shapes is None:
+                trial_slots.append(None)
+                continue
+            slots: list[object] = []
+            for shape in shapes:
+                total_microbatches += 1
+                if self.cache is None:
+                    slots.append(len(to_plan))
+                    to_plan.append(shape)
+                    continue
+                key = (canonical_shape(shape), self._context)
+                slots.append(key)
+                if key in resolved:
+                    dedup_hits += 1
+                    continue
+                entry = self.cache.lookup(key)
+                if entry is not None:
+                    resolved[key] = entry
+                    cache_hits += 1
+                    continue
+                resolved[key] = None  # pending
+                to_plan.append(key[0])  # canonical sorted lengths
+            trial_slots.append(slots)
+
+        outcomes = self._plan_missing(to_plan)
+        entries = [
+            INFEASIBLE if outcome is None else outcome for outcome in outcomes
+        ]
+        if self.cache is not None:
+            for shape, outcome, entry in zip(to_plan, outcomes, entries):
+                key = (shape, self._context)
+                resolved[key] = entry
+                self.cache.store(
+                    key,
+                    None if outcome is None else outcome[0],
+                    None if outcome is None else outcome[1],
+                )
 
         best: tuple[float, list[MicroBatchPlan]] | None = None
-        for outcome in results:
-            if outcome is None:
+        for slots in trial_slots:
+            if slots is None:
                 continue
-            if best is None or outcome[0] < best[0]:
-                best = outcome
+            total = 0.0
+            plans: list[MicroBatchPlan] = []
+            for slot in slots:
+                entry = entries[slot] if isinstance(slot, int) else resolved[slot]
+                if entry is INFEASIBLE:
+                    plans = []
+                    break
+                plan, predicted = entry
+                plans.append(plan)
+                total += predicted
+            if not plans:
+                continue
+            if best is None or total < best[0]:
+                best = (total, plans)
+
         if best is None:
             raise PlanInfeasibleError(
                 f"no feasible plan for batch of {batch.total_tokens} tokens "
                 f"with micro-batch counts {trials}"
             )
         total, plans = best
+        stats = SolveStats(
+            cache_hits=cache_hits,
+            dedup_hits=dedup_hits,
+            cache_misses=len(to_plan),
+            trials=len(trials),
+            microbatches=total_microbatches,
+            solve_seconds=time.perf_counter() - started,
+        )
         return IterationPlan(
             microbatches=tuple(plans),
             predicted_time=total,
             solver_name=f"flexsp-{self.config.backend}",
+            stats=stats,
         )
 
-    def _solve_parallel(self, batch: SequenceBatch, trials: list[int]):
-        """Two-level multi-process solving (S4.3): one worker per trial."""
-        with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
-            futures = [
-                pool.submit(_solve_one_trial, batch, m, self.model, self.config)
-                for m in trials
-            ]
-            return [f.result() for f in futures]
+    def _plan_missing(
+        self, shapes: list[tuple[int, ...]]
+    ) -> list[tuple[MicroBatchPlan, float] | None]:
+        """Plan uncached shapes — in-process, or on the service pool."""
+        if not shapes:
+            return []
+        if self.config.workers > 1 and len(shapes) > 1:
+            if self.config.persistent_workers:
+                return self.service().plan_shapes(shapes)
+            # Pre-service behaviour: a throwaway pool per solve.  Local
+            # to this call so concurrent solve() threads never tear
+            # down a pool another thread is submitting to.
+            with SolverService(self.model, self.config) as service:
+                return service.plan_shapes(shapes)
+        planner = _BACKENDS[self.config.backend]
+        outcomes: list[tuple[MicroBatchPlan, float] | None] = []
+        for shape in shapes:
+            try:
+                outcomes.append(planner(shape, self.model, self.config.planner))
+            except PlanInfeasibleError:
+                outcomes.append(None)
+        return outcomes
+
+    def service(self) -> SolverService:
+        """The lazily started persistent :class:`SolverService`."""
+        with self._service_lock:
+            if self._service is None:
+                self._service = SolverService(self.model, self.config)
+            return self._service
+
+    def close(self) -> None:
+        """Release the worker pool (kept plans/cache remain valid)."""
+        with self._service_lock:
+            if self._service is not None:
+                self._service.close()
+                self._service = None
+
+    def __enter__(self) -> "FlexSPSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def ablated(self, **changes) -> "FlexSPSolver":
         """Copy of this solver with config fields replaced.

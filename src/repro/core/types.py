@@ -12,6 +12,56 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
+class SolveStats:
+    """Counters describing how one solver ``solve()`` did its work.
+
+    Attributes:
+        cache_hits: Micro-batches served from the cross-solve plan
+            cache (first encounter in this solve, found cached).
+        dedup_hits: Duplicate micro-batch shapes within this solve,
+            resolved by reuse without a cache lookup or planner call.
+        cache_misses: Shapes that required a planner invocation.
+        trials: Micro-batch-count trials attempted.
+        microbatches: Total micro-batches across all trials; always
+            ``cache_hits + dedup_hits + cache_misses``.
+        solve_seconds: Wall-clock of the solve, when measured.
+    """
+
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    cache_misses: int = 0
+    trials: int = 0
+    microbatches: int = 0
+    solve_seconds: float = 0.0
+
+    @property
+    def planner_calls(self) -> int:
+        """Planner invocations actually executed (one per miss)."""
+        return self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of micro-batches that skipped a planner call
+        (served from the plan cache or by intra-solve dedup)."""
+        reused = self.cache_hits + self.dedup_hits
+        total = reused + self.cache_misses
+        if total == 0:
+            return 0.0
+        return reused / total
+
+    def merged(self, other: "SolveStats") -> "SolveStats":
+        """Counter-wise sum (for aggregating across solves)."""
+        return SolveStats(
+            cache_hits=self.cache_hits + other.cache_hits,
+            dedup_hits=self.dedup_hits + other.dedup_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            trials=self.trials + other.trials,
+            microbatches=self.microbatches + other.microbatches,
+            solve_seconds=self.solve_seconds + other.solve_seconds,
+        )
+
+
+@dataclass(frozen=True)
 class SequenceBatch:
     """An ordered collection of raw sequence lengths to plan over."""
 
@@ -138,11 +188,15 @@ class IterationPlan:
         predicted_time: The solver's estimate of execution seconds
             (sum over micro-batches of the planner objective), if known.
         solver_name: Which planner produced this plan.
+        stats: Solver-side counters (plan-cache hits/misses, planner
+            calls) recorded by the solve that produced this plan; None
+            for plans from baselines or deserialised without stats.
     """
 
     microbatches: tuple[MicroBatchPlan, ...]
     predicted_time: float | None = None
     solver_name: str = "flexsp"
+    stats: SolveStats | None = None
 
     def __post_init__(self) -> None:
         if not self.microbatches:

@@ -4,19 +4,26 @@ Thin helpers that lift the per-group cost model (Eq. 14) to
 micro-batch plans (max over concurrent groups) and iteration plans
 (sum over sequential micro-batches) — the objective structure of the
 planner's optimisation problem (Eq. 5/17).
+
+All helpers evaluate through the memoised vectorized
+:class:`repro.cost.model.CostTable` (array lookups and dot products)
+rather than the scalar model methods; agreement with the scalar path
+is within ~1e-9 relative (reduction order), which the property suite
+pins down.
 """
 
 from __future__ import annotations
 
 from repro.core.types import IterationPlan, MicroBatchPlan
-from repro.cost.model import CostModel
+from repro.cost.model import CostModel, cost_table
 
 
 def estimate_microbatch_time(model: CostModel, microbatch: MicroBatchPlan) -> float:
     """Estimated seconds of one micro-batch: slowest concurrent group,
     including the exposed ZeRO-3 gather overhead."""
+    table = cost_table(model)
     return max(
-        model.time_with_overheads(g.lengths, g.degree) for g in microbatch.groups
+        table.time_with_overheads(g.lengths, g.degree) for g in microbatch.groups
     )
 
 
@@ -27,14 +34,16 @@ def estimate_iteration_time(model: CostModel, plan: IterationPlan) -> float:
 
 def microbatch_peak_memory(model: CostModel, microbatch: MicroBatchPlan) -> float:
     """Largest per-device memory over the micro-batch's groups, bytes."""
-    return max(model.memory(g.lengths, g.degree) for g in microbatch.groups)
+    table = cost_table(model)
+    return max(table.memory(g.tokens, g.degree) for g in microbatch.groups)
 
 
 def validate_plan_memory(model: CostModel, plan: IterationPlan) -> None:
     """Raise ValueError if any group in the plan violates Cond. (7)."""
+    table = cost_table(model)
     for i, mb in enumerate(plan.microbatches):
         for g in mb.groups:
-            usage = model.memory(g.lengths, g.degree)
+            usage = table.memory(g.tokens, g.degree)
             if usage > model.memory_budget * (1 + 1e-9):
                 raise ValueError(
                     f"micro-batch {i}: SP={g.degree} group with "

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cluster.topology import ClusterSpec
 
 
@@ -83,6 +85,9 @@ class CostModel:
     cluster: ClusterSpec
     comm_model: str = "alltoall"
     _bandwidth_cache: dict[int, float] = field(
+        default_factory=dict, compare=False, hash=False, repr=False
+    )
+    _table_cache: dict[str, "CostTable"] = field(
         default_factory=dict, compare=False, hash=False, repr=False
     )
 
@@ -217,3 +222,150 @@ class CostModel:
                 return degree
             degree *= 2
         return None
+
+
+class CostTable:
+    """Vectorized view of a :class:`CostModel` over all candidate degrees.
+
+    The solver loop evaluates Eqs. 11-14 millions of times per solve —
+    once per (bucket, virtual group) pair in the MILP assembly and once
+    per (sequence, group) step of the greedy LPT incumbent.  The scalar
+    :class:`CostModel` methods rebuild every per-degree constant
+    (``v_d`` lookups, ``alpha3 / (d * v_d)``, branch betas) on each
+    call; this table precomputes them **once per solve** as numpy
+    arrays aligned with the power-of-two degree universe, so the hot
+    paths reduce to elementwise array arithmetic and dot products.
+
+    Exactness: every per-entry expression replicates the scalar
+    formula operation-for-operation (same IEEE-754 double ops in the
+    same order), so coefficients produced from the table are
+    bit-identical to the scalar path; only reductions over *many*
+    lengths (``np.dot``) may differ from Python's sequential ``sum``
+    in the last ulp, which is why :meth:`time_with_overheads` is
+    documented to agree with the scalar model to ~1e-9 relative.
+
+    Attributes:
+        model: The wrapped scalar model.
+        degrees: Ascending power-of-two degree universe (1..N).
+    """
+
+    def __init__(self, model: CostModel, degrees: Iterable[int] | None = None):
+        self.model = model
+        coeffs = model.coeffs
+        if degrees is None:
+            degrees = []
+            d = 1
+            while d <= model.cluster.num_gpus:
+                degrees.append(d)
+                d *= 2
+        self.degrees: tuple[int, ...] = tuple(int(d) for d in degrees)
+        if not self.degrees:
+            raise ValueError("CostTable needs at least one candidate degree")
+        self.degree_index: dict[int, int] = {
+            d: i for i, d in enumerate(self.degrees)
+        }
+        n = len(self.degrees)
+        self.degree_arr = np.asarray(self.degrees, dtype=np.float64)
+        #: ``alpha3``-derived communication seconds per assigned token,
+        #: per degree (0 for degree 1), exactly comm_seconds_per_token.
+        self.comm_per_token = np.asarray(
+            [model.comm_seconds_per_token(d) for d in self.degrees]
+        )
+        #: beta2 where the degree communicates, else 0 (degree 1).
+        self.comm_beta = np.asarray(
+            [coeffs.beta2 if d > 1 else 0.0 for d in self.degrees]
+        )
+        self.alpha1 = coeffs.alpha1
+        self.alpha2 = coeffs.alpha2
+        self.beta1 = coeffs.beta1
+        self.gather = coeffs.zero_gather_seconds
+        self.exposed_gather = (1.0 - coeffs.zero_overlap) * self.gather
+        self.memory_per_token = coeffs.memory_per_token
+        self.model_state_bytes = coeffs.model_state_bytes
+        #: Per-degree activation-token capacity — the exact cap the MILP
+        #: memory rows and the greedy LPT feasibility check use.
+        budget = model.memory_budget - coeffs.model_state_bytes
+        self.activation_budget = budget
+        if budget > 0:
+            self.token_caps = budget / coeffs.memory_per_token * self.degree_arr
+        else:
+            self.token_caps = np.zeros(n)
+
+    # ------------------------------------------------------------------
+    # Elementwise kernels (bit-identical to the scalar path).
+    # ------------------------------------------------------------------
+
+    def work_terms(self, lengths) -> np.ndarray:
+        """Eq. 12 quadratic work per sequence: ``alpha1 s^2 + alpha2 s``."""
+        s = np.asarray(lengths, dtype=np.float64)
+        return self.alpha1 * s * s + self.alpha2 * s
+
+    def milp_time_coefficients(self, uppers, degree: int) -> np.ndarray:
+        """Eq. 18 coefficient of one assignment variable per bucket.
+
+        ``(alpha1 s^2 + alpha2 s) / d + comm_per_token(d) * s`` for
+        every bucket upper ``s`` — the compute-branch row of the MILP,
+        bit-identical to the scalar inner loop it replaces.
+        """
+        s = np.asarray(uppers, dtype=np.float64)
+        idx = self.degree_index[degree]
+        w = (self.alpha1 * s * s + self.alpha2 * s) / degree
+        return w + self.comm_per_token[idx] * s
+
+    def group_time(self, work: float, tokens: float, degree: int) -> float:
+        """Eq. 14 + exposed gather from *accumulated* sums.
+
+        ``work`` must be the sequential sum of :meth:`work_terms` in
+        assignment order and ``tokens`` the token sum; then this equals
+        ``CostModel.time_with_overheads`` bit-for-bit.
+        """
+        idx = self.degree_index[degree]
+        comp = work / degree + self.beta1
+        comm = self.comm_per_token[idx] * tokens + self.comm_beta[idx]
+        if self.gather <= 0:
+            return comp + comm
+        return max(comp + comm + self.exposed_gather, comm + self.gather)
+
+    def group_times(
+        self, work: np.ndarray, tokens: np.ndarray, degree_idx: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`group_time` across many groups at once.
+
+        ``degree_idx`` indexes :attr:`degrees`; each lane reproduces
+        the scalar expression exactly (elementwise IEEE ops).
+        """
+        d = self.degree_arr[degree_idx]
+        comp = work / d + self.beta1
+        comm = self.comm_per_token[degree_idx] * tokens + self.comm_beta[degree_idx]
+        if self.gather <= 0:
+            return comp + comm
+        return np.maximum(comp + comm + self.exposed_gather, comm + self.gather)
+
+    # ------------------------------------------------------------------
+    # Whole-group evaluation (dot-product reductions; ~1e-9 agreement).
+    # ------------------------------------------------------------------
+
+    def time_with_overheads(self, lengths, degree: int) -> float:
+        """Vectorised ``CostModel.time_with_overheads`` for one group."""
+        terms = self.work_terms(lengths)
+        work = float(terms.sum())
+        tokens = float(np.asarray(lengths, dtype=np.float64).sum())
+        return self.group_time(work, tokens, degree)
+
+    def memory(self, tokens: float, degree: int) -> float:
+        """Eq. 11 from a precomputed token sum (exact scalar replica)."""
+        return tokens / degree * self.memory_per_token + self.model_state_bytes
+
+
+def cost_table(model: CostModel) -> CostTable:
+    """Build (or fetch the memoised) :class:`CostTable` of ``model``.
+
+    The table is cached on the model instance — like the bandwidth
+    cache — so repeated solves, the estimator, and each solver-service
+    worker pay the construction cost exactly once per process.
+    """
+    table = model._table_cache.get("default")
+    if table is None:
+        table = CostTable(model)
+        model._table_cache["default"] = table
+    return table

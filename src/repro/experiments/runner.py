@@ -51,6 +51,30 @@ class RunResult:
     def mean_solve_seconds(self) -> float:
         return statistics.fmean(o.solve_seconds for o in self.outcomes)
 
+    @property
+    def solve_stats(self):
+        """Aggregated :class:`~repro.core.types.SolveStats` across
+        iterations, or None when the system records none (baselines)."""
+        from repro.core.types import SolveStats
+
+        collected = [
+            o.plan.stats
+            for o in self.outcomes
+            if o.plan is not None and o.plan.stats is not None
+        ]
+        if not collected:
+            return None
+        total = SolveStats()
+        for stats in collected:
+            total = total.merged(stats)
+        return total
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Workload-wide plan-cache hit rate (0.0 when not recorded)."""
+        stats = self.solve_stats
+        return stats.hit_rate if stats is not None else 0.0
+
     def tokens_per_second_per_gpu(self, num_gpus: int) -> float:
         """Fig. 6's metric: training throughput normalised per device."""
         if num_gpus <= 0:

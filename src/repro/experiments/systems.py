@@ -96,6 +96,11 @@ class FlexSPSystem:
     The solver runs on CPUs and overlaps with training in the paper
     (S5); ``solve_seconds`` is therefore reported separately from the
     iteration time rather than added to it.
+
+    The wrapped :class:`FlexSPSolver` persists across iterations, so
+    its plan cache warms over the workload and its worker pool (when
+    ``solver_config.workers > 1``) is spawned once; call :meth:`close`
+    (or use the system as a context manager) to release the pool.
     """
 
     def __init__(self, workload: Workload, solver_config: SolverConfig | None = None):
@@ -120,6 +125,16 @@ class FlexSPSystem:
     def run_iteration(self, lengths: tuple[int, ...]) -> IterationOutcome:
         plan, solve_seconds = self.plan(lengths)
         return _executor_outcome(self.executor, plan, solve_seconds)
+
+    def close(self) -> None:
+        """Release the solver's persistent worker pool, if any."""
+        self.solver.close()
+
+    def __enter__(self) -> "FlexSPSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class DeepSpeedUlyssesSystem:

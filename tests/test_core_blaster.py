@@ -48,6 +48,18 @@ class TestBalancedCutPoints:
         second = sum(lengths[cuts[0] :])
         assert max(first, second) == 9
 
+    def test_single_chunk_early_exit_matches_dp(self):
+        """num_chunks == 1 must return the whole range without a DP."""
+        lengths = [3, 9, 27, 81]
+        assert balanced_cut_points(lengths, 1) == [len(lengths)]
+
+    def test_singleton_chunks_early_exit_matches_dp(self):
+        """num_chunks == len(lengths) forces one sequence per chunk."""
+        lengths = [2, 4, 8, 16, 32]
+        assert balanced_cut_points(lengths, len(lengths)) == [1, 2, 3, 4, 5]
+        parts = blast(SequenceBatch(lengths=tuple(lengths)), len(lengths))
+        assert [p.lengths for p in parts] == [(s,) for s in sorted(lengths)]
+
     def test_rejects_more_chunks_than_sequences(self):
         with pytest.raises(ValueError, match="non-empty"):
             balanced_cut_points([1, 2], 3)

@@ -159,3 +159,37 @@ class TestGreedyIncumbentMode:
         __, with_incumbent = plan_microbatch(lengths, cost_model8, cfg_on)
         __, without = plan_microbatch(lengths, cost_model8, cfg_off)
         assert with_incumbent <= without * 1.001
+
+
+class TestQuietStdout:
+    """Regression tests for the fd-level HiGHS silencer."""
+
+    def test_silences_fd1_and_fd2(self, capfd):
+        import os
+
+        from repro.core.planner import _quiet_stdout
+
+        with _quiet_stdout():
+            os.write(1, b"loud stdout\n")
+            os.write(2, b"loud stderr\n")
+        out, err = capfd.readouterr()
+        assert "loud" not in out
+        assert "loud" not in err
+
+    def test_reentrant_keeps_outer_silence(self, capfd):
+        """A nested entry must not restore the descriptors early."""
+        import os
+
+        from repro.core.planner import _quiet_stdout
+
+        with _quiet_stdout():
+            with _quiet_stdout():
+                os.write(1, b"inner\n")
+            os.write(1, b"after inner stdout\n")
+            os.write(2, b"after inner stderr\n")
+        out, err = capfd.readouterr()
+        assert out == ""
+        assert err == ""
+        os.write(1, b"restored\n")
+        out, __ = capfd.readouterr()
+        assert "restored" in out

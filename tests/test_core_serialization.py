@@ -98,3 +98,41 @@ class TestPlanStore:
         single = IterationPlan(microbatches=plan.microbatches[:1])
         store.put(0, single)
         assert store.get(0) == single
+
+
+class TestSolveStatsSerialization:
+    def test_stats_round_trip(self):
+        from repro.core.types import SolveStats
+
+        plan = IterationPlan(
+            microbatches=(
+                MicroBatchPlan(
+                    groups=(
+                        GroupAssignment(
+                            degree=2, device_ranks=(0, 1), lengths=(512, 128)
+                        ),
+                    )
+                ),
+            ),
+            predicted_time=1.25,
+            stats=SolveStats(cache_hits=3, cache_misses=1,
+                             trials=2, microbatches=4, solve_seconds=0.5),
+        )
+        restored = loads(dumps(plan))
+        assert restored.stats == plan.stats
+
+    def test_plans_without_stats_stay_stats_free(self):
+        plan = IterationPlan(
+            microbatches=(
+                MicroBatchPlan(
+                    groups=(
+                        GroupAssignment(
+                            degree=1, device_ranks=(0,), lengths=(64,)
+                        ),
+                    )
+                ),
+            ),
+        )
+        payload = plan_to_dict(plan)
+        assert "stats" not in payload
+        assert loads(dumps(plan)).stats is None

@@ -133,3 +133,26 @@ class TestParallelSolve:
         serial = fast_solver(cost_model8, backend="greedy").solve(batch)
         parallel = fast_solver(cost_model8, backend="greedy", workers=2).solve(batch)
         assert parallel.predicted_time == pytest.approx(serial.predicted_time)
+
+
+class TestSolverServiceRecovery:
+    def test_recovers_after_worker_death(self, cost_model8):
+        """A SIGKILLed worker must not poison the persistent pool."""
+        import os
+        import signal
+
+        solver = fast_solver(cost_model8, backend="greedy", workers=2)
+        with solver:
+            first = solver.solve((4096, 2048, 1024, 8192) * 2)
+            assert first.num_sequences == 8
+            service = solver._service
+            assert service is not None and service._pool is not None
+            for pid in list(service._pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            # A different batch (no cache hits) must transparently
+            # rebuild the pool and still match a serial solve.
+            batch = (4000, 2000, 1000, 8000) * 2
+            recovered = solver.solve(batch)
+            serial = fast_solver(cost_model8, backend="greedy").solve(batch)
+            assert recovered.predicted_time == serial.predicted_time
+            assert recovered.microbatches == serial.microbatches

@@ -110,3 +110,27 @@ class TestReporting:
         assert "SP=8" in text
         assert "SP=32" in text
         assert "median" in text
+
+
+class TestSolveStatsAggregation:
+    def test_flexsp_run_reports_cache_stats(self, small_workload):
+        system = FlexSPSystem(
+            small_workload,
+            SolverConfig(
+                num_trials=2, planner=PlannerConfig(time_limit=0.5, mip_rel_gap=0.05)
+            ),
+        )
+        with system:
+            first = run_system(system, small_workload, num_iterations=1)
+            second = run_system(system, small_workload, num_iterations=1)
+        assert first.solve_stats is not None
+        assert first.solve_stats.planner_calls > 0
+        # Same batch re-solved: everything comes from the plan cache.
+        assert second.plan_cache_hit_rate == 1.0
+        assert second.solve_stats.planner_calls == 0
+
+    def test_baselines_report_no_stats(self, small_workload):
+        system = DeepSpeedUlyssesSystem(small_workload, sp_degree=8)
+        result = run_system(system, small_workload, num_iterations=1)
+        assert result.solve_stats is None
+        assert result.plan_cache_hit_rate == 0.0

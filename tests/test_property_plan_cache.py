@@ -1,0 +1,145 @@
+"""Property-based tests: plan-cache correctness and CostTable exactness.
+
+Two invariants guard the solver-throughput subsystem:
+
+* A cache *hit* must be indistinguishable from a fresh solve — same
+  plan, same predicted time — for any batch, since cached plans are
+  reused across trials and iterations.
+* The vectorized :class:`repro.cost.model.CostTable` must agree with
+  the scalar :class:`repro.cost.model.CostModel` it replaces (exactly
+  for accumulated-sum kernels, to 1e-9 relative for dot-product
+  reductions).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.plan_cache import PlanCache, SolveStats, plan_key
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.cost.model import cost_table
+
+lengths_strategy = st.lists(
+    st.integers(min_value=64, max_value=24_000), min_size=1, max_size=40
+)
+
+
+def greedy_solver(model, plan_cache: bool) -> FlexSPSolver:
+    return FlexSPSolver(
+        model, SolverConfig(num_trials=3, backend="greedy", plan_cache=plan_cache)
+    )
+
+
+class TestCachedPlansMatchFreshSolves:
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_warm_solve_equals_cold_solve(self, cost_model8, lengths):
+        """Solving the same batch twice (second time fully cached) must
+        reproduce the cold plan bit-for-bit."""
+        solver = greedy_solver(cost_model8, plan_cache=True)
+        cold = solver.solve(tuple(lengths))
+        warm = solver.solve(tuple(lengths))
+        assert warm.predicted_time == cold.predicted_time
+        assert warm.microbatches == cold.microbatches
+        assert warm.stats is not None and warm.stats.planner_calls == 0
+        assert warm.stats.hit_rate == 1.0
+
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cached_path_equals_uncached_path(self, cost_model8, lengths):
+        """The cache must never change what the solver returns."""
+        cached = greedy_solver(cost_model8, plan_cache=True).solve(tuple(lengths))
+        uncached = greedy_solver(cost_model8, plan_cache=False).solve(tuple(lengths))
+        assert cached.predicted_time == uncached.predicted_time
+        assert cached.microbatches == uncached.microbatches
+
+    @given(lengths=lengths_strategy, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_key_is_order_insensitive(self, cost_model8, lengths, data):
+        from repro.core.planner import PlannerConfig
+
+        shuffled = data.draw(st.permutations(lengths))
+        cfg = PlannerConfig()
+        assert plan_key(lengths, cost_model8, cfg, "milp") == plan_key(
+            shuffled, cost_model8, cfg, "milp"
+        )
+
+
+class TestCostTableMatchesScalarModel:
+    @given(lengths=lengths_strategy, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_time_with_overheads_agrees(self, cost_model8, lengths, data):
+        table = cost_table(cost_model8)
+        degree = data.draw(st.sampled_from(table.degrees))
+        scalar = cost_model8.time_with_overheads(lengths, degree)
+        vectorized = table.time_with_overheads(lengths, degree)
+        assert vectorized == pytest.approx(scalar, rel=1e-9)
+
+    @given(lengths=lengths_strategy, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_memory_agrees_exactly(self, cost_model8, lengths, data):
+        table = cost_table(cost_model8)
+        degree = data.draw(st.sampled_from(table.degrees))
+        assert table.memory(sum(lengths), degree) == cost_model8.memory(
+            lengths, degree
+        )
+
+    @given(lengths=lengths_strategy, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_incremental_group_time_is_bit_exact(self, cost_model8, lengths, data):
+        """Sequential work/token accumulation (the greedy LPT path)
+        reproduces the scalar model bit-for-bit, not just to 1e-9."""
+        table = cost_table(cost_model8)
+        degree = data.draw(st.sampled_from(table.degrees))
+        work = 0.0
+        tokens = 0
+        for s in lengths:
+            work += table.alpha1 * float(s) * float(s) + table.alpha2 * float(s)
+            tokens += s
+        assert table.group_time(work, tokens, degree) == (
+            cost_model8.time_with_overheads(lengths, degree)
+        )
+
+    @given(uppers=st.lists(st.integers(min_value=1, max_value=65_536), min_size=1, max_size=16), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_milp_coefficients_are_bit_exact(self, cost_model8, uppers, data):
+        """Eq. 18 coefficients from the table equal the scalar
+        expression the MILP assembly used to compute per entry."""
+        table = cost_table(cost_model8)
+        degree = data.draw(st.sampled_from(table.degrees))
+        coeffs = cost_model8.coeffs
+        cpt = cost_model8.comm_seconds_per_token(degree)
+        vec = table.milp_time_coefficients(uppers, degree)
+        for s, w in zip(uppers, vec):
+            scalar = (coeffs.alpha1 * s * s + coeffs.alpha2 * s) / degree
+            scalar += cpt * s
+            assert w == scalar
+
+
+class TestPlanCacheMechanics:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store(("a",), None, None)
+        cache.store(("b",), None, None)
+        assert cache.lookup(("a",)) is not None
+        cache.store(("c",), None, None)  # evicts b (least recent)
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) is not None
+        assert cache.lookup(("c",)) is not None
+
+    def test_counters(self):
+        cache = PlanCache()
+        assert cache.lookup(("x",)) is None
+        cache.store(("x",), None, None)
+        assert cache.lookup(("x",)) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_stats_merge_and_hit_rate(self):
+        a = SolveStats(cache_hits=3, cache_misses=1)
+        b = SolveStats(cache_hits=1, cache_misses=3)
+        merged = a.merged(b)
+        assert merged.cache_hits == 4
+        assert merged.cache_misses == 4
+        assert merged.hit_rate == pytest.approx(0.5)
+        assert SolveStats().hit_rate == 0.0
