@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-solver
+.PHONY: test bench bench-solver bench-e2e
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -15,3 +15,9 @@ bench:
 # benchmarks/results/BENCH_solver.json for trajectory tracking.
 bench-solver:
 	$(PYTHON) -m repro.bench solver_throughput
+
+# End-to-end experiment-sweep benchmark (batched simulation + sweep
+# runner vs. the sequential scalar reference); appends to
+# benchmarks/results/BENCH_e2e.json for trajectory tracking.
+bench-e2e:
+	$(PYTHON) -m repro.bench e2e_sweep

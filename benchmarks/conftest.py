@@ -39,6 +39,14 @@ BENCH_SOLVER = SolverConfig(
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-protocol benchmark cells skipped unless REPRO_BENCH_FULL=1 "
+        "(keeps tier-1 pytest fast)",
+    )
+
+
 #: Wall-clock of each benchmark's call phase, written at session end so
 #: future PRs can diff the perf trajectory (see BENCH_wallclock.json).
 _WALLCLOCK: dict[str, float] = {}
@@ -83,6 +91,32 @@ def bench_json(request):
             f.write("\n")
 
     return _write
+
+
+@pytest.fixture()
+def bench_json_history(request):
+    """Append a benchmark's metrics to results/BENCH_<name>.json.
+
+    Unlike :func:`bench_json` (which overwrites), this keeps a
+    ``history`` list so the file accumulates a trajectory across runs
+    and PRs (the ``BENCH_e2e.json`` contract).
+    """
+
+    def _append(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        history: list = []
+        if path.exists():
+            try:
+                history = json.loads(path.read_text()).get("history", [])
+            except (OSError, ValueError):
+                history = []
+        history.append(
+            {"benchmark": request.node.nodeid, "full_protocol": FULL, **payload}
+        )
+        path.write_text(json.dumps({"history": history}, indent=2, sort_keys=True) + "\n")
+
+    return _append
 
 
 @pytest.fixture()

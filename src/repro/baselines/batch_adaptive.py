@@ -15,7 +15,7 @@ from repro.cost.model import CostModel
 
 
 def choose_degree_for_batch(
-    lengths: tuple[int, ...], model: CostModel
+    lengths: tuple[int, ...], model: CostModel, *, vectorized: bool = True
 ) -> tuple[int, float]:
     """Best homogeneous SP degree for one specific batch.
 
@@ -36,7 +36,9 @@ def choose_degree_for_batch(
     d = 1
     while d <= model.cluster.num_gpus:
         if model.cluster.num_gpus % d == 0 and model.fits([longest], d):
-            estimate = estimate_homogeneous_iteration(lengths, model, d)
+            estimate = estimate_homogeneous_iteration(
+                lengths, model, d, vectorized=vectorized
+            )
             if best is None or estimate < best[1]:
                 best = (d, estimate)
         d *= 2

@@ -16,10 +16,14 @@ these systems are stuck with large, slow groups: under a 384K limit on
 from __future__ import annotations
 
 import math
+from itertools import chain
+
+import numpy as np
 
 from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
-from repro.cost.model import CostModel
+from repro.cost.model import CostModel, cost_table
 from repro.data.packing import best_fit_decreasing
+from repro.simulator.timing import segment_sequential_sums
 
 
 def group_token_capacity(model: CostModel, sp_degree: int) -> int:
@@ -106,17 +110,60 @@ def homogeneous_plan(
 
 
 def estimate_homogeneous_iteration(
-    lengths: tuple[int, ...], model: CostModel, sp_degree: int
+    lengths: tuple[int, ...], model: CostModel, sp_degree: int, *,
+    vectorized: bool = True,
 ) -> float:
     """Cost-model estimate of a homogeneous iteration, seconds.
 
     Used by the static tuner and by FlexSP-BatchAda's per-batch degree
     choice; sums the per-round makespans under Eq. 14.
+
+    With ``vectorized`` (the default) every pack's Eq. 14 time is
+    evaluated through the :class:`~repro.cost.model.CostTable` kernels
+    as one array expression, skipping plan-object construction; the
+    result is bit-identical to the scalar path (``vectorized=False``),
+    which walks a full :func:`homogeneous_plan` group by group.
     """
-    plan = homogeneous_plan(lengths, model, sp_degree)
-    total = 0.0
-    for mb in plan.microbatches:
-        total += max(
-            model.time_with_overheads(g.lengths, g.degree) for g in mb.groups
+    if not vectorized:
+        plan = homogeneous_plan(lengths, model, sp_degree)
+        total = 0.0
+        for mb in plan.microbatches:
+            total += max(
+                model.time_with_overheads(g.lengths, g.degree) for g in mb.groups
+            )
+        return total
+    num_groups = model.cluster.num_gpus // sp_degree
+    if num_groups == 0:
+        raise ValueError(
+            f"SP degree {sp_degree} exceeds cluster size "
+            f"{model.cluster.num_gpus}"
         )
+    packs = _pack_batch(lengths, model, sp_degree)
+    packs.sort(key=lambda p: sum(p), reverse=True)
+    times = _pack_times(packs, model, sp_degree)
+    num_rounds = math.ceil(len(packs) / num_groups)
+    total = 0.0
+    for r in range(num_rounds):
+        total += float(times[r * num_groups : (r + 1) * num_groups].max())
     return total
+
+
+def _pack_times(
+    packs: list[tuple[int, ...]], model: CostModel, sp_degree: int
+) -> np.ndarray:
+    """Eq. 14 + exposed-gather seconds per pack, as one array op.
+
+    Work sums accumulate left to right per pack
+    (:func:`segment_sequential_sums`), so each lane equals
+    ``CostModel.time_with_overheads(pack, sp_degree)`` bit-for-bit.
+    """
+    table = cost_table(model)
+    counts = np.fromiter((len(p) for p in packs), dtype=np.int64, count=len(packs))
+    flat = np.fromiter(
+        chain.from_iterable(packs), dtype=np.int64, count=int(counts.sum())
+    )
+    work = segment_sequential_sums(table.work_terms(flat), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    tokens = np.add.reduceat(flat, starts)
+    degree_idx = np.full(len(packs), table.degree_index[sp_degree])
+    return table.group_times(work, tokens, degree_idx)

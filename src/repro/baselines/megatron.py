@@ -20,12 +20,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import chain
+
+import numpy as np
 
 from repro.cluster.collectives import all_gather_time, all_reduce_time
 from repro.cluster.topology import ClusterSpec
 from repro.data.packing import best_fit_decreasing
 from repro.model.config import ModelConfig
-from repro.model.flops import batch_flops, training_flops_multiplier
+from repro.model.flops import (
+    batch_flops,
+    dense_flops_per_token,
+    training_flops_multiplier,
+)
 from repro.model.memory import (
     ActivationCheckpointing,
     activation_bytes_per_token,
@@ -35,6 +42,7 @@ from repro.simulator.timing import (
     MICROBATCH_LAUNCH_OVERHEAD,
     SATURATION_TOKENS,
     optimizer_step_time,
+    segment_sequential_sums,
 )
 
 #: Megatron-SP collectives per layer per direction: an All-Gather and a
@@ -195,6 +203,70 @@ def _compute_time(
     return per_device / (cluster.gpu.effective_flops * derate) + MICROBATCH_LAUNCH_OVERHEAD
 
 
+def _pack_replica_times(
+    packs: list[tuple[int, ...]],
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    strategy: MegatronStrategy,
+    checkpointing: ActivationCheckpointing,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(replica seconds, comm seconds) per pack, as array expressions.
+
+    Mirrors ``_compute_time`` / ``_tp_comm_time`` / ``_cp_comm_time``
+    operation-for-operation (with left-to-right FLOP accumulation per
+    pack), so each lane is bit-identical to the scalar inner loop of
+    :func:`megatron_iteration`.
+    """
+    counts = np.fromiter((len(p) for p in packs), dtype=np.int64, count=len(packs))
+    flat = np.fromiter(
+        chain.from_iterable(packs), dtype=np.int64, count=int(counts.sum())
+    )
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    tokens = np.add.reduceat(flat, starts)
+
+    s = flat.astype(np.float64)
+    dense = dense_flops_per_token(config)
+    attention = config.num_layers * (4.0 * s * s * config.hidden_size / 2.0)
+    forward = segment_sequential_sums(s * dense + attention, counts)
+    flops = forward * training_flops_multiplier(checkpointing)
+    shards = strategy.tp * strategy.cp
+    per_device = flops / shards
+    tokens_per_device = tokens / shards
+    derate = tokens_per_device / (tokens_per_device + SATURATION_TOKENS)
+    compute = (
+        per_device / (cluster.gpu.effective_flops * derate)
+        + MICROBATCH_LAUNCH_OVERHEAD
+    )
+
+    if strategy.tp == 1:
+        tp_comm = np.zeros(len(packs))
+    else:
+        link = cluster.link_for_degree(strategy.tp)
+        buffer_bytes = (
+            tokens / strategy.cp * config.hidden_size * config.bytes_per_element
+        )
+        rounds = config.num_layers * TP_COLLECTIVES_PER_LAYER_PER_DIRECTION * 2
+        wire = buffer_bytes * (strategy.tp - 1) / strategy.tp
+        per_round = link.latency * (strategy.tp - 1) + wire / link.bandwidth
+        tp_comm = rounds * per_round
+
+    if strategy.cp == 1:
+        cp_comm = np.zeros(len(packs))
+    else:
+        link = cluster.link_for_degree(strategy.model_shards)
+        shard_tokens = tokens / strategy.cp
+        kv_bytes = 2 * shard_tokens * config.hidden_size * config.bytes_per_element
+        per_layer = kv_bytes * (strategy.cp - 1)
+        volume = per_layer * config.num_layers * 2.0
+        volume = volume / 2.0  # causal striping halves the useful rotation
+        rotations = config.num_layers * 2 * max(strategy.cp - 1, 1)
+        ring = link.latency * rotations + volume / link.bandwidth
+        hidden = np.minimum(ring, 0.9 * compute)
+        cp_comm = ring - hidden
+
+    return compute + tp_comm + cp_comm, tp_comm + cp_comm
+
+
 def megatron_iteration(
     lengths: tuple[int, ...],
     config: ModelConfig,
@@ -202,6 +274,8 @@ def megatron_iteration(
     strategy: MegatronStrategy,
     checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
     pack_target: int | None = None,
+    *,
+    vectorized: bool = True,
 ) -> MegatronOutcome:
     """Simulate one Megatron-LM training iteration over a global batch.
 
@@ -214,6 +288,9 @@ def megatron_iteration(
         pack_target: Packing capacity ``c`` in tokens; defaults to the
             replica memory capacity.  The paper's protocol packs to
             the task's maximum context length.
+        vectorized: Evaluate all packs' times as array expressions
+            (bit-identical to the scalar per-pack loop, which
+            ``vectorized=False`` preserves as the reference path).
     """
     capacity = megatron_token_capacity(config, cluster, strategy, checkpointing)
     target = capacity if pack_target is None else min(pack_target, capacity)
@@ -229,23 +306,38 @@ def megatron_iteration(
 
     total = 0.0
     comm_total = 0.0
-    for r in range(num_rounds):
-        round_packs = packs[r * strategy.dp : (r + 1) * strategy.dp]
-        round_time = 0.0
-        round_comm = 0.0
-        for pack in round_packs:
-            tokens = sum(pack)
-            compute = _compute_time(config, cluster, pack, strategy, checkpointing)
-            tp_comm = _tp_comm_time(config, cluster, tokens, strategy)
-            cp_comm = _cp_comm_time(
-                config, cluster, pack, strategy, checkpointing, compute
-            )
-            replica_time = compute + tp_comm + cp_comm
-            if replica_time > round_time:
-                round_time = replica_time
-                round_comm = tp_comm + cp_comm
-        total += round_time
-        comm_total += round_comm
+    if vectorized:
+        replica_times, comm_times = _pack_replica_times(
+            packs, config, cluster, strategy, checkpointing
+        )
+        for r in range(num_rounds):
+            chunk = slice(r * strategy.dp, (r + 1) * strategy.dp)
+            round_times = replica_times[chunk]
+            # First occurrence of the maximum — the same pack the
+            # scalar loop's strict ``>`` update keeps.
+            slowest = int(np.argmax(round_times))
+            total += float(round_times[slowest])
+            comm_total += float(comm_times[chunk][slowest])
+    else:
+        for r in range(num_rounds):
+            round_packs = packs[r * strategy.dp : (r + 1) * strategy.dp]
+            round_time = 0.0
+            round_comm = 0.0
+            for pack in round_packs:
+                tokens = sum(pack)
+                compute = _compute_time(
+                    config, cluster, pack, strategy, checkpointing
+                )
+                tp_comm = _tp_comm_time(config, cluster, tokens, strategy)
+                cp_comm = _cp_comm_time(
+                    config, cluster, pack, strategy, checkpointing, compute
+                )
+                replica_time = compute + tp_comm + cp_comm
+                if replica_time > round_time:
+                    round_time = replica_time
+                    round_comm = tp_comm + cp_comm
+            total += round_time
+            comm_total += round_comm
 
     grad_bytes = 2.0 * config.parameter_count() / strategy.tp
     if strategy.dp > 1:

@@ -5,6 +5,11 @@ for all baseline systems under different workloads" (Appendix B.2).
 This module automates the same search: enumerate the feasible static
 strategies, estimate each on a few probe batches from the workload's
 corpus, and keep the fastest.
+
+Both tuners default to the vectorized evaluators — the whole feasible
+strategy space is scored over all probe batches as array expressions —
+and accept ``vectorized=False`` to run the scalar per-(group, pack)
+loops instead; the two paths score (and therefore choose) identically.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ def choose_static_degree(
     probe_batches: Iterable[tuple[int, ...]],
     model: CostModel,
     max_context: int,
+    *,
+    vectorized: bool = True,
 ) -> int:
     """Best static SP degree for a DeepSpeed-style system.
 
@@ -54,7 +61,8 @@ def choose_static_degree(
     best_time = None
     for d in candidates:
         total = sum(
-            estimate_homogeneous_iteration(batch, model, d) for batch in batches
+            estimate_homogeneous_iteration(batch, model, d, vectorized=vectorized)
+            for batch in batches
         )
         if best_time is None or total < best_time:
             best_time = total
@@ -69,6 +77,8 @@ def tune_megatron(
     cluster: ClusterSpec,
     max_context: int,
     checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+    *,
+    vectorized: bool = True,
 ) -> MegatronStrategy:
     """Best (tp, cp, dp) for a Megatron-LM-style system.
 
@@ -88,7 +98,7 @@ def tune_megatron(
             total = sum(
                 megatron_iteration(
                     batch, config, cluster, strategy, checkpointing,
-                    pack_target=max_context,
+                    pack_target=max_context, vectorized=vectorized,
                 ).iteration_seconds
                 for batch in batches
             )

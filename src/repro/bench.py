@@ -4,12 +4,16 @@
 solver-throughput benchmark and leaves machine-readable results in
 ``benchmarks/results/BENCH_solver.json`` (plus per-test wall-clocks in
 ``BENCH_wallclock.json``), so successive PRs can track the planning
-throughput trajectory without parsing pytest output.
+throughput trajectory without parsing pytest output.  ``make
+bench-e2e`` (selector ``e2e_sweep``) runs the end-to-end
+experiment-sweep benchmark, which *appends* to the
+``BENCH_e2e.json`` trajectory.
 
 Usage::
 
     python -m repro.bench             # solver-throughput suite
     python -m repro.bench all         # every benchmark
+    python -m repro.bench e2e_sweep   # batched-simulation sweep (BENCH_e2e.json)
     python -m repro.bench fig8        # any substring of a benchmark file
 """
 

@@ -25,18 +25,23 @@ class Pack:
     Attributes:
         capacity: Maximum tokens this pack may hold.
         lengths: Lengths of the member sequences, in packing order.
+            Mutate only through :meth:`add`, which keeps the O(1)
+            ``used``/``remaining`` accounting in sync.
     """
 
     capacity: int
     lengths: list[int] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._used = sum(self.lengths)
+
     @property
     def used(self) -> int:
-        return sum(self.lengths)
+        return self._used
 
     @property
     def remaining(self) -> int:
-        return self.capacity - self.used
+        return self.capacity - self._used
 
     def add(self, length: int) -> None:
         if length > self.remaining:
@@ -45,6 +50,7 @@ class Pack:
                 f"{self.remaining} remaining"
             )
         self.lengths.append(length)
+        self._used += length
 
 
 def _check_inputs(lengths: SequenceABC[int], capacity: int) -> None:
@@ -88,16 +94,47 @@ def best_fit_decreasing(lengths: SequenceABC[int], capacity: int) -> list[Pack]:
 
 
 def first_fit_decreasing(lengths: SequenceABC[int], capacity: int) -> list[Pack]:
-    """First-Fit-Decreasing packing: place into the first pack that fits."""
+    """First-Fit-Decreasing packing: place into the first pack that fits.
+
+    Runs in O(K log K) with a tournament (max-segment) tree over pack
+    remainders: internal nodes hold the maximum remainder in their
+    subtree, so the *lowest-index* pack that can host a sequence is
+    found by descending left-first — exactly the pack the naive
+    first-pack-that-fits scan would pick, so assignments are identical
+    to the O(K²) loop this replaces.
+    """
     _check_inputs(lengths, capacity)
     packs: list[Pack] = []
+    size = 1  # leaf slots; doubled (with a rebuild) as packs open
+    tree = [0] * (2 * size)  # 1-indexed heap layout; leaves at [size:]
+
+    def _update(leaf: int, remaining: int) -> None:
+        node = size + leaf
+        tree[node] = remaining
+        node //= 2
+        while node:
+            tree[node] = max(tree[2 * node], tree[2 * node + 1])
+            node //= 2
+
     for s in sorted(lengths, reverse=True):
-        for pack in packs:
-            if pack.remaining >= s:
-                pack.add(s)
-                break
+        if tree[1] >= s:
+            node = 1
+            while node < size:
+                node = 2 * node if tree[2 * node] >= s else 2 * node + 1
+            pack = packs[node - size]
+            pack.add(s)
+            _update(node - size, pack.remaining)
         else:
-            packs.append(Pack(capacity=capacity, lengths=[s]))
+            if len(packs) == size:
+                size *= 2
+                tree = [0] * (2 * size)
+                for i, pack in enumerate(packs):
+                    tree[size + i] = pack.remaining
+                for node in range(size - 1, 0, -1):
+                    tree[node] = max(tree[2 * node], tree[2 * node + 1])
+            pack = Pack(capacity=capacity, lengths=[s])
+            packs.append(pack)
+            _update(len(packs) - 1, pack.remaining)
     return packs
 
 

@@ -3,13 +3,24 @@
 Unified training-system wrappers (:mod:`repro.experiments.systems`),
 workload definitions matching the paper's evaluation grid
 (:mod:`repro.experiments.workloads`), the measurement runner
-(:mod:`repro.experiments.runner`) and text reporting in the paper's
+(:mod:`repro.experiments.runner`), the parallel experiment-sweep
+runner with shared per-workload state
+(:mod:`repro.experiments.sweep`) and text reporting in the paper's
 table formats (:mod:`repro.experiments.reporting`).
 """
 
 from repro.experiments.pipeline import PipelineReport, TrainingPipeline
 from repro.experiments.registry import Experiment, all_experiments, experiment
 from repro.experiments.runner import RunResult, run_system
+from repro.experiments.sweep import (
+    CellMetrics,
+    SweepCell,
+    SweepResult,
+    SweepRunner,
+    WorkloadContext,
+    grid_cells,
+    workload_signature,
+)
 from repro.experiments.systems import (
     DeepSpeedUlyssesSystem,
     FlexSPBatchAdaSystem,
@@ -31,6 +42,13 @@ __all__ = [
     "fig4_workloads",
     "RunResult",
     "run_system",
+    "SweepCell",
+    "CellMetrics",
+    "SweepResult",
+    "SweepRunner",
+    "WorkloadContext",
+    "grid_cells",
+    "workload_signature",
     "TrainingPipeline",
     "PipelineReport",
     "Experiment",

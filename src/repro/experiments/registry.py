@@ -58,7 +58,7 @@ _EXPERIMENTS = [
         "and FlexSP; largest speedup on the most skewed corpus",
         benchmark="benchmarks/test_bench_fig4.py",
         modules=("repro.core.solver", "repro.experiments.systems",
-                 "repro.experiments.runner"),
+                 "repro.experiments.runner", "repro.experiments.sweep"),
     ),
     Experiment(
         key="table3",
@@ -88,7 +88,8 @@ _EXPERIMENTS = [
         claim="FlexSP has the best tokens/s/GPU at every cluster size and "
         "context limit, and degrades least with cluster growth",
         benchmark="benchmarks/test_bench_fig6.py",
-        modules=("repro.experiments.workloads", "repro.experiments.runner"),
+        modules=("repro.experiments.workloads", "repro.experiments.runner",
+                 "repro.experiments.sweep"),
     ),
     Experiment(
         key="table4",

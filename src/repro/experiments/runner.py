@@ -90,19 +90,27 @@ def run_system(
     workload: Workload,
     num_iterations: int = 3,
     start_step: int = 0,
+    batches=None,
 ) -> RunResult:
     """Measure ``system`` on ``workload`` over consecutive global batches.
 
     The paper warms up for 10 iterations and averages 40; the simulator
     is deterministic, so a handful of batches (covering batch-to-batch
     length variation) suffices.
+
+    Args:
+        batches: Pre-sampled :class:`~repro.data.dataset.GlobalBatch`
+            iterable standing in for the corpus stream (the sweep
+            runner memoises corpus generation per workload); when
+            None, the batches are drawn from ``workload.corpus()``.
     """
     if num_iterations <= 0:
         raise ValueError(f"num_iterations must be positive, got {num_iterations}")
-    corpus = workload.corpus()
+    if batches is None:
+        batches = workload.corpus().batches(num_iterations, start_step=start_step)
     outcomes: list[IterationOutcome] = []
     total_tokens = 0
-    for batch in corpus.batches(num_iterations, start_step=start_step):
+    for batch in batches:
         outcomes.append(system.run_iteration(batch.lengths))
         total_tokens += batch.total_tokens
     return RunResult(

@@ -1,0 +1,489 @@
+"""Parallel experiment-sweep runner.
+
+The paper's evaluation is a grid of independent cells — a (system,
+workload) pair measured over a few global batches (Fig. 4's 18 cells,
+Fig. 6's cluster- and context-scaling slices, Table 1).  Regenerating
+the grids one benchmark at a time repeats a lot of work: every system
+re-fits the same cost model, re-tunes the same baselines, re-samples
+the same corpus, and re-solves the same FlexSP plans.
+
+:class:`SweepRunner` treats the whole campaign as one sweep:
+
+* **Shared per-workload state.**  A :class:`WorkloadContext` memoises
+  (keyed by :func:`workload_signature`) the fitted cost model, the
+  sampled corpus batches, the baseline tuning results and the
+  constructed systems — including FlexSP's persistent solver, whose
+  plan cache therefore stays warm across cells *and* across repeated
+  ``run()`` calls (trajectory regeneration).
+* **Cell dedup.**  Grids overlap (Fig. 6's 192K context point is a
+  Fig. 4 cell); duplicate cells are measured once and fanned back out.
+* **Process-pool fan-out.**  With ``workers > 1`` the unique cells are
+  dispatched over a persistent ``ProcessPoolExecutor`` whose workers
+  keep their own context caches alive across cells and sweeps, the
+  same architecture as :class:`repro.core.solver.SolverService`.
+
+Results are plain :class:`CellMetrics` (no plans or traces), so they
+are cheap to ship across the pool and serialise into the
+``BENCH_e2e.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.solver import SolverConfig
+from repro.cost.model import CostModel
+from repro.cost.profiler import fit_cost_model
+from repro.data.dataset import GlobalBatch
+from repro.experiments.runner import RunResult, run_system
+from repro.experiments.systems import (
+    SYSTEM_BUILDERS,
+    DeepSpeedUlyssesSystem,
+    FlexSPBatchAdaSystem,
+    FlexSPSystem,
+    MegatronLMSystem,
+    TrainingSystem,
+)
+from repro.experiments.workloads import Workload
+
+#: Probe batches used to tune the static baselines (the paper tunes
+#: against a handful of representative batches, Appendix B.2).
+DEFAULT_PROBE_BATCHES = 2
+
+
+def workload_signature(workload: Workload) -> tuple:
+    """Hashable identity of a workload's full configuration.
+
+    Two workloads with equal signatures produce identical corpora,
+    cost models and tuning results, so every per-workload memo in the
+    sweep is keyed on this.  Fields are enumerated dynamically so a
+    field added to :class:`Workload` later can never be silently left
+    out of the key.
+    """
+    return tuple(
+        getattr(workload, field.name) for field in dataclasses.fields(workload)
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent measurement of the evaluation grid.
+
+    Attributes:
+        system: Short system name (a :data:`SYSTEM_BUILDERS` key).
+        workload: Evaluation configuration.
+        num_iterations: Consecutive global batches to measure.
+        start_step: First corpus step of the measured window.
+    """
+
+    system: str
+    workload: Workload
+    num_iterations: int = 1
+    start_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEM_BUILDERS:
+            raise ValueError(
+                f"unknown system {self.system!r}; options: "
+                f"{sorted(SYSTEM_BUILDERS)}"
+            )
+        if self.num_iterations <= 0:
+            raise ValueError(
+                f"num_iterations must be positive, got {self.num_iterations}"
+            )
+        if self.start_step < 0:
+            raise ValueError(
+                f"start_step must be non-negative, got {self.start_step}"
+            )
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """The paper's per-cell metrics, detached from plans and traces.
+
+    ``mean_solve_seconds`` is host wall-clock (non-deterministic); the
+    other fields are pure functions of the simulated execution and are
+    bit-identical however the cell is computed (scalar or vectorized,
+    in-process or on a pool worker).
+    """
+
+    system: str
+    workload: str
+    num_iterations: int
+    mean_iteration_seconds: float
+    mean_comm_fraction: float
+    mean_alltoall_fraction: float
+    tokens_per_second_per_gpu: float
+    mean_solve_seconds: float
+    plan_cache_hit_rate: float
+
+    def deterministic(self) -> tuple[float, float, float, float]:
+        """The wall-clock-free metric tuple used for exact comparisons."""
+        return (
+            self.mean_iteration_seconds,
+            self.mean_comm_fraction,
+            self.mean_alltoall_fraction,
+            self.tokens_per_second_per_gpu,
+        )
+
+
+def cell_metrics(result: RunResult, cell: SweepCell) -> CellMetrics:
+    """Condense a :class:`RunResult` into sweep metrics."""
+    return CellMetrics(
+        system=result.system,
+        workload=result.workload,
+        num_iterations=len(result.outcomes),
+        mean_iteration_seconds=result.mean_iteration_seconds,
+        mean_comm_fraction=result.mean_comm_fraction,
+        mean_alltoall_fraction=result.mean_alltoall_fraction,
+        tokens_per_second_per_gpu=result.tokens_per_second_per_gpu(
+            cell.workload.cluster.num_gpus
+        ),
+        mean_solve_seconds=result.mean_solve_seconds,
+        plan_cache_hit_rate=result.plan_cache_hit_rate,
+    )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one sweep pass.
+
+    Attributes:
+        cells: The requested cells, in request order.
+        metrics: Per-cell metrics aligned with ``cells`` (duplicate
+            cells share one measurement).
+        unique_cells: How many distinct cells were actually measured.
+        wall_seconds: Host wall-clock of the pass.
+    """
+
+    cells: tuple[SweepCell, ...]
+    metrics: tuple[CellMetrics, ...]
+    unique_cells: int
+    wall_seconds: float
+
+    def metric(self, system: str, workload_name: str) -> CellMetrics:
+        """Look one cell's metrics up by system and workload name."""
+        for cell, metrics in zip(self.cells, self.metrics):
+            if cell.system == system and cell.workload.name == workload_name:
+                return metrics
+        raise KeyError(f"no cell for system={system!r} workload={workload_name!r}")
+
+
+class WorkloadContext:
+    """Memoised per-workload state shared by every cell that uses it.
+
+    Everything derivable from the workload alone is computed lazily
+    once: the corpus batches, the fitted cost model, the tuned baseline
+    strategies, and the system instances themselves (whose executors
+    and FlexSP solver — with its plan cache — persist for the life of
+    the context).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        solver_config: SolverConfig | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        self.workload = workload
+        self.solver_config = solver_config
+        self.vectorized = vectorized
+        self._corpus = workload.corpus()
+        self._batches: dict[int, GlobalBatch] = {}
+        self._cost_model: CostModel | None = None
+        self._static_degree: int | None = None
+        self._megatron_strategy = None
+        self._systems: dict[str, TrainingSystem] = {}
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The workload's fitted cost model (profiled once)."""
+        if self._cost_model is None:
+            self._cost_model = fit_cost_model(
+                self.workload.model_at_context,
+                self.workload.cluster,
+                self.workload.checkpointing,
+            )
+        return self._cost_model
+
+    def batch(self, step: int) -> GlobalBatch:
+        """Corpus batch for ``step``, sampled at most once."""
+        batch = self._batches.get(step)
+        if batch is None:
+            batch = self._corpus.batch(step)
+            self._batches[step] = batch
+        return batch
+
+    def batches(self, num: int, start_step: int = 0) -> list[GlobalBatch]:
+        return [self.batch(step) for step in range(start_step, start_step + num)]
+
+    def probe_batches(
+        self, num: int = DEFAULT_PROBE_BATCHES
+    ) -> list[tuple[int, ...]]:
+        """The tuners' probe lengths (the first corpus batches)."""
+        return [self.batch(step).lengths for step in range(num)]
+
+    def static_degree(self) -> int:
+        """DeepSpeed's tuned static SP degree (tuned once)."""
+        if self._static_degree is None:
+            from repro.baselines.tuner import choose_static_degree
+
+            self._static_degree = choose_static_degree(
+                self.probe_batches(),
+                self.cost_model,
+                self.workload.max_context,
+                vectorized=self.vectorized,
+            )
+        return self._static_degree
+
+    def megatron_strategy(self):
+        """Megatron-LM's tuned (tp, cp, dp) strategy (tuned once)."""
+        if self._megatron_strategy is None:
+            from repro.baselines.tuner import tune_megatron
+
+            self._megatron_strategy = tune_megatron(
+                self.probe_batches(),
+                self.workload.model_at_context,
+                self.workload.cluster,
+                self.workload.max_context,
+                self.workload.checkpointing,
+                vectorized=self.vectorized,
+            )
+        return self._megatron_strategy
+
+    def system(self, name: str) -> TrainingSystem:
+        """The (persistent) system instance for this workload."""
+        system = self._systems.get(name)
+        if system is not None:
+            return system
+        workload = self.workload
+        if name == "flexsp":
+            system = FlexSPSystem(
+                workload,
+                self.solver_config,
+                cost_model=self.cost_model,
+                vectorized=self.vectorized,
+            )
+        elif name == "deepspeed":
+            system = DeepSpeedUlyssesSystem(
+                workload,
+                sp_degree=self.static_degree(),
+                cost_model=self.cost_model,
+                vectorized=self.vectorized,
+            )
+        elif name == "batchada":
+            system = FlexSPBatchAdaSystem(
+                workload,
+                cost_model=self.cost_model,
+                vectorized=self.vectorized,
+            )
+        elif name == "megatron":
+            system = MegatronLMSystem(
+                workload,
+                strategy=self.megatron_strategy(),
+                vectorized=self.vectorized,
+            )
+        else:  # pragma: no cover - guarded by SweepCell validation
+            raise ValueError(f"unknown system {name!r}")
+        self._systems[name] = system
+        return system
+
+    def run(self, cell: SweepCell) -> CellMetrics:
+        """Measure one cell against this context's shared state."""
+        result = run_system(
+            self.system(cell.system),
+            self.workload,
+            num_iterations=cell.num_iterations,
+            start_step=cell.start_step,
+            batches=self.batches(cell.num_iterations, cell.start_step),
+        )
+        return cell_metrics(result, cell)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state of the sweep pool.  Contexts live in the worker
+# process and persist across cells and across sweeps, so each worker
+# amortises profiling/tuning/corpus work exactly like the serial path.
+# ---------------------------------------------------------------------------
+
+_WORKER_SWEEP: tuple[SolverConfig | None, bool] | None = None
+_WORKER_CONTEXTS: dict = {}
+
+
+def _sweep_worker_init(
+    solver_config: SolverConfig | None, vectorized: bool
+) -> None:
+    global _WORKER_SWEEP
+    _WORKER_SWEEP = (solver_config, vectorized)
+    _WORKER_CONTEXTS.clear()
+
+
+def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
+    assert _WORKER_SWEEP is not None, "sweep worker used before initialization"
+    solver_config, vectorized = _WORKER_SWEEP
+    key = workload_signature(cell.workload)
+    context = _WORKER_CONTEXTS.get(key)
+    if context is None:
+        context = WorkloadContext(cell.workload, solver_config, vectorized)
+        _WORKER_CONTEXTS[key] = context
+    return context.run(cell)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """weakref.finalize target: non-blocking best-effort shutdown."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class SweepRunner:
+    """Runs evaluation-grid cells with shared state and optional fan-out.
+
+    The runner is a persistent service: per-workload contexts (and the
+    worker pool, when ``workers > 1``) survive across :meth:`run`
+    calls, so regenerating a campaign repeatedly — the benchmark
+    trajectory use case — pays profiling, tuning, corpus sampling and
+    plan solving once.
+
+    Args:
+        cells: Default cell list for :meth:`run`.
+        solver_config: FlexSP solver knobs shared by all cells.
+        workers: Process-pool width; 1 (the default on single-core
+            hosts) runs in-process.  ``None`` uses the CPU count.
+        vectorized: Evaluate timing kernels and tuners through the
+            batched array paths (bit-identical to scalar).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[SweepCell] = (),
+        solver_config: SolverConfig | None = None,
+        workers: int | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        self.cells = tuple(cells)
+        self.solver_config = solver_config
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self.vectorized = vectorized
+        self._contexts: dict[tuple, WorkloadContext] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def context(self, workload: Workload) -> WorkloadContext:
+        """The (memoised) shared context of ``workload``."""
+        key = workload_signature(workload)
+        context = self._contexts.get(key)
+        if context is None:
+            context = WorkloadContext(
+                workload, self.solver_config, self.vectorized
+            )
+            self._contexts[key] = context
+        return context
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_sweep_worker_init,
+                    initargs=(self.solver_config, self.vectorized),
+                )
+                weakref.finalize(self, _shutdown_pool, self._pool)
+            return self._pool
+
+    def run(self, cells: Iterable[SweepCell] | None = None) -> SweepResult:
+        """Measure every cell (deduplicated) and return aligned metrics."""
+        cells = self.cells if cells is None else tuple(cells)
+        if not cells:
+            raise ValueError("a sweep needs at least one cell")
+        started = time.perf_counter()
+        unique: dict[SweepCell, CellMetrics | None] = dict.fromkeys(cells)
+        order = list(unique)
+        if self.workers == 1:
+            for cell in order:
+                unique[cell] = self.context(cell.workload).run(cell)
+        else:
+            outcomes = self._run_on_pool(order)
+            for cell, metrics in zip(order, outcomes):
+                unique[cell] = metrics
+        metrics = tuple(unique[cell] for cell in cells)
+        return SweepResult(
+            cells=tuple(cells),
+            metrics=metrics,
+            unique_cells=len(unique),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _run_on_pool(self, cells: list[SweepCell]) -> list[CellMetrics]:
+        """Fan unique cells across the persistent pool (one retry on a
+        broken/concurrently-closed pool, mirroring ``SolverService``).
+
+        The ``RuntimeError`` guard covers only the submission phase (a
+        concurrent ``close()`` racing a submit); an exception raised
+        *inside* a worker's cell computation is genuine and propagates
+        without a wasteful retry.
+        """
+        for attempt in (0, 1):
+            try:
+                pool = self._ensure_pool()
+                futures = [pool.submit(_sweep_worker_run, cell) for cell in cells]
+            except (BrokenProcessPool, RuntimeError):
+                if attempt:
+                    raise
+                self.close()
+                continue
+            try:
+                return [f.result() for f in futures]
+            except BrokenProcessPool:
+                if attempt:
+                    raise
+                self.close()
+        raise AssertionError("unreachable: both sweep attempts returned")
+
+    def close(self) -> None:
+        """Shut the worker pool down.
+
+        The serial path's in-process contexts survive; with
+        ``workers > 1`` the warm per-workload state lives inside the
+        worker processes and is discarded with them — the next
+        :meth:`run` starts a fresh pool with cold caches.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def grid_cells(
+    systems: Iterable[str],
+    workloads: Iterable[Workload],
+    num_iterations: int = 1,
+    start_step: int = 0,
+) -> list[SweepCell]:
+    """The cross product of systems and workloads as sweep cells."""
+    return [
+        SweepCell(
+            system=system,
+            workload=workload,
+            num_iterations=num_iterations,
+            start_step=start_step,
+        )
+        for workload in workloads
+        for system in systems
+    ]

@@ -29,6 +29,22 @@ from repro.simulator.executor import IterationExecutor
 from repro.simulator.trace import PhaseKind
 
 
+def _workload_cost_model(
+    workload: Workload, cost_model: CostModel | None
+) -> CostModel:
+    """The injected cost model, or a freshly fitted one.
+
+    Sweeps fit one model per workload and share it across the systems
+    of a cell; standalone construction keeps the old fit-per-system
+    behaviour.
+    """
+    if cost_model is not None:
+        return cost_model
+    return fit_cost_model(
+        workload.model_at_context, workload.cluster, workload.checkpointing
+    )
+
+
 @dataclass(frozen=True)
 class IterationOutcome:
     """One iteration's measurements, system-agnostic.
@@ -103,17 +119,22 @@ class FlexSPSystem:
     (or use the system as a context manager) to release the pool.
     """
 
-    def __init__(self, workload: Workload, solver_config: SolverConfig | None = None):
+    def __init__(
+        self,
+        workload: Workload,
+        solver_config: SolverConfig | None = None,
+        cost_model: CostModel | None = None,
+        vectorized: bool = True,
+    ):
         self.name = "FlexSP"
         self.workload = workload
-        self.cost_model = fit_cost_model(
-            workload.model_at_context, workload.cluster, workload.checkpointing
-        )
+        self.cost_model = _workload_cost_model(workload, cost_model)
         self.solver = FlexSPSolver(self.cost_model, solver_config)
         self.executor = IterationExecutor(
             config=workload.model_at_context,
             cluster=workload.cluster,
             checkpointing=workload.checkpointing,
+            vectorized=vectorized,
         )
 
     def plan(self, lengths: tuple[int, ...]) -> tuple[IterationPlan, float]:
@@ -149,23 +170,29 @@ class DeepSpeedUlyssesSystem:
         workload: Workload,
         sp_degree: int | None = None,
         num_probe_batches: int = 2,
+        cost_model: CostModel | None = None,
+        probe_batches: list[tuple[int, ...]] | None = None,
+        vectorized: bool = True,
     ):
         self.name = "DeepSpeed"
         self.workload = workload
-        self.cost_model = fit_cost_model(
-            workload.model_at_context, workload.cluster, workload.checkpointing
-        )
+        self.cost_model = _workload_cost_model(workload, cost_model)
         if sp_degree is None:
-            corpus = workload.corpus()
-            probes = [corpus.batch(step).lengths for step in range(num_probe_batches)]
+            if probe_batches is None:
+                corpus = workload.corpus()
+                probe_batches = [
+                    corpus.batch(step).lengths for step in range(num_probe_batches)
+                ]
             sp_degree = choose_static_degree(
-                probes, self.cost_model, workload.max_context
+                probe_batches, self.cost_model, workload.max_context,
+                vectorized=vectorized,
             )
         self.sp_degree = sp_degree
         self.executor = IterationExecutor(
             config=workload.model_at_context,
             cluster=workload.cluster,
             checkpointing=workload.checkpointing,
+            vectorized=vectorized,
         )
 
     def run_iteration(self, lengths: tuple[int, ...]) -> IterationOutcome:
@@ -176,21 +203,28 @@ class DeepSpeedUlyssesSystem:
 class FlexSPBatchAdaSystem:
     """FlexSP-BatchAda: best homogeneous SP degree per batch (S6.1)."""
 
-    def __init__(self, workload: Workload):
+    def __init__(
+        self,
+        workload: Workload,
+        cost_model: CostModel | None = None,
+        vectorized: bool = True,
+    ):
         self.name = "FlexSP-BatchAda"
         self.workload = workload
-        self.cost_model = fit_cost_model(
-            workload.model_at_context, workload.cluster, workload.checkpointing
-        )
+        self.vectorized = vectorized
+        self.cost_model = _workload_cost_model(workload, cost_model)
         self.executor = IterationExecutor(
             config=workload.model_at_context,
             cluster=workload.cluster,
             checkpointing=workload.checkpointing,
+            vectorized=vectorized,
         )
 
     def run_iteration(self, lengths: tuple[int, ...]) -> IterationOutcome:
         start = time.perf_counter()
-        degree, __ = choose_degree_for_batch(tuple(lengths), self.cost_model)
+        degree, __ = choose_degree_for_batch(
+            tuple(lengths), self.cost_model, vectorized=self.vectorized
+        )
         solve_seconds = time.perf_counter() - start
         plan = homogeneous_plan(tuple(lengths), self.cost_model, degree)
         return _executor_outcome(self.executor, plan, solve_seconds)
@@ -204,18 +238,25 @@ class MegatronLMSystem:
         workload: Workload,
         strategy: MegatronStrategy | None = None,
         num_probe_batches: int = 2,
+        probe_batches: list[tuple[int, ...]] | None = None,
+        vectorized: bool = True,
     ):
         self.name = "Megatron-LM"
         self.workload = workload
+        self.vectorized = vectorized
         if strategy is None:
-            corpus = workload.corpus()
-            probes = [corpus.batch(step).lengths for step in range(num_probe_batches)]
+            if probe_batches is None:
+                corpus = workload.corpus()
+                probe_batches = [
+                    corpus.batch(step).lengths for step in range(num_probe_batches)
+                ]
             strategy = tune_megatron(
-                probes,
+                probe_batches,
                 workload.model_at_context,
                 workload.cluster,
                 workload.max_context,
                 workload.checkpointing,
+                vectorized=vectorized,
             )
         self.strategy = strategy
 
@@ -227,6 +268,7 @@ class MegatronLMSystem:
             self.strategy,
             self.workload.checkpointing,
             pack_target=self.workload.max_context,
+            vectorized=self.vectorized,
         )
         return IterationOutcome(
             iteration_seconds=outcome.iteration_seconds,

@@ -11,9 +11,11 @@ and the execution trace used for time breakdowns
 from repro.simulator.engine import DiscreteEventEngine, Event
 from repro.simulator.executor import ExecutionResult, IterationExecutor
 from repro.simulator.timing import (
+    TimingTable,
     group_alltoall_time,
     group_compute_time,
     gradient_sync_time,
+    timing_table,
     zero3_gather_time,
 )
 from repro.simulator.trace import PhaseKind, TracePhase, TraceRecorder
@@ -27,6 +29,8 @@ __all__ = [
     "group_alltoall_time",
     "zero3_gather_time",
     "gradient_sync_time",
+    "TimingTable",
+    "timing_table",
     "PhaseKind",
     "TracePhase",
     "TraceRecorder",

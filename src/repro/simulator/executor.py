@@ -26,6 +26,7 @@ from repro.simulator.timing import (
     group_alltoall_time,
     group_compute_time,
     optimizer_step_time,
+    timing_table,
     zero3_gather_time,
 )
 from repro.simulator.trace import PhaseKind, TracePhase, TraceRecorder
@@ -73,16 +74,23 @@ class IterationExecutor:
         checkpointing: Activation checkpointing policy in force.
         pool: Communicator pool; persists across iterations so group
             creation is only charged on first use (hot switching).
+        vectorized: Charge timings through the batched
+            :class:`~repro.simulator.timing.TimingTable` kernels (all
+            groups of a plan in one shot) instead of the scalar
+            per-group functions.  Both paths are bit-identical; False
+            keeps the scalar reference path for benchmarks and tests.
     """
 
     config: ModelConfig
     cluster: ClusterSpec
     checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE
     pool: CommGroupPool = field(default=None)  # type: ignore[assignment]
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.pool is None:
             self.pool = CommGroupPool(cluster=self.cluster)
+        self._link_cache: dict[tuple[int, ...], object] = {}
 
     def _microbatch_group_times(
         self, mb: MicroBatchPlan
@@ -102,6 +110,53 @@ class IterationExecutor:
             times.append((compute, alltoall, gather, creation))
         return times
 
+    def _group_link(self, ranks: tuple[int, ...]):
+        """Memoised topology link lookup (plans revisit the same groups)."""
+        link = self._link_cache.get(ranks)
+        if link is None:
+            link = self.cluster.group_link(ranks)
+            self._link_cache[ranks] = link
+        return link
+
+    def _plan_group_times(
+        self, plan: IterationPlan
+    ) -> list[list[tuple[float, float, float, float]]]:
+        """Per-micro-batch group timing tuples for the whole plan.
+
+        The vectorized path charges every group of every micro-batch
+        through the :class:`TimingTable` kernels in one shot; the
+        scalar path evaluates micro-batch by micro-batch.  Results are
+        bit-identical.
+        """
+        if not self.vectorized:
+            return [self._microbatch_group_times(mb) for mb in plan.microbatches]
+        groups = []
+        creations = []
+        for mb in plan.microbatches:
+            for g in mb.groups:
+                __, creation = self.pool.get(g.device_ranks)
+                groups.append(g)
+                creations.append(creation)
+        links = [self._group_link(g.device_ranks) for g in groups]
+        table = timing_table(self.config, self.cluster, self.checkpointing)
+        compute, alltoall, gather = table.group_times(groups, links)
+        times: list[list[tuple[float, float, float, float]]] = []
+        cursor = 0
+        for mb in plan.microbatches:
+            row = []
+            for __ in mb.groups:
+                row.append(
+                    (
+                        float(compute[cursor]),
+                        float(alltoall[cursor]),
+                        float(gather[cursor]),
+                        creations[cursor],
+                    )
+                )
+                cursor += 1
+            times.append(row)
+        return times
+
     def run(self, plan: IterationPlan) -> ExecutionResult:
         """Execute ``plan`` and return timing plus trace."""
         engine = DiscreteEventEngine()
@@ -109,9 +164,11 @@ class IterationExecutor:
         microbatch_seconds: list[float] = []
         creation_total = 0.0
 
+        plan_times = self._plan_group_times(plan)
         clock = 0.0
-        for index, mb in enumerate(plan.microbatches):
-            group_times = self._microbatch_group_times(mb)
+        for index, (mb, group_times) in enumerate(
+            zip(plan.microbatches, plan_times)
+        ):
             makespan = 0.0
             for g, (compute, alltoall, gather, creation) in zip(
                 mb.groups, group_times

@@ -8,11 +8,25 @@ The planner never sees them directly — its alpha-beta coefficients are
 :mod:`repro.cost.profiler`, reproducing the paper's profile-then-plan
 workflow, and the residual between the two is what Fig. 9 (Appendix C)
 measures.
+
+Two evaluation surfaces are provided:
+
+* the scalar functions (:func:`group_compute_time`,
+  :func:`group_alltoall_time`, :func:`zero3_gather_time`) — the
+  reference definitions, one SP group at a time;
+* :class:`TimingTable` — the same formulas as numpy kernels that
+  evaluate *every* group of an iteration plan in one shot,
+  bit-identical to the scalar path (same IEEE-754 double operations in
+  the same order, including sequential within-group reductions).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+from itertools import chain
+
+import numpy as np
 
 from repro.cluster.collectives import (
     all_gather_time,
@@ -45,6 +59,11 @@ MICROBATCH_LAUNCH_OVERHEAD = 0.012
 #: prefetching (FSDP overlaps the next layer's gather with the current
 #: layer's compute).
 ZERO3_OVERLAP_FRACTION = 0.85
+
+#: Effective HBM bandwidth the optimizer update streams at, bytes/s.
+#: A100-80GB HBM2e peaks at ~2 TB/s and the 40GB part at ~1.6 TB/s;
+#: fused Adam sustains roughly 80% of peak, hence 1.3 TB/s effective.
+HBM_BANDWIDTH_BYTES_PER_SECOND = 1.3e12
 
 
 def _efficiency_derate(tokens_per_device: float) -> float:
@@ -146,9 +165,210 @@ def optimizer_step_time(config: ModelConfig, cluster: ClusterSpec) -> float:
 
     Each device updates its parameter shard: reads/writes roughly
     16 bytes of state plus the bf16 gradient per owned parameter at
-    HBM bandwidth (~1.5 TB/s effective on A100).
+    :data:`HBM_BANDWIDTH_BYTES_PER_SECOND` (~1.3 TB/s effective on
+    A100).
     """
-    hbm_bandwidth = 1.3e12
     shard_params = config.parameter_count() / cluster.num_gpus
     traffic = shard_params * (16 + 2) * 2  # read + write
-    return traffic / hbm_bandwidth
+    return traffic / HBM_BANDWIDTH_BYTES_PER_SECOND
+
+
+# ---------------------------------------------------------------------------
+# Vectorized ground truth: every SP group of an iteration in one shot.
+# ---------------------------------------------------------------------------
+
+
+def segment_sequential_sums(
+    values: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-segment left-to-right float sums, bit-identical to Python.
+
+    ``values`` is the concatenation of the segments; ``counts`` their
+    lengths.  Each segment is accumulated strictly left to right —
+    exactly like ``total = 0.0; for v in seg: total += v`` — which is
+    what makes the batched kernels reproduce the scalar functions
+    bit-for-bit.  (``np.add.reduce``/``reduceat`` use pairwise
+    summation above ~8 elements and round differently.)
+
+    The trick: lay the segments out as rows of a zero-padded matrix and
+    add the columns up one by one.  Adding the 0.0 padding is an exact
+    no-op for the non-negative addends used here, so short rows finish
+    early without perturbing their accumulator.  One vectorized add per
+    column replaces a Python-level loop over every element.
+
+    Args:
+        values: Concatenated segment values; must be non-negative (or
+            at least never ``-0.0``/NaN) for padding to be exact.
+        counts: Segment lengths, all positive.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    num_segments = counts.shape[0]
+    if num_segments == 0:
+        return np.zeros(0, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    width = int(counts.max())
+    padded = np.zeros((num_segments, width), dtype=np.float64)
+    rows = np.repeat(np.arange(num_segments), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    cols = np.arange(values.shape[0]) - np.repeat(starts, counts)
+    padded[rows, cols] = values
+    acc = padded[:, 0].copy()
+    for column in range(1, width):
+        acc += padded[:, column]
+    return acc
+
+
+def _segment_token_sums(flat_lengths: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Exact per-segment integer token sums (order-independent)."""
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.add.reduceat(flat_lengths, starts)
+
+
+class TimingTable:
+    """Vectorized view of the ground-truth timing for one policy triple.
+
+    The scalar functions re-derive every constant (dense FLOPs/token,
+    All-to-All round count, the raw ZeRO-3 gather) on each call and
+    walk each group's sequences in interpreted Python.  This table
+    precomputes the constants once per ``(config, cluster,
+    checkpointing)`` and evaluates *all* SP groups of an iteration plan
+    as array expressions.
+
+    Exactness: every elementwise expression replicates the scalar
+    formula operation-for-operation, and within-group reductions use
+    :func:`segment_sequential_sums` (left-to-right accumulation), so
+    results equal :func:`group_compute_time` /
+    :func:`group_alltoall_time` / :func:`zero3_gather_time` bit-for-bit
+    (property-tested by ``tests/test_property_timing_batch.py``).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        cluster: ClusterSpec,
+        checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+    ) -> None:
+        self.config = config
+        self.cluster = cluster
+        self.checkpointing = checkpointing
+        from repro.model.flops import dense_flops_per_token
+
+        self._dense = dense_flops_per_token(config)
+        self._multiplier = training_flops_multiplier(checkpointing)
+        self._effective_flops = cluster.gpu.effective_flops
+        self._hidden = config.hidden_size
+        self._bytes_per_element = config.bytes_per_element
+        self._num_layers = config.num_layers
+        self._rounds = alltoall_rounds_per_step(config)
+        self._zero3_raw = all_gather_time(
+            zero3_gather_bytes_per_microbatch(config),
+            cluster.num_gpus,
+            cluster.hierarchical_link(),
+        )
+
+    def sequence_flop_terms(self, lengths: np.ndarray) -> np.ndarray:
+        """Forward FLOPs per sequence (``sequence_flops``, elementwise)."""
+        s = np.asarray(lengths, dtype=np.float64)
+        attention = self._num_layers * (4.0 * s * s * self._hidden / 2.0)
+        return s * self._dense + attention
+
+    def group_compute_times(
+        self,
+        flat_lengths: np.ndarray,
+        counts: np.ndarray,
+        degrees: np.ndarray,
+    ) -> np.ndarray:
+        """:func:`group_compute_time` for many groups at once.
+
+        Args:
+            flat_lengths: All groups' sequence lengths, concatenated.
+            counts: Sequences per group.
+            degrees: SP degree per group.
+        """
+        forward = segment_sequential_sums(
+            self.sequence_flop_terms(flat_lengths), counts
+        )
+        flops = forward * self._multiplier
+        per_device = flops / degrees
+        tokens_per_device = _segment_token_sums(flat_lengths, counts) / degrees
+        derate = tokens_per_device / (tokens_per_device + SATURATION_TOKENS)
+        throughput = self._effective_flops * derate
+        return per_device / throughput + MICROBATCH_LAUNCH_OVERHEAD
+
+    def group_alltoall_times(
+        self,
+        tokens: np.ndarray,
+        degrees: np.ndarray,
+        latencies: np.ndarray,
+        bandwidths: np.ndarray,
+    ) -> np.ndarray:
+        """:func:`group_alltoall_time` for many groups at once.
+
+        Args:
+            tokens: Integer token count per group.
+            degrees: SP degree per group.
+            latencies: Per-group link latency (each group's
+                topology-determined link, as the executor charges it).
+            bandwidths: Per-group link bandwidth.
+        """
+        degrees = np.asarray(degrees, dtype=np.int64)
+        resident = np.asarray(tokens, dtype=np.int64) / degrees
+        per_round_bytes = resident * self._hidden * self._bytes_per_element
+        wire = per_round_bytes * (degrees - 1) / degrees
+        per_round = latencies + wire / bandwidths
+        out = self._rounds * per_round
+        np.copyto(out, 0.0, where=(degrees == 1) | (np.asarray(tokens) <= 0))
+        return out
+
+    def zero3_exposed_times(self, compute_times: np.ndarray) -> np.ndarray:
+        """:func:`zero3_gather_time` (stage 3) for many groups at once."""
+        raw = self._zero3_raw
+        hidden = np.minimum(raw * ZERO3_OVERLAP_FRACTION, compute_times)
+        return raw - hidden
+
+    def group_times(
+        self, groups: Sequence, links: Sequence[LinkSpec]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(compute, alltoall, exposed gather) arrays for plan groups.
+
+        Args:
+            groups: :class:`~repro.core.types.GroupAssignment` objects
+                in execution order.
+            links: The topology link of each group, aligned.
+        """
+        counts = np.fromiter(
+            (len(g.lengths) for g in groups), dtype=np.int64, count=len(groups)
+        )
+        flat_lengths = np.fromiter(
+            chain.from_iterable(g.lengths for g in groups),
+            dtype=np.int64,
+            count=int(counts.sum()),
+        )
+        degrees = np.fromiter(
+            (g.degree for g in groups), dtype=np.int64, count=len(groups)
+        )
+        latencies = np.fromiter(
+            (link.latency for link in links), dtype=np.float64, count=len(links)
+        )
+        bandwidths = np.fromiter(
+            (link.bandwidth for link in links), dtype=np.float64, count=len(links)
+        )
+        compute = self.group_compute_times(flat_lengths, counts, degrees)
+        tokens = _segment_token_sums(flat_lengths, counts)
+        alltoall = self.group_alltoall_times(tokens, degrees, latencies, bandwidths)
+        gather = self.zero3_exposed_times(compute)
+        return compute, alltoall, gather
+
+
+@lru_cache(maxsize=128)
+def timing_table(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    checkpointing: ActivationCheckpointing = ActivationCheckpointing.NONE,
+) -> TimingTable:
+    """Memoised :class:`TimingTable` for a (config, cluster, policy).
+
+    Executors for the same evaluation cell (one per system in a sweep)
+    share one table, so the precomputation runs once per process.
+    """
+    return TimingTable(config, cluster, checkpointing)

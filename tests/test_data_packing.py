@@ -1,5 +1,7 @@
 """Tests for repro.data.packing: best-fit / first-fit packing."""
 
+import random
+
 import pytest
 
 from repro.data.packing import (
@@ -8,6 +10,19 @@ from repro.data.packing import (
     first_fit_decreasing,
     pack_efficiency,
 )
+
+
+def naive_first_fit_decreasing(lengths, capacity):
+    """The O(K²) scan the tournament-tree implementation replaced."""
+    packs = []
+    for s in sorted(lengths, reverse=True):
+        for pack in packs:
+            if pack.remaining >= s:
+                pack.add(s)
+                break
+        else:
+            packs.append(Pack(capacity=capacity, lengths=[s]))
+    return packs
 
 
 class TestPack:
@@ -73,6 +88,41 @@ class TestBestFitDecreasing:
         lengths = [10] * 25
         packs = best_fit_decreasing(lengths, capacity=100)
         assert len(packs) == 3  # 10 per pack, 25 items -> ceil(25/10)
+
+
+class TestFirstFitDecreasing:
+    def test_identical_assignments_to_naive_scan(self):
+        """The segment-tree FFD must place every sequence in exactly
+        the pack the naive first-pack-that-fits scan would pick."""
+        rng = random.Random(41)
+        for __ in range(60):
+            capacity = rng.randint(10, 2000)
+            lengths = [
+                rng.randint(1, capacity) for __ in range(rng.randint(0, 200))
+            ]
+            fast = first_fit_decreasing(lengths, capacity)
+            naive = naive_first_fit_decreasing(lengths, capacity)
+            assert [p.lengths for p in fast] == [p.lengths for p in naive]
+
+    def test_many_pack_growth(self):
+        """Singleton packs force repeated tournament-tree doubling."""
+        lengths = [100] * 37
+        packs = first_fit_decreasing(lengths, capacity=100)
+        assert len(packs) == 37
+        assert all(p.lengths == [100] for p in packs)
+
+    def test_empty_input(self):
+        assert first_fit_decreasing([], capacity=10) == []
+
+    def test_rejects_over_capacity_sequence(self):
+        with pytest.raises(ValueError, match="exceeds pack capacity"):
+            first_fit_decreasing([101], capacity=100)
+
+    def test_first_fit_prefers_lowest_index(self):
+        # 60 opens pack 0; 50 opens pack 1 (60+50 > 100); the 30 fits
+        # both (rem 40 and 50) and first-fit must take pack 0.
+        packs = first_fit_decreasing([60, 50, 30], capacity=100)
+        assert [p.lengths for p in packs] == [[60, 30], [50]]
 
 
 class TestEfficiency:

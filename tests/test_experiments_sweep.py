@@ -1,0 +1,198 @@
+"""Tests for repro.experiments.sweep: the parallel sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import SolverConfig
+from repro.cluster.topology import standard_cluster
+from repro.data.distributions import COMMONCRAWL, GITHUB
+from repro.experiments.runner import run_system
+from repro.experiments.sweep import (
+    CellMetrics,
+    SweepCell,
+    SweepRunner,
+    WorkloadContext,
+    grid_cells,
+    workload_signature,
+)
+from repro.experiments.systems import DeepSpeedUlyssesSystem, build_system
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+
+SOLVER = SolverConfig(backend="greedy", num_trials=2)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(
+        model=GPT_7B,
+        distribution=GITHUB,
+        max_context=32 * 1024,
+        cluster=standard_cluster(8),
+        global_batch_size=16,
+    )
+
+
+@pytest.fixture(scope="module")
+def other_workload():
+    return Workload(
+        model=GPT_7B,
+        distribution=COMMONCRAWL,
+        max_context=32 * 1024,
+        cluster=standard_cluster(8),
+        global_batch_size=16,
+    )
+
+
+class TestSweepCell:
+    def test_rejects_unknown_system(self, workload):
+        with pytest.raises(ValueError, match="unknown system"):
+            SweepCell(system="pytorch", workload=workload)
+
+    def test_rejects_nonpositive_iterations(self, workload):
+        with pytest.raises(ValueError, match="num_iterations"):
+            SweepCell(system="flexsp", workload=workload, num_iterations=0)
+
+    def test_grid_cells_cross_product(self, workload, other_workload):
+        cells = grid_cells(["flexsp", "megatron"], [workload, other_workload])
+        assert len(cells) == 4
+        assert {(c.system, c.workload.name) for c in cells} == {
+            ("flexsp", workload.name),
+            ("megatron", workload.name),
+            ("flexsp", other_workload.name),
+            ("megatron", other_workload.name),
+        }
+
+
+class TestWorkloadSignature:
+    def test_equal_workloads_share_signature(self, workload):
+        clone = Workload(
+            model=GPT_7B,
+            distribution=GITHUB,
+            max_context=32 * 1024,
+            cluster=standard_cluster(8),
+            global_batch_size=16,
+        )
+        assert workload_signature(clone) == workload_signature(workload)
+
+    def test_batch_size_changes_signature(self, workload):
+        resized = Workload(
+            model=workload.model,
+            distribution=workload.distribution,
+            max_context=workload.max_context,
+            cluster=workload.cluster,
+            global_batch_size=workload.global_batch_size * 2,
+        )
+        assert workload_signature(resized) != workload_signature(workload)
+
+
+class TestWorkloadContext:
+    def test_memoises_cost_model_and_batches(self, workload):
+        context = WorkloadContext(workload, SOLVER)
+        assert context.cost_model is context.cost_model
+        assert context.batch(0) is context.batch(0)
+        assert context.batch(0).lengths == workload.corpus().batch(0).lengths
+
+    def test_memoises_tuning(self, workload):
+        context = WorkloadContext(workload, SOLVER)
+        assert context.static_degree() == context.static_degree()
+        assert context.megatron_strategy() is context.megatron_strategy()
+
+    def test_systems_persist(self, workload):
+        context = WorkloadContext(workload, SOLVER)
+        assert context.system("flexsp") is context.system("flexsp")
+
+    def test_shared_cost_model_across_systems(self, workload):
+        context = WorkloadContext(workload, SOLVER)
+        assert (
+            context.system("flexsp").cost_model
+            is context.system("deepspeed").cost_model
+        )
+
+
+class TestSweepRunner:
+    def test_matches_direct_run(self, workload):
+        cell = SweepCell(system="deepspeed", workload=workload, num_iterations=2)
+        result = SweepRunner([cell], solver_config=SOLVER, workers=1).run()
+        direct = run_system(DeepSpeedUlyssesSystem(workload), workload, 2)
+        metrics = result.metrics[0]
+        assert isinstance(metrics, CellMetrics)
+        assert metrics.mean_iteration_seconds == direct.mean_iteration_seconds
+        assert metrics.mean_comm_fraction == direct.mean_comm_fraction
+        assert metrics.tokens_per_second_per_gpu == direct.tokens_per_second_per_gpu(
+            workload.cluster.num_gpus
+        )
+
+    def test_deduplicates_cells(self, workload):
+        cell = SweepCell(system="megatron", workload=workload)
+        result = SweepRunner([cell, cell, cell], solver_config=SOLVER, workers=1).run()
+        assert result.unique_cells == 1
+        assert len(result.metrics) == 3
+        assert result.metrics[0] is result.metrics[1] is result.metrics[2]
+
+    def test_all_systems_and_lookup(self, workload):
+        cells = grid_cells(
+            ["flexsp", "deepspeed", "batchada", "megatron"], [workload]
+        )
+        result = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        flexsp = result.metric("flexsp", workload.name)
+        deepspeed = result.metric("deepspeed", workload.name)
+        assert flexsp.mean_iteration_seconds <= deepspeed.mean_iteration_seconds * 1.02
+        with pytest.raises(KeyError):
+            result.metric("flexsp", "no-such-workload")
+
+    def test_warm_rerun_identical_and_cached(self, workload):
+        runner = SweepRunner(
+            grid_cells(["flexsp"], [workload], num_iterations=2),
+            solver_config=SOLVER,
+            workers=1,
+        )
+        cold = runner.run()
+        warm = runner.run()
+        for first, second in zip(cold.metrics, warm.metrics):
+            assert first.deterministic() == second.deterministic()
+        assert warm.metrics[0].plan_cache_hit_rate == 1.0
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one cell"):
+            SweepRunner([], solver_config=SOLVER, workers=1).run()
+
+    def test_run_accepts_explicit_cells(self, workload, other_workload):
+        runner = SweepRunner(solver_config=SOLVER, workers=1)
+        result = runner.run(grid_cells(["deepspeed"], [other_workload]))
+        assert result.metrics[0].workload == other_workload.name
+
+    def test_scalar_and_vectorized_sweeps_identical(self, workload):
+        cells = grid_cells(
+            ["flexsp", "deepspeed", "batchada", "megatron"], [workload],
+            num_iterations=2,
+        )
+        fast = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        scalar = SweepRunner(
+            cells, solver_config=SOLVER, workers=1, vectorized=False
+        ).run()
+        for fast_metrics, scalar_metrics in zip(fast.metrics, scalar.metrics):
+            assert fast_metrics.deterministic() == scalar_metrics.deterministic()
+
+    def test_parallel_matches_serial(self, workload, other_workload):
+        cells = grid_cells(
+            ["deepspeed", "megatron"], [workload, other_workload]
+        )
+        serial = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        with SweepRunner(cells, solver_config=SOLVER, workers=2) as parallel:
+            fanned = parallel.run()
+            assert parallel._pool is not None
+            first_pool = parallel._pool
+            again = parallel.run()  # pool persists across sweeps
+            assert parallel._pool is first_pool
+        for a, b in zip(serial.metrics, fanned.metrics):
+            assert a.deterministic() == b.deterministic()
+        for a, b in zip(serial.metrics, again.metrics):
+            assert a.deterministic() == b.deterministic()
+
+    def test_build_system_still_standalone(self, workload):
+        # The injection hooks must not break plain construction.
+        system = build_system("deepspeed", workload)
+        outcome = system.run_iteration(workload.corpus().batch(0).lengths)
+        assert outcome.iteration_seconds > 0

@@ -1,0 +1,206 @@
+"""Property tests: batched timing kernels == scalar ground truth.
+
+The batched :class:`~repro.simulator.timing.TimingTable` kernels must
+reproduce the scalar ``group_compute_time`` / ``group_alltoall_time`` /
+``zero3_gather_time`` paths bit-for-bit across randomized plans —
+that is the contract that lets the vectorized executor stand in for
+the scalar reference in every benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import standard_cluster
+from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+from repro.model.config import GPT_7B, GPT_13B
+from repro.model.memory import ActivationCheckpointing
+from repro.simulator.executor import IterationExecutor
+from repro.simulator.timing import (
+    TimingTable,
+    group_alltoall_time,
+    group_compute_time,
+    segment_sequential_sums,
+    zero3_gather_time,
+)
+
+
+def _random_microbatch(rng: random.Random, num_gpus: int) -> MicroBatchPlan:
+    """A valid micro-batch: disjoint aligned power-of-two groups."""
+    groups = []
+    start = 0
+    while start < num_gpus:
+        degree = 2 ** rng.randint(0, 3)
+        degree = min(degree, num_gpus - start)
+        if degree & (degree - 1):  # clamp to a power of two
+            degree = 1
+        if rng.random() < 0.2:  # leave some devices idle
+            start += degree
+            continue
+        lengths = tuple(
+            rng.randint(1, 48 * 1024) for __ in range(rng.randint(1, 24))
+        )
+        groups.append(
+            GroupAssignment(
+                degree=degree,
+                device_ranks=tuple(range(start, start + degree)),
+                lengths=lengths,
+            )
+        )
+        start += degree
+    if not groups:
+        groups.append(
+            GroupAssignment(degree=1, device_ranks=(0,), lengths=(rng.randint(1, 8192),))
+        )
+    return MicroBatchPlan(groups=tuple(groups))
+
+
+def _random_plan(rng: random.Random, num_gpus: int) -> IterationPlan:
+    return IterationPlan(
+        microbatches=tuple(
+            _random_microbatch(rng, num_gpus) for __ in range(rng.randint(1, 5))
+        )
+    )
+
+
+class TestSegmentSequentialSums:
+    def test_matches_python_accumulation(self):
+        rng = np.random.default_rng(11)
+        for __ in range(50):
+            counts = rng.integers(1, 40, size=rng.integers(1, 30))
+            values = rng.uniform(1e6, 1e15, size=int(counts.sum()))
+            sums = segment_sequential_sums(values, counts)
+            cursor = 0
+            for count, vectorized in zip(counts, sums):
+                total = 0.0
+                for v in values[cursor : cursor + count]:
+                    total += float(v)
+                cursor += count
+                assert total == vectorized  # bit-for-bit
+
+    def test_empty(self):
+        assert segment_sequential_sums(np.zeros(0), np.zeros(0, dtype=int)).size == 0
+
+
+@pytest.mark.parametrize("config", [GPT_7B, GPT_13B], ids=["7b", "13b"])
+@pytest.mark.parametrize("num_gpus", [8, 16, 64])
+@pytest.mark.parametrize(
+    "checkpointing",
+    [ActivationCheckpointing.NONE, ActivationCheckpointing.SELECTIVE],
+    ids=["none", "selective"],
+)
+class TestBatchedKernelsBitIdentical:
+    def test_kernels_match_scalar(self, config, num_gpus, checkpointing):
+        cluster = standard_cluster(num_gpus)
+        model = config.with_max_context(64 * 1024)
+        table = TimingTable(model, cluster, checkpointing)
+        rng = random.Random(hash((config.name, num_gpus, checkpointing.name)) & 0xFFFF)
+        plan = _random_plan(rng, num_gpus)
+        groups = [g for mb in plan.microbatches for g in mb.groups]
+        links = [cluster.group_link(g.device_ranks) for g in groups]
+        compute, alltoall, gather = table.group_times(groups, links)
+        for i, (group, link) in enumerate(zip(groups, links)):
+            scalar_compute = group_compute_time(
+                model, cluster, group.lengths, group.degree, checkpointing
+            )
+            scalar_alltoall = group_alltoall_time(
+                model, cluster, group.tokens, group.degree, link
+            )
+            scalar_gather = zero3_gather_time(model, cluster, scalar_compute)
+            assert compute[i] == scalar_compute  # bit-for-bit
+            assert alltoall[i] == scalar_alltoall
+            assert gather[i] == scalar_gather
+
+    def test_executor_paths_identical(self, config, num_gpus, checkpointing):
+        cluster = standard_cluster(num_gpus)
+        model = config.with_max_context(64 * 1024)
+        rng = random.Random(hash((config.name, num_gpus)) & 0xFFFF)
+        plan = _random_plan(rng, num_gpus)
+        scalar = IterationExecutor(
+            config=model, cluster=cluster, checkpointing=checkpointing,
+            vectorized=False,
+        ).run(plan)
+        batched = IterationExecutor(
+            config=model, cluster=cluster, checkpointing=checkpointing,
+            vectorized=True,
+        ).run(plan)
+        assert batched.iteration_seconds == scalar.iteration_seconds
+        assert batched.microbatch_seconds == scalar.microbatch_seconds
+        assert batched.group_creation_seconds == scalar.group_creation_seconds
+        assert batched.trace.alltoall_seconds() == scalar.trace.alltoall_seconds()
+        assert batched.trace.alltoall_fraction() == scalar.trace.alltoall_fraction()
+
+
+class TestBatchedBaselinesBitIdentical:
+    @pytest.fixture(scope="class")
+    def probe_batches(self):
+        rng = random.Random(23)
+        return [
+            tuple(rng.randint(256, 32 * 1024) for __ in range(32))
+            for __ in range(2)
+        ]
+
+    def test_homogeneous_estimates(self, cost_model16, probe_batches):
+        from repro.baselines.homogeneous import (
+            estimate_homogeneous_iteration,
+            feasible_static_degrees,
+        )
+
+        for degree in feasible_static_degrees(cost_model16, 32 * 1024):
+            for batch in probe_batches:
+                scalar = estimate_homogeneous_iteration(
+                    batch, cost_model16, degree, vectorized=False
+                )
+                fast = estimate_homogeneous_iteration(
+                    batch, cost_model16, degree, vectorized=True
+                )
+                assert fast == scalar  # bit-for-bit
+
+    def test_megatron_iterations(self, cluster16, gpt7b_64k, probe_batches):
+        from repro.baselines.megatron import (
+            megatron_iteration,
+            megatron_strategy_space,
+            megatron_token_capacity,
+        )
+
+        checkpointing = ActivationCheckpointing.NONE
+        for strategy in megatron_strategy_space(cluster16):
+            capacity = megatron_token_capacity(
+                gpt7b_64k, cluster16, strategy, checkpointing
+            )
+            if capacity < 32 * 1024:
+                continue
+            for batch in probe_batches:
+                scalar = megatron_iteration(
+                    batch, gpt7b_64k, cluster16, strategy, checkpointing,
+                    pack_target=32 * 1024, vectorized=False,
+                )
+                fast = megatron_iteration(
+                    batch, gpt7b_64k, cluster16, strategy, checkpointing,
+                    pack_target=32 * 1024, vectorized=True,
+                )
+                assert fast.iteration_seconds == scalar.iteration_seconds
+                assert fast.comm_seconds == scalar.comm_seconds
+                assert fast.num_microbatches == scalar.num_microbatches
+
+    def test_tuner_choices(self, cost_model16, cluster16, gpt7b_64k, probe_batches):
+        from repro.baselines.batch_adaptive import choose_degree_for_batch
+        from repro.baselines.tuner import choose_static_degree, tune_megatron
+
+        assert choose_static_degree(
+            probe_batches, cost_model16, 32 * 1024, vectorized=True
+        ) == choose_static_degree(
+            probe_batches, cost_model16, 32 * 1024, vectorized=False
+        )
+        assert tune_megatron(
+            probe_batches, gpt7b_64k, cluster16, 32 * 1024, vectorized=True
+        ) == tune_megatron(
+            probe_batches, gpt7b_64k, cluster16, 32 * 1024, vectorized=False
+        )
+        for batch in probe_batches:
+            assert choose_degree_for_batch(
+                batch, cost_model16, vectorized=True
+            ) == choose_degree_for_batch(batch, cost_model16, vectorized=False)
