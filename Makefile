@@ -3,12 +3,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-solver bench-e2e
+.PHONY: test bench bench-smoke bench-all bench-solver bench-e2e
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
+# The unified artefact campaign: Fig. 4, Fig. 6, Table 1, Fig. 7 and
+# Fig. 8 regenerated in one deduplicated sweep pass, with the
+# persistent cache store (benchmarks/results/campaign_store/) keeping
+# cost-model fits, tuner memos and plan caches warm across runs.
+# Appends to benchmarks/results/BENCH_campaign.json.
 bench:
+	$(PYTHON) -m repro.bench --campaign unified
+
+# Fast CI tier: the same artefact structure on one-node reduced grids,
+# cache store disabled (cold, deterministic, seconds-scale).
+bench-smoke:
+	$(PYTHON) -m repro.bench --campaign smoke --no-store
+
+# Every pytest benchmark suite (the pre-campaign `make bench`).
+bench-all:
 	$(PYTHON) -m repro.bench all
 
 # Solver-throughput benchmark only; results land in

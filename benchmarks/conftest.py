@@ -99,22 +99,23 @@ def bench_json_history(request):
 
     Unlike :func:`bench_json` (which overwrites), this keeps a
     ``history`` list so the file accumulates a trajectory across runs
-    and PRs (the ``BENCH_e2e.json`` contract).
+    and PRs (the ``BENCH_e2e.json`` / ``BENCH_campaign.json``
+    contract).  The file format lives in one place —
+    :func:`repro.bench.append_history` — shared with the campaign CLI.
     """
+    from repro.bench import append_history
 
     def _append(name: str, payload: dict) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"BENCH_{name}.json"
-        history: list = []
-        if path.exists():
-            try:
-                history = json.loads(path.read_text()).get("history", [])
-            except (OSError, ValueError):
-                history = []
-        history.append(
-            {"benchmark": request.node.nodeid, "full_protocol": FULL, **payload}
+        append_history(
+            RESULTS_DIR / f"BENCH_{name}.json",
+            [
+                {
+                    "benchmark": request.node.nodeid,
+                    "full_protocol": FULL,
+                    **payload,
+                }
+            ],
         )
-        path.write_text(json.dumps({"history": history}, indent=2, sort_keys=True) + "\n")
 
     return _append
 

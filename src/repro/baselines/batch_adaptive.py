@@ -11,6 +11,7 @@ finer within-batch heterogeneity.
 from __future__ import annotations
 
 from repro.baselines.homogeneous import estimate_homogeneous_iteration
+from repro.core.types import InfeasibleWorkloadError
 from repro.cost.model import CostModel
 
 
@@ -43,7 +44,7 @@ def choose_degree_for_batch(
                 best = (d, estimate)
         d *= 2
     if best is None:
-        raise ValueError(
+        raise InfeasibleWorkloadError(
             f"no homogeneous SP degree fits a {longest}-token sequence on "
             f"{model.cluster.num_gpus} devices"
         )

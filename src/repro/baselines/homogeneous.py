@@ -20,7 +20,12 @@ from itertools import chain
 
 import numpy as np
 
-from repro.core.types import GroupAssignment, IterationPlan, MicroBatchPlan
+from repro.core.types import (
+    GroupAssignment,
+    InfeasibleWorkloadError,
+    IterationPlan,
+    MicroBatchPlan,
+)
 from repro.cost.model import CostModel, cost_table
 from repro.data.packing import best_fit_decreasing
 from repro.simulator.timing import segment_sequential_sums
@@ -54,7 +59,7 @@ def _pack_batch(
     capacity = group_token_capacity(model, sp_degree)
     too_long = [s for s in lengths if s > capacity]
     if too_long:
-        raise ValueError(
+        raise InfeasibleWorkloadError(
             f"sequences {too_long[:3]}... exceed SP={sp_degree} group "
             f"capacity of {capacity} tokens; use a larger degree"
         )

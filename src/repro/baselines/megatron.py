@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.cluster.collectives import all_gather_time, all_reduce_time
 from repro.cluster.topology import ClusterSpec
+from repro.core.types import InfeasibleWorkloadError
 from repro.data.packing import best_fit_decreasing
 from repro.model.config import ModelConfig
 from repro.model.flops import (
@@ -296,7 +297,7 @@ def megatron_iteration(
     target = capacity if pack_target is None else min(pack_target, capacity)
     over = [s for s in lengths if s > target]
     if over:
-        raise ValueError(
+        raise InfeasibleWorkloadError(
             f"sequence of {max(over)} tokens exceeds replica capacity "
             f"{target} under {strategy.describe()}"
         )

@@ -27,6 +27,7 @@ from repro.baselines.megatron import (
     megatron_token_capacity,
 )
 from repro.cluster.topology import ClusterSpec
+from repro.core.types import InfeasibleWorkloadError
 from repro.cost.model import CostModel
 from repro.model.config import ModelConfig
 from repro.model.memory import ActivationCheckpointing
@@ -50,7 +51,7 @@ def choose_static_degree(
     """
     candidates = feasible_static_degrees(model, max_context)
     if not candidates:
-        raise ValueError(
+        raise InfeasibleWorkloadError(
             f"no SP degree on {model.cluster.num_gpus} devices fits a "
             f"{max_context}-token sequence"
         )
@@ -108,7 +109,7 @@ def tune_megatron(
             best_time = total
             best_strategy = strategy
     if best_strategy is None:
-        raise ValueError(
+        raise InfeasibleWorkloadError(
             f"no Megatron strategy on {cluster.num_gpus} devices fits a "
             f"{max_context}-token sequence"
         )

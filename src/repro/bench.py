@@ -1,26 +1,45 @@
 """Command-line entry point for the perf-tracking benchmarks.
 
-``python -m repro.bench`` (or ``make bench-solver``) runs the
-solver-throughput benchmark and leaves machine-readable results in
-``benchmarks/results/BENCH_solver.json`` (plus per-test wall-clocks in
-``BENCH_wallclock.json``), so successive PRs can track the planning
-throughput trajectory without parsing pytest output.  ``make
-bench-e2e`` (selector ``e2e_sweep``) runs the end-to-end
-experiment-sweep benchmark, which *appends* to the
-``BENCH_e2e.json`` trajectory.
+Two modes:
 
-Usage::
+**Campaign mode** (``--campaign``) runs the declarative campaign
+engine directly — every paper artefact grid (Fig. 4, Fig. 6, Table 1,
+Fig. 7, Fig. 8) in one deduplicated sweep pass — and *appends* the
+machine-readable record to ``benchmarks/results/BENCH_campaign.json``.
+This is what ``make bench`` invokes.  A persistent
+:class:`~repro.core.cache_store.CacheStore` (default
+``benchmarks/results/campaign_store/``) keeps cost-model fits, tuner
+memos and FlexSP plan caches warm *across* invocations and processes;
+``--no-store`` runs cold (the ``make bench-smoke`` CI tier).
 
-    python -m repro.bench             # solver-throughput suite
-    python -m repro.bench all         # every benchmark
-    python -m repro.bench e2e_sweep   # batched-simulation sweep (BENCH_e2e.json)
-    python -m repro.bench fig8        # any substring of a benchmark file
+**Pytest mode** (everything else) drives the benchmark suites exactly
+as before::
+
+    python -m repro.bench                    # solver-throughput suite
+    python -m repro.bench all                # every benchmark
+    python -m repro.bench e2e_sweep          # batched-simulation sweep
+    python -m repro.bench fig8               # any benchmark-file substring
+
+Campaign usage::
+
+    python -m repro.bench --campaign unified             # make bench
+    python -m repro.bench --campaign smoke --no-store    # make bench-smoke
+    python -m repro.bench --campaign unified --backend milp --node-limit 500
+    python -m repro.bench --campaign unified --repeat 3  # warm trajectory
+
+``--backend milp --node-limit N`` runs the MILP planner under a
+*deterministic* work limit (HiGHS branch-and-bound nodes) instead of a
+wall-clock budget, so MILP campaigns satisfy the same bit-identical
+metrics contract as the greedy backend.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import sys
+import time
 
 
 def _benchmarks_dir() -> pathlib.Path:
@@ -40,10 +59,204 @@ def _benchmarks_dir() -> pathlib.Path:
     )
 
 
+def append_history(path: pathlib.Path, records: list[dict]) -> None:
+    """Append records to a ``{"history": [...]}`` trajectory file.
+
+    The single definition of the trajectory-file format, shared with
+    the pytest benchmarks' ``bench_json_history`` fixture.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("history", [])
+        except (OSError, ValueError):
+            history = []
+    history.extend(records)
+    path.write_text(
+        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _campaign_tables(result) -> str:
+    """Render every artefact summary as aligned text tables."""
+    from repro.experiments.reporting import format_table
+
+    blocks = []
+    for artefact_result in result.artefacts:
+        summary = artefact_result.summary
+        title = artefact_result.artefact.title
+        if "rows" in summary:  # Table 1 frontier
+            degrees = sorted(
+                {
+                    int(d)
+                    for row in summary["rows"].values()
+                    for d in row["degrees"]
+                },
+                reverse=True,
+            )
+            rows = [
+                [label]
+                + [row["degrees"].get(str(d), "-") for d in degrees]
+                + [row["min_feasible_degree"]]
+                for label, row in summary["rows"].items()
+            ]
+            headers = ["seq x bs"] + [f"SP={d}" for d in degrees] + ["min ok"]
+        elif "clusters" in summary:  # Fig. 8 scaling
+            headers = ["# GPUs", "training (s)", "solving (s)", "amortized (s)"]
+            rows = [
+                [
+                    n,
+                    f"{c['training_seconds']:.1f}",
+                    f"{c['solve_seconds']:.2f}",
+                    f"{c['amortized_solve_seconds']:.3f}",
+                ]
+                for n, c in summary["clusters"].items()
+            ]
+        elif artefact_result.artefact.key == "fig7":  # ablations
+            headers = ["workload", "variant", "iteration (s)", "relative"]
+            rows = [
+                [
+                    workload,
+                    variant,
+                    f"{entry['mean_iteration_seconds']:.1f}",
+                    f"{entry.get('relative', 1.0):.2f}x",
+                ]
+                for workload, variants in summary["workloads"].items()
+                for variant, entry in variants.items()
+            ]
+        else:  # throughput grids (Fig. 4 / Fig. 6)
+            headers = ["workload", "system", "iteration (s)", "tok/s/GPU", "ckpt"]
+            rows = [
+                [
+                    workload,
+                    system,
+                    "OOM"
+                    if entry["status"] == "oom"
+                    else f"{entry['mean_iteration_seconds']:.1f}",
+                    f"{entry['tokens_per_second_per_gpu']:.0f}",
+                    row["checkpointing"],
+                ]
+                for workload, row in summary["workloads"].items()
+                for system, entry in row["systems"].items()
+            ]
+        blocks.append(format_table(headers, rows, title=title))
+    return "\n\n".join(blocks)
+
+
+def run_campaign(args: argparse.Namespace) -> int:
+    """Execute one campaign pass and append the trajectory record."""
+    from repro.core.planner import PlannerConfig
+    from repro.core.solver import SolverConfig
+    from repro.experiments.campaign import build_campaign
+    from repro.experiments.sweep import SweepRunner
+
+    planner = PlannerConfig(node_limit=args.node_limit)
+    solver_config = SolverConfig(
+        backend=args.backend, num_trials=args.num_trials, planner=planner
+    )
+    overrides = {}
+    if args.batch_size is not None:
+        overrides["global_batch_size"] = args.batch_size
+    campaign = build_campaign(args.campaign, **overrides)
+
+    results_dir = _benchmarks_dir() / "results"
+    store = None
+    if not args.no_store:
+        store = args.store or str(results_dir / "campaign_store")
+    runner = SweepRunner(
+        solver_config=solver_config,
+        workers=args.workers,
+        store=store,
+        solver_workers=args.solver_workers,
+    )
+    records = []
+    with runner:
+        for epoch in range(args.repeat):
+            started = time.perf_counter()
+            result = campaign.run(runner)
+            wall = time.perf_counter() - started
+            record = {
+                "mode": "cli",
+                "backend": args.backend,
+                "store": bool(store),
+                "epoch": epoch,
+                "epoch_wall_seconds": round(wall, 3),
+                **result.summary(),
+            }
+            records.append(record)
+            print(
+                f"[{campaign.name}] epoch {epoch}: "
+                f"{result.sweep.unique_cells}/{len(result.sweep.cells)} "
+                f"unique cells in {wall:.2f}s, plan-cache hit rate "
+                f"{result.plan_cache_hit_rate:.2%}"
+            )
+    print()
+    print(_campaign_tables(result))
+    path = results_dir / "BENCH_campaign.json"
+    append_history(path, records)
+    print(f"\nappended {len(records)} record(s) to {path}")
+    return 0
+
+
+def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run a declarative artefact campaign.",
+    )
+    parser.add_argument("--campaign", required=True, help="campaign name")
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="CacheStore directory (default benchmarks/results/campaign_store)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run cold: no persistent cache store (the CI smoke tier)",
+    )
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="sweep process-pool width"
+    )
+    parser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=None,
+        help="width of the shared SolverPool (default: in-process planning)",
+    )
+    parser.add_argument(
+        "--backend", choices=("greedy", "milp"), default="greedy"
+    )
+    parser.add_argument("--num-trials", type=int, default=2)
+    parser.add_argument(
+        "--node-limit",
+        type=int,
+        default=None,
+        help="deterministic HiGHS work limit for --backend milp "
+        "(replaces the wall-clock time limit)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="campaign epochs in this process (warm-trajectory measurement)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be at least 1, got {args.repeat}")
+    if args.workers < 1:
+        parser.error(f"--workers must be at least 1, got {args.workers}")
+    return args
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if any(a.startswith("--campaign") for a in argv):
+        return run_campaign(_parse_campaign_args(argv))
+
     import pytest
 
-    argv = list(sys.argv[1:] if argv is None else argv)
     selector = argv[0] if argv else "solver_throughput"
     bench_dir = _benchmarks_dir()
     if selector == "all":

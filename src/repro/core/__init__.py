@@ -10,6 +10,7 @@ counts and returns the best full-iteration plan.
 """
 
 from repro.core.blaster import blast, min_microbatch_count
+from repro.core.cache_store import CacheStore, WorkloadState
 from repro.core.bucketing import (
     Bucket,
     bucket_sequences,
@@ -18,7 +19,7 @@ from repro.core.bucketing import (
     optimal_buckets,
 )
 from repro.core.planner import PlannerConfig, plan_microbatch
-from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.core.solver import FlexSPSolver, SolverConfig, SolverPool, SolverService
 from repro.core.types import (
     GroupAssignment,
     IterationPlan,
@@ -42,4 +43,8 @@ __all__ = [
     "plan_microbatch",
     "SolverConfig",
     "FlexSPSolver",
+    "SolverPool",
+    "SolverService",
+    "CacheStore",
+    "WorkloadState",
 ]

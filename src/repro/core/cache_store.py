@@ -1,0 +1,368 @@
+"""Persistent cross-process cache store for per-workload solver state.
+
+The sweep layer memoises expensive per-workload derivations — the
+fitted cost model, the tuned baseline strategies, and FlexSP's
+micro-batch plan cache — but only in process memory: a new process (a
+CI re-run, the next figure regeneration) starts cold.  This module
+spills that state to disk and restores it bit-identically, so
+trajectories stay warm *across* processes.
+
+On-disk layout (all JSON, under one root directory)::
+
+    <root>/
+      workload-<digest>.json      one file per workload signature
+
+where ``<digest>`` is the first 16 hex chars of the SHA-256 of the
+workload signature's ``repr`` (deterministic across processes, unlike
+``hash()``).  Each file holds::
+
+    {
+      "version": 1,
+      "signature": "<repr of the full workload signature>",
+      "cost_model": {"coeffs": {...}, "comm_model": "alltoall"},
+      "static_degree": 8,
+      "megatron_strategy": [tp, cp, dp],
+      "plans": {
+        "<context digest>": [
+          {"shape": [s1, s2, ...], "plan": {...} | null,
+           "predicted": float | null},
+          ...
+        ]
+      }
+    }
+
+``plans`` is keyed by the *planning context* — a digest of the
+``(PlannerConfig, backend)`` pair — because plan-cache entries are only
+valid for the exact planner knobs that produced them; ``plan: null``
+records a shape proven infeasible.  Floats round-trip exactly through
+JSON (shortest-repr doubles), so a restored cost model, plan, and
+predicted time are bit-identical to what was spilled.
+
+Invalidation rules:
+
+* The file embeds the **full** workload signature; a digest collision
+  or a stale file from a changed :class:`~repro.experiments.workloads.
+  Workload` schema fails the signature comparison and loads as cold.
+* :data:`STORE_VERSION` gates the whole format — bump it whenever the
+  profiler, planner, or serialization semantics change in a way that
+  would make restored state disagree with freshly computed state, and
+  every existing store silently becomes cold.
+* Plan entries are additionally scoped by the context digest, so
+  changing solver knobs (backend, bucketing, trials, limits) never
+  replays plans from other knobs.
+* Corrupted or partially written files (killed process, disk full) are
+  *ignored, never fatal*: loads return ``None`` and the next
+  :meth:`CacheStore.save` atomically replaces the file.
+
+Concurrent writers (sweep pool workers) are safe: writes go through a
+unique temp file plus ``os.replace``, and :meth:`CacheStore.save`
+holds a per-workload advisory file lock across its read-merge-replace
+so two workers persisting different cells of one workload union their
+plan entries rather than clobbering each other (last writer wins per
+shape).  Readers never need the lock — ``os.replace`` keeps every
+observable file state a complete JSON document.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+try:  # pragma: no cover - import guard
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.core.plan_cache import INFEASIBLE, PlanCache
+from repro.core.planner import PlannerConfig
+from repro.core.serialization import microbatch_from_dict, microbatch_to_dict
+from repro.core.types import MicroBatchPlan
+from repro.cost.model import CostCoefficients
+
+__all__ = [
+    "STORE_VERSION",
+    "CacheStore",
+    "PlanEntry",
+    "WorkloadState",
+    "context_digest",
+    "entries_from_cache",
+    "preload_cache",
+    "signature_digest",
+]
+
+#: Format tag of the store layout; bump to invalidate every store.
+STORE_VERSION = 1
+
+#: One spilled plan-cache entry: canonical (sorted) micro-batch shape,
+#: the memoised plan (None = proven infeasible) and its predicted
+#: makespan seconds (None for infeasible entries).
+PlanEntry = tuple[tuple[int, ...], MicroBatchPlan | None, float | None]
+
+
+def signature_digest(signature: tuple) -> str:
+    """Deterministic short digest of a workload signature.
+
+    ``repr`` of the signature tuple (frozen dataclasses all the way
+    down) is stable across processes; ``hash()`` is not (string
+    hashing is salted per process).
+    """
+    return hashlib.sha256(repr(signature).encode()).hexdigest()[:16]
+
+
+def context_digest(planner_config: PlannerConfig, backend: str) -> str:
+    """Digest of the planning context plan entries are scoped by."""
+    return hashlib.sha256(repr((planner_config, backend)).encode()).hexdigest()[:16]
+
+
+@dataclass
+class WorkloadState:
+    """Everything the store holds for one workload signature.
+
+    Attributes:
+        signature: ``repr`` of the full workload signature (collision
+            and staleness guard — compared verbatim on load).
+        coeffs: Fitted cost-model coefficients, if spilled.
+        comm_model: The fit's communication flavour.
+        static_degree: DeepSpeed's tuned static SP degree, if tuned.
+        megatron_strategy: Megatron's tuned ``(tp, cp, dp)``, if tuned.
+        plans: Plan-cache entries per planning-context digest.
+    """
+
+    signature: str
+    coeffs: CostCoefficients | None = None
+    comm_model: str | None = None
+    static_degree: int | None = None
+    megatron_strategy: tuple[int, int, int] | None = None
+    plans: dict[str, list[PlanEntry]] = field(default_factory=dict)
+
+
+def entries_from_cache(cache: PlanCache) -> list[PlanEntry]:
+    """Convert a :meth:`PlanCache.snapshot` into spillable entries.
+
+    The cache key's context half is dropped — the caller scopes the
+    entries under the matching :func:`context_digest` instead.
+    """
+    entries: list[PlanEntry] = []
+    for (shape, _context), entry in cache.snapshot():
+        if entry is INFEASIBLE:
+            entries.append((tuple(shape), None, None))
+        else:
+            plan, predicted = entry
+            entries.append((tuple(shape), plan, predicted))
+    return entries
+
+
+def preload_cache(
+    cache: PlanCache, entries: list[PlanEntry], context: object
+) -> None:
+    """Replay spilled entries into a live cache under ``context``.
+
+    ``context`` must be the :class:`~repro.core.plan_cache.
+    CacheContext` of the solver that will consume the cache, so the
+    reconstructed keys equal the ones its hot path builds.
+    """
+    for shape, plan, predicted in entries:
+        cache.store((tuple(shape), context), plan, predicted)
+
+
+def _entry_to_dict(entry: PlanEntry) -> dict[str, Any]:
+    shape, plan, predicted = entry
+    return {
+        "shape": list(shape),
+        "plan": None if plan is None else microbatch_to_dict(plan),
+        "predicted": predicted,
+    }
+
+
+def _entry_from_dict(payload: dict[str, Any]) -> PlanEntry:
+    plan = payload["plan"]
+    return (
+        tuple(int(s) for s in payload["shape"]),
+        None if plan is None else microbatch_from_dict(plan),
+        payload["predicted"],
+    )
+
+
+def _state_to_dict(state: WorkloadState) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "version": STORE_VERSION,
+        "signature": state.signature,
+        "cost_model": None,
+        "static_degree": state.static_degree,
+        "megatron_strategy": (
+            None
+            if state.megatron_strategy is None
+            else list(state.megatron_strategy)
+        ),
+        "plans": {
+            context: [_entry_to_dict(e) for e in entries]
+            for context, entries in state.plans.items()
+        },
+    }
+    if state.coeffs is not None:
+        payload["cost_model"] = {
+            "coeffs": dataclasses.asdict(state.coeffs),
+            "comm_model": state.comm_model,
+        }
+    return payload
+
+
+def _state_from_dict(payload: dict[str, Any]) -> WorkloadState:
+    if payload.get("version") != STORE_VERSION:
+        raise ValueError(f"unsupported store version {payload.get('version')!r}")
+    cost_model = payload.get("cost_model")
+    coeffs = comm_model = None
+    if cost_model is not None:
+        coeffs = CostCoefficients(**cost_model["coeffs"])
+        comm_model = cost_model["comm_model"]
+    strategy = payload.get("megatron_strategy")
+    return WorkloadState(
+        signature=payload["signature"],
+        coeffs=coeffs,
+        comm_model=comm_model,
+        static_degree=payload.get("static_degree"),
+        megatron_strategy=None if strategy is None else tuple(strategy),
+        plans={
+            context: [_entry_from_dict(e) for e in entries]
+            for context, entries in payload.get("plans", {}).items()
+        },
+    )
+
+
+class CacheStore:
+    """File-backed store of per-workload solver state.
+
+    Args:
+        root: Directory holding the store; created if missing.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, signature: tuple) -> pathlib.Path:
+        return self.root / f"workload-{signature_digest(signature)}.json"
+
+    def load(self, signature: tuple) -> WorkloadState | None:
+        """The spilled state for ``signature``, or None.
+
+        None covers every cold case uniformly: no file yet, a corrupt
+        or truncated file, an incompatible :data:`STORE_VERSION`, or a
+        digest collision / stale schema (embedded signature mismatch).
+        """
+        state = self._read(self._path(signature))
+        if state is None or state.signature != repr(signature):
+            return None
+        return state
+
+    def _read(self, path: pathlib.Path) -> WorkloadState | None:
+        try:
+            text = path.read_text()
+        except (OSError, ValueError):  # missing, unreadable, or not UTF-8
+            return None
+        try:
+            return _state_from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError):
+            # Corrupted, truncated, foreign, or out-of-version file:
+            # treat as cold; the next save() replaces it atomically.
+            return None
+
+    @contextlib.contextmanager
+    def _write_lock(self, path: pathlib.Path):
+        """Advisory per-workload lock serialising read-merge-replace.
+
+        Without it, two workers could both read state v0, each merge
+        only its own entries, and the second ``os.replace`` would
+        discard the first's.  Lock files live beside the data files;
+        on platforms without ``fcntl`` the lock degrades to a no-op
+        (single-process use is still fully safe).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        with open(lock_path, "w") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def save(self, signature: tuple, state: WorkloadState) -> None:
+        """Persist ``state``, merging with what is already on disk.
+
+        Scalars (cost model, tuner memos) prefer the new state when it
+        has them; plan entries are unioned per context with the new
+        entries winning per shape.  The read-merge-replace sequence
+        runs under a per-workload file lock (concurrent writers union
+        rather than clobber) and the write itself is atomic (unique
+        temp file + ``os.replace``), so readers never observe partial
+        JSON.
+        """
+        if state.signature != repr(signature):
+            raise ValueError(
+                "state.signature does not match the signature it is "
+                "being saved under"
+            )
+        path = self._path(signature)
+        with self._write_lock(path):
+            existing = self.load(signature)
+            if existing is not None:
+                state = _merged(existing, state)
+            payload = json.dumps(_state_to_dict(state), separators=(",", ":"))
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as f:
+                    f.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def signatures(self) -> list[str]:
+        """Digests of every workload file currently in the store."""
+        return sorted(
+            p.stem.split("-", 1)[1] for p in self.root.glob("workload-*.json")
+        )
+
+
+def _merged(existing: WorkloadState, new: WorkloadState) -> WorkloadState:
+    """Union of two states for the same signature (new wins per field
+    and per plan shape)."""
+    plans: dict[str, list[PlanEntry]] = {}
+    for source in (existing, new):
+        for context, entries in source.plans.items():
+            by_shape = {e[0]: e for e in plans.get(context, [])}
+            for entry in entries:
+                by_shape[entry[0]] = entry
+            plans[context] = list(by_shape.values())
+    return WorkloadState(
+        signature=new.signature,
+        coeffs=new.coeffs if new.coeffs is not None else existing.coeffs,
+        comm_model=(
+            new.comm_model if new.coeffs is not None else existing.comm_model
+        ),
+        static_degree=(
+            new.static_degree
+            if new.static_degree is not None
+            else existing.static_degree
+        ),
+        megatron_strategy=(
+            new.megatron_strategy
+            if new.megatron_strategy is not None
+            else existing.megatron_strategy
+        ),
+        plans=plans,
+    )

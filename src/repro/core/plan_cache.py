@@ -181,6 +181,20 @@ class PlanCache:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
 
+    def snapshot(self) -> list[tuple[tuple, object]]:
+        """A consistent copy of every entry, LRU order (oldest first).
+
+        Entries are ``(key, (plan, predicted))`` or
+        ``(key, INFEASIBLE)`` pairs.  This is the spill surface of
+        :mod:`repro.core.cache_store`: the list can be persisted and
+        replayed through :meth:`store` to reconstruct an equivalent
+        cache (same entries, same LRU order) in another process.
+        Hit/miss counters are *not* part of the snapshot — a restored
+        cache starts cold on statistics, warm on content.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -121,6 +121,15 @@ class PlannerConfig:
             or ``"none"`` (one bucket per unique length; the Fig. 7
             "w/o BKT" ablation).
         time_limit: HiGHS wall-clock limit in seconds per solve.
+            Wall-clock budgets make MILP outcomes host-load dependent;
+            see ``node_limit`` for the deterministic alternative.
+        node_limit: Deterministic work limit — cap HiGHS's
+            branch-and-bound at this many nodes *instead of* the
+            wall-clock ``time_limit`` (which is ignored while set).
+            The same problem then explores the same tree on any host,
+            so MILP-backed cells satisfy the sweeps' bit-identical
+            contract; ``None`` (the default) keeps the wall-clock
+            budget.
         mip_rel_gap: Acceptable relative optimality gap.
         max_groups_per_degree: Cap on virtual groups per degree (None
             means the natural ``N / d``).
@@ -135,6 +144,7 @@ class PlannerConfig:
     num_buckets: int = DEFAULT_NUM_BUCKETS
     bucketing: str = "optimal"
     time_limit: float = 2.0
+    node_limit: int | None = None
     mip_rel_gap: float = 0.03
     max_groups_per_degree: int | None = None
     min_degree: int = 1
@@ -145,6 +155,10 @@ class PlannerConfig:
             raise ValueError(f"unknown bucketing mode: {self.bucketing!r}")
         if self.time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {self.time_limit}")
+        if self.node_limit is not None and self.node_limit <= 0:
+            raise ValueError(
+                f"node_limit must be positive or None, got {self.node_limit}"
+            )
         if not 0 <= self.mip_rel_gap < 1:
             raise ValueError(f"mip_rel_gap must be in [0, 1), got {self.mip_rel_gap}")
         if self.min_degree <= 0 or self.min_degree & (self.min_degree - 1):
@@ -371,17 +385,22 @@ def _build_and_solve(
     var_upper[num_groups:c_index] = np.repeat(counts, num_groups)
     var_upper[c_index] = c_upper
 
+    # Budget: a node_limit is deterministic (same problem, same tree on
+    # any host) and therefore replaces — not complements — the
+    # wall-clock limit, which would otherwise re-introduce host-load
+    # dependence into the outcome.
+    options = {"mip_rel_gap": config.mip_rel_gap, "presolve": True}
+    if config.node_limit is not None:
+        options["node_limit"] = config.node_limit
+    else:
+        options["time_limit"] = config.time_limit
     with _quiet_stdout():
         result = milp(
             c=objective,
             constraints=constraints,
             integrality=integrality,
             bounds=Bounds(var_lower, var_upper),
-            options={
-                "time_limit": config.time_limit,
-                "mip_rel_gap": config.mip_rel_gap,
-                "presolve": True,
-            },
+            options=options,
         )
     return result, a_index, c_index
 

@@ -25,6 +25,39 @@ from repro.core.types import (
 FORMAT_VERSION = 1
 
 
+def microbatch_to_dict(mb: MicroBatchPlan) -> dict[str, Any]:
+    """Lossless JSON-ready representation of one micro-batch plan.
+
+    The unit the plan cache memoises — shared by the iteration-plan
+    wire format below and :mod:`repro.core.cache_store`'s spilled
+    cache entries.
+    """
+    return {
+        "groups": [
+            {
+                "degree": g.degree,
+                "device_ranks": list(g.device_ranks),
+                "lengths": list(g.lengths),
+            }
+            for g in mb.groups
+        ]
+    }
+
+
+def microbatch_from_dict(payload: dict[str, Any]) -> MicroBatchPlan:
+    """Inverse of :func:`microbatch_to_dict`; validates via the plan
+    dataclasses' own invariants."""
+    groups = tuple(
+        GroupAssignment(
+            degree=int(g["degree"]),
+            device_ranks=tuple(int(r) for r in g["device_ranks"]),
+            lengths=tuple(int(s) for s in g["lengths"]),
+        )
+        for g in payload["groups"]
+    )
+    return MicroBatchPlan(groups=groups)
+
+
 def plan_to_dict(plan: IterationPlan) -> dict[str, Any]:
     """Lossless JSON-ready representation of an iteration plan."""
     payload: dict[str, Any] = {
@@ -35,17 +68,7 @@ def plan_to_dict(plan: IterationPlan) -> dict[str, Any]:
     if plan.stats is not None:
         payload["stats"] = dataclasses.asdict(plan.stats)
     payload["microbatches"] = [
-        {
-            "groups": [
-                {
-                    "degree": g.degree,
-                    "device_ranks": list(g.device_ranks),
-                    "lengths": list(g.lengths),
-                }
-                for g in mb.groups
-            ]
-        }
-        for mb in plan.microbatches
+        microbatch_to_dict(mb) for mb in plan.microbatches
     ]
     return payload
 
@@ -59,17 +82,7 @@ def plan_from_dict(payload: dict[str, Any]) -> IterationPlan:
             f"unsupported plan format version {version!r}; expected "
             f"{FORMAT_VERSION}"
         )
-    microbatches = []
-    for mb in payload["microbatches"]:
-        groups = tuple(
-            GroupAssignment(
-                degree=int(g["degree"]),
-                device_ranks=tuple(int(r) for r in g["device_ranks"]),
-                lengths=tuple(int(s) for s in g["lengths"]),
-            )
-            for g in mb["groups"]
-        )
-        microbatches.append(MicroBatchPlan(groups=groups))
+    microbatches = [microbatch_from_dict(mb) for mb in payload["microbatches"]]
     stats = payload.get("stats")
     return IterationPlan(
         microbatches=tuple(microbatches),

@@ -29,13 +29,16 @@ S4.3, plus this repo's cross-trial reuse):
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 import threading
 import time
-import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
+from repro.core import pools
 from repro.core.blaster import DEFAULT_NUM_TRIALS, blast, min_microbatch_count
 from repro.core.plan_cache import (
     DEFAULT_CAPACITY,
@@ -148,11 +151,6 @@ def _service_plan(
         return None
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
-    """weakref.finalize target: non-blocking best-effort shutdown."""
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
 class SolverService:
     """A persistent pool of planner workers for one (model, config).
 
@@ -174,6 +172,7 @@ class SolverService:
         self.config = config
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._finalizer = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
@@ -190,10 +189,11 @@ class SolverService:
                     initializer=_service_initializer,
                     initargs=(pristine, self.config.planner, self.config.backend),
                 )
-                # GC fallback for callers that never close(): shut the
-                # workers down when the service is collected, so
-                # fire-and-forget solvers don't accumulate live pools.
-                weakref.finalize(self, _shutdown_pool, self._pool)
+                # GC/exit fallback for callers that never close(): shut
+                # the workers down when the service is collected or the
+                # interpreter exits, so fire-and-forget solvers don't
+                # leak worker processes.
+                self._finalizer = pools.track_pool(self, self._pool)
             return self._pool
 
     def plan_shapes(
@@ -234,10 +234,174 @@ class SolverService:
         """Shut the pool down (the next use restarts it lazily)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
         if pool is not None:
             pool.shutdown()
+        if finalizer is not None:
+            # Invoking (not detaching) also retires the pool from the
+            # exit registry; weakref.finalize runs at most once.
+            finalizer()
 
     def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared multi-tenant solver pool.  One ProcessPoolExecutor serves every
+# (model, config) context of a sweep: tasks carry the context as a
+# pre-pickled blob plus its digest, and each worker memoises the
+# unpickled context by digest — so the model is deserialized once per
+# (worker, context) rather than shipped through an initializer that
+# would pin the pool to a single workload.
+# ---------------------------------------------------------------------------
+
+_POOL_CONTEXTS: dict[str, tuple[CostModel, PlannerConfig, str]] = {}
+
+
+def _pool_plan(
+    digest: str, blob: bytes, shape: tuple[int, ...]
+) -> tuple[MicroBatchPlan, float] | None:
+    """Plan one micro-batch for one tenant context; None if infeasible."""
+    state = _POOL_CONTEXTS.get(digest)
+    if state is None:
+        state = pickle.loads(blob)
+        _POOL_CONTEXTS[digest] = state
+        # Pre-build the vectorized cost table so every later task of
+        # this context reuses it.
+        cost_table(state[0])
+    model, planner_config, backend = state
+    try:
+        return _BACKENDS[backend](shape, model, planner_config)
+    except PlanInfeasibleError:
+        return None
+
+
+class PooledPlanner:
+    """One tenant's :class:`SolverService`-compatible view of a
+    :class:`SolverPool`.
+
+    ``plan_shapes`` matches :meth:`SolverService.plan_shapes`, so a
+    :class:`FlexSPSolver` accepts either as its injected service.
+    ``close()`` is a no-op — the pool belongs to the
+    :class:`SolverPool`, which many solvers share.
+    """
+
+    __slots__ = ("pool", "digest", "_blob")
+
+    def __init__(self, pool: "SolverPool", digest: str, blob: bytes) -> None:
+        self.pool = pool
+        self.digest = digest
+        self._blob = blob
+
+    def plan_shapes(
+        self, shapes: list[tuple[int, ...]]
+    ) -> list[tuple[MicroBatchPlan, float] | None]:
+        return self.pool.plan_shapes(self.digest, self._blob, shapes)
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        """No-op: the shared pool outlives any one tenant."""
+
+
+class SolverPool:
+    """A persistent planner-worker pool shared across workloads.
+
+    Where :class:`SolverService` dedicates a pool to one
+    (model, config) pair, a ``SolverPool`` multiplexes every workload
+    of a sweep over a single ``ProcessPoolExecutor`` — the ROADMAP's
+    "one SolverService pool between the sweep workers and the
+    per-workload FlexSPSolvers" item.  Tenants are obtained with
+    :meth:`client` and injected into :class:`FlexSPSolver`; planning
+    outcomes are bit-identical to in-process planning because the
+    workers run the same pure planner functions on an identically
+    reconstructed cost model.
+
+    Args:
+        workers: Pool width; ``None`` uses the CPU count.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._clients: dict[str, PooledPlanner] = {}
+        self._finalizer = None
+
+    def client(self, model: CostModel, config: SolverConfig) -> PooledPlanner:
+        """The (interned) tenant handle for one (model, config) context."""
+        # Ship a pristine copy: per-instance caches rebuild identically
+        # in the workers (same policy as SolverService).
+        pristine = CostModel(
+            coeffs=model.coeffs,
+            cluster=model.cluster,
+            comm_model=model.comm_model,
+        )
+        blob = pickle.dumps(
+            (pristine, config.planner, config.backend),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(blob).hexdigest()
+        with self._lock:
+            client = self._clients.get(digest)
+            if client is None:
+                client = PooledPlanner(self, digest, blob)
+                self._clients[digest] = client
+            return client
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._finalizer = pools.track_pool(self, self._pool)
+            return self._pool
+
+    def plan_shapes(
+        self, digest: str, blob: bytes, shapes: list[tuple[int, ...]]
+    ) -> list[tuple[MicroBatchPlan, float] | None]:
+        """Plan every shape for one tenant (same retry contract as
+        :meth:`SolverService.plan_shapes`: one rebuild on a broken or
+        concurrently-closed pool, worker exceptions propagate)."""
+        for attempt in (0, 1):
+            try:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(_pool_plan, digest, blob, shape)
+                    for shape in shapes
+                ]
+            except (BrokenProcessPool, RuntimeError):
+                if attempt:
+                    raise
+                self.close()
+                continue
+            try:
+                return [f.result() for f in futures]
+            except BrokenProcessPool:
+                if attempt:
+                    raise
+                self.close()
+        raise AssertionError("unreachable: both pool attempts returned")
+
+    def close(self) -> None:
+        """Shut the shared pool down (the next use restarts it lazily).
+
+        Tenant handles stay valid — worker-side context caches are
+        rebuilt from the blobs on the next dispatch.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+        if pool is not None:
+            pool.shutdown()
+        if finalizer is not None:
+            finalizer()  # retires the pool from the exit registry too
+
+    def __enter__(self) -> "SolverPool":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -255,9 +419,22 @@ class FlexSPSolver:
     Args:
         model: Fitted cost model for the target (model, cluster).
         config: Solver knobs; defaults match the paper.
+        service: Optional injected planning service — typically a
+            :class:`PooledPlanner` tenant of a shared
+            :class:`SolverPool`, so many workloads' solvers fan their
+            planning onto one pool instead of each nesting its own.
+            When provided, it is used whenever a solve has several
+            shapes to plan (regardless of ``config.workers``, which
+            sizes only solver-*owned* pools) and is **not** closed by
+            this solver — its lifetime belongs to the injector.
     """
 
-    def __init__(self, model: CostModel, config: SolverConfig | None = None) -> None:
+    def __init__(
+        self,
+        model: CostModel,
+        config: SolverConfig | None = None,
+        service: "SolverService | PooledPlanner | None" = None,
+    ) -> None:
         self.model = model
         self.config = config or SolverConfig()
         self.cache: PlanCache | None = (
@@ -268,11 +445,24 @@ class FlexSPSolver:
         self._context = cache_context(
             model, self.config.planner, self.config.backend
         )
-        self._service: SolverService | None = None
+        self._service = service
+        self._service_owned = service is None
         # solve() may be called from several threads at once (the
         # pipeline prefetches with a thread pool); the cache locks
         # internally, but lazy service creation needs this guard.
         self._service_lock = threading.Lock()
+
+    @property
+    def context(self):
+        """The interned :class:`~repro.core.plan_cache.CacheContext`
+        this solver keys its plan cache with.
+
+        Callers seeding the cache externally (the cache store's
+        preload) must key entries with *this* object — an equal but
+        distinct context would defeat the identity fast path every
+        hot-loop lookup relies on.
+        """
+        return self._context
 
     def minimum_microbatches(self, batch: SequenceBatch) -> int:
         """``M_min`` for this batch on this cluster (takeaway 1)."""
@@ -403,11 +593,12 @@ class FlexSPSolver:
     def _plan_missing(
         self, shapes: list[tuple[int, ...]]
     ) -> list[tuple[MicroBatchPlan, float] | None]:
-        """Plan uncached shapes — in-process, or on the service pool."""
+        """Plan uncached shapes — in-process, or on a service pool."""
         if not shapes:
             return []
-        if self.config.workers > 1 and len(shapes) > 1:
-            if self.config.persistent_workers:
+        pooled = not self._service_owned or self.config.workers > 1
+        if pooled and len(shapes) > 1:
+            if not self._service_owned or self.config.persistent_workers:
                 return self.service().plan_shapes(shapes)
             # Pre-service behaviour: a throwaway pool per solve.  Local
             # to this call so concurrent solve() threads never tear
@@ -423,17 +614,22 @@ class FlexSPSolver:
                 outcomes.append(None)
         return outcomes
 
-    def service(self) -> SolverService:
-        """The lazily started persistent :class:`SolverService`."""
+    def service(self) -> "SolverService | PooledPlanner":
+        """The injected service, or the lazily started solver-owned
+        persistent :class:`SolverService`."""
         with self._service_lock:
             if self._service is None:
                 self._service = SolverService(self.model, self.config)
             return self._service
 
     def close(self) -> None:
-        """Release the worker pool (kept plans/cache remain valid)."""
+        """Release the worker pool (kept plans/cache remain valid).
+
+        Injected services are left running — they belong to whoever
+        shared them (e.g. a sweep's :class:`SolverPool`).
+        """
         with self._service_lock:
-            if self._service is not None:
+            if self._service_owned and self._service is not None:
                 self._service.close()
                 self._service = None
 
@@ -449,5 +645,11 @@ class FlexSPSolver:
         Convenience for the Fig. 7 ablations, e.g.
         ``solver.ablated(sort_sequences=False)`` or
         ``solver.ablated(planner=replace(cfg.planner, bucketing="naive"))``.
+        An injected shared-pool tenant is re-derived for the new config
+        so ablated solvers keep planning on the same :class:`SolverPool`.
         """
-        return FlexSPSolver(self.model, replace(self.config, **changes))
+        config = replace(self.config, **changes)
+        service = None
+        if isinstance(self._service, PooledPlanner):
+            service = self._service.pool.client(self.model, config)
+        return FlexSPSolver(self.model, config, service=service)

@@ -11,6 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class InfeasibleWorkloadError(ValueError):
+    """A (workload, strategy) configuration that cannot be scheduled.
+
+    Raised by the baseline planners/tuners when a batch exceeds the
+    memory capacity of the requested configuration — the paper's "OOM"
+    table corners.  Subclasses ``ValueError`` for backward
+    compatibility with callers that catch broadly; sweep machinery
+    catches *this* type (plus the solver's ``PlanInfeasibleError``)
+    so genuine programming errors are never misreported as OOM cells.
+    """
+
+
 @dataclass(frozen=True)
 class SolveStats:
     """Counters describing how one solver ``solve()`` did its work.

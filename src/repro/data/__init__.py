@@ -11,6 +11,7 @@ from repro.data.distributions import (
     COMMONCRAWL,
     GITHUB,
     WIKIPEDIA,
+    FixedLength,
     LengthDistribution,
     LogNormalMixture,
     dataset_registry,
@@ -25,6 +26,7 @@ from repro.data.packing import (
 __all__ = [
     "LengthDistribution",
     "LogNormalMixture",
+    "FixedLength",
     "GITHUB",
     "COMMONCRAWL",
     "WIKIPEDIA",

@@ -90,6 +90,44 @@ class LogNormalMixture:
         return (1.0 - self.tail_weight) * body + self.tail_weight * tail
 
 
+@dataclass(frozen=True)
+class FixedLength:
+    """Degenerate distribution: every sequence has the same length.
+
+    Table 1's protocol trains uniform ``(seq, bs)`` batches — no
+    length heterogeneity at all — so its capacity-frontier cells can
+    ride the same :class:`~repro.experiments.workloads.Workload` /
+    sweep machinery as the long-tail corpora by plugging this in as
+    the workload's distribution.
+
+    Attributes:
+        length: The constant sequence length in tokens.
+    """
+
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < MIN_SEQUENCE_LENGTH:
+            raise ValueError(
+                f"length must be at least {MIN_SEQUENCE_LENGTH}, got "
+                f"{self.length}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"fixed{self.length // 1024}K" if self.length % 1024 == 0 else (
+            f"fixed{self.length}"
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return np.full(n, self.length, dtype=np.int64)
+
+    def tail_fraction(self, threshold: int) -> float:
+        return 1.0 if threshold < self.length else 0.0
+
+
 #: Heaviest tail of the three: source files and concatenated repos run
 #: long; a visible fraction exceeds 32K and some exceed 256K.
 GITHUB = LogNormalMixture(

@@ -5,12 +5,28 @@ workload definitions matching the paper's evaluation grid
 (:mod:`repro.experiments.workloads`), the measurement runner
 (:mod:`repro.experiments.runner`), the parallel experiment-sweep
 runner with shared per-workload state
-(:mod:`repro.experiments.sweep`) and text reporting in the paper's
+(:mod:`repro.experiments.sweep`), the declarative campaign engine
+expressing every paper artefact grid as one sweep
+(:mod:`repro.experiments.campaign`) and text reporting in the paper's
 table formats (:mod:`repro.experiments.reporting`).
 """
 
+from repro.experiments.campaign import (
+    Artefact,
+    ArtefactResult,
+    Campaign,
+    CampaignResult,
+    build_campaign,
+    smoke_campaign,
+    unified_campaign,
+)
 from repro.experiments.pipeline import PipelineReport, TrainingPipeline
-from repro.experiments.registry import Experiment, all_experiments, experiment
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    artefact_grid,
+    experiment,
+)
 from repro.experiments.runner import RunResult, run_system
 from repro.experiments.sweep import (
     CellMetrics,
@@ -54,4 +70,12 @@ __all__ = [
     "Experiment",
     "all_experiments",
     "experiment",
+    "artefact_grid",
+    "Artefact",
+    "ArtefactResult",
+    "Campaign",
+    "CampaignResult",
+    "build_campaign",
+    "smoke_campaign",
+    "unified_campaign",
 ]

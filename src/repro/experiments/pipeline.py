@@ -6,6 +6,12 @@ trainer reads one plan per step.  :class:`TrainingPipeline` reproduces
 that structure with a background thread pool standing in for the
 per-node solver services, and reports how much solving was actually
 hidden behind (simulated) training.
+
+Since the campaign-engine refactor the pipeline is a thin adapter over
+the same shared solving substrate as the sweeps: build it with
+:meth:`TrainingPipeline.with_shared_pool` and its prefetch threads
+plan on a campaign-wide :class:`~repro.core.solver.SolverPool` tenant
+instead of nesting a private worker pool.
 """
 
 from __future__ import annotations
@@ -14,8 +20,9 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.core.solver import FlexSPSolver
+from repro.core.solver import FlexSPSolver, SolverConfig, SolverPool
 from repro.core.types import IterationPlan
+from repro.cost.model import CostModel
 from repro.data.dataset import SyntheticCorpus
 from repro.simulator.executor import IterationExecutor
 
@@ -80,6 +87,26 @@ class TrainingPipeline:
         self.corpus = corpus
         self.lookahead = lookahead
         self.workers = workers
+
+    @classmethod
+    def with_shared_pool(
+        cls,
+        model: CostModel,
+        config: SolverConfig,
+        executor: IterationExecutor,
+        corpus: SyntheticCorpus,
+        pool: SolverPool,
+        **kwargs,
+    ) -> "TrainingPipeline":
+        """Pipeline whose solver plans on a shared :class:`SolverPool`.
+
+        The solver is built with the pool's tenant client injected, so
+        the pipeline's per-node solver services and a concurrently
+        running campaign draw from one process pool instead of each
+        spawning their own (the ROADMAP's shared-pool item).
+        """
+        solver = FlexSPSolver(model, config, service=pool.client(model, config))
+        return cls(solver, executor, corpus, **kwargs)
 
     def _submit(self, pool: ThreadPoolExecutor, step: int) -> Future:
         lengths = self.corpus.batch(step).lengths

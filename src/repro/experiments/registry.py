@@ -7,6 +7,13 @@ users can navigate from a paper claim to runnable code:
     >>> from repro.experiments.registry import experiment, all_experiments
     >>> experiment("table1").benchmark
     'benchmarks/test_bench_table1.py'
+
+The registry is a *thin adapter* over the campaign engine: artefacts
+with an evaluation grid name their :mod:`repro.experiments.campaign`
+builder in ``campaign_artefact``, and :func:`artefact_grid` constructs
+the declarative grid — so ``make bench`` and the registry regenerate a
+figure from the same single definition instead of maintaining parallel
+ad-hoc paths.
 """
 
 from __future__ import annotations
@@ -24,6 +31,11 @@ class Experiment:
         claim: One-line statement of the expected shape.
         benchmark: Pytest target that regenerates it.
         modules: Dotted module paths implementing the pieces.
+        campaign_artefact: Key of the campaign-engine grid builder
+            reproducing this artefact (see :data:`repro.experiments.
+            campaign.ARTEFACT_BUILDERS`), or None for artefacts that
+            are not evaluation grids (distribution histograms, plan
+            anatomy tables).
     """
 
     key: str
@@ -31,6 +43,7 @@ class Experiment:
     claim: str
     benchmark: str
     modules: tuple[str, ...]
+    campaign_artefact: str | None = None
 
 
 _EXPERIMENTS = [
@@ -41,7 +54,8 @@ _EXPERIMENTS = [
         "is fastest; All-to-All share collapses inside a node",
         benchmark="benchmarks/test_bench_table1.py",
         modules=("repro.baselines.homogeneous", "repro.simulator.executor",
-                 "repro.model.memory"),
+                 "repro.model.memory", "repro.experiments.campaign"),
+        campaign_artefact="table1",
     ),
     Experiment(
         key="fig2",
@@ -58,7 +72,9 @@ _EXPERIMENTS = [
         "and FlexSP; largest speedup on the most skewed corpus",
         benchmark="benchmarks/test_bench_fig4.py",
         modules=("repro.core.solver", "repro.experiments.systems",
-                 "repro.experiments.runner", "repro.experiments.sweep"),
+                 "repro.experiments.runner", "repro.experiments.sweep",
+                 "repro.experiments.campaign"),
+        campaign_artefact="fig4",
     ),
     Experiment(
         key="table3",
@@ -89,7 +105,8 @@ _EXPERIMENTS = [
         "context limit, and degrades least with cluster growth",
         benchmark="benchmarks/test_bench_fig6.py",
         modules=("repro.experiments.workloads", "repro.experiments.runner",
-                 "repro.experiments.sweep"),
+                 "repro.experiments.sweep", "repro.experiments.campaign"),
+        campaign_artefact="fig6",
     ),
     Experiment(
         key="table4",
@@ -106,7 +123,8 @@ _EXPERIMENTS = [
         "blows up solver cost",
         benchmark="benchmarks/test_bench_fig7.py",
         modules=("repro.core.blaster", "repro.core.bucketing",
-                 "repro.core.solver"),
+                 "repro.core.solver", "repro.experiments.campaign"),
+        campaign_artefact="fig7",
     ),
     Experiment(
         key="fig8",
@@ -114,7 +132,8 @@ _EXPERIMENTS = [
         claim="amortized solve time stays far below iteration time as the "
         "cluster scales (weak scaling)",
         benchmark="benchmarks/test_bench_fig8.py",
-        modules=("repro.core.solver",),
+        modules=("repro.core.solver", "repro.experiments.campaign"),
+        campaign_artefact="fig8",
     ),
     Experiment(
         key="fig9",
@@ -144,3 +163,26 @@ def experiment(key: str) -> Experiment:
         f"unknown experiment {key!r}; known: "
         f"{[e.key for e in _EXPERIMENTS]}"
     )
+
+
+def artefact_grid(key: str, **scale):
+    """Build the campaign grid reproducing one registered artefact.
+
+    A thin adapter over :data:`repro.experiments.campaign.
+    ARTEFACT_BUILDERS`: scale knobs (batch size, model list, contexts)
+    pass straight through to the builder, so callers get exactly the
+    grid ``make bench`` runs.
+
+    Raises:
+        KeyError: Unknown id.
+        ValueError: The artefact has no campaign grid (e.g. Fig. 2).
+    """
+    exp = experiment(key)
+    if exp.campaign_artefact is None:
+        raise ValueError(
+            f"{exp.artefact} is not an evaluation grid; no campaign "
+            "definition exists for it"
+        )
+    from repro.experiments.campaign import ARTEFACT_BUILDERS
+
+    return ARTEFACT_BUILDERS[exp.campaign_artefact](**scale)

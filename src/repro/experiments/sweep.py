@@ -2,10 +2,11 @@
 
 The paper's evaluation is a grid of independent cells — a (system,
 workload) pair measured over a few global batches (Fig. 4's 18 cells,
-Fig. 6's cluster- and context-scaling slices, Table 1).  Regenerating
-the grids one benchmark at a time repeats a lot of work: every system
-re-fits the same cost model, re-tunes the same baselines, re-samples
-the same corpus, and re-solves the same FlexSP plans.
+Fig. 6's cluster- and context-scaling slices, Table 1's capacity
+frontier, Fig. 7's ablation matrix, Fig. 8's weak scaling).
+Regenerating the grids one benchmark at a time repeats a lot of work:
+every system re-fits the same cost model, re-tunes the same baselines,
+re-samples the same corpus, and re-solves the same FlexSP plans.
 
 :class:`SweepRunner` treats the whole campaign as one sweep:
 
@@ -17,14 +18,31 @@ the same corpus, and re-solves the same FlexSP plans.
   ``run()`` calls (trajectory regeneration).
 * **Cell dedup.**  Grids overlap (Fig. 6's 192K context point is a
   Fig. 4 cell); duplicate cells are measured once and fanned back out.
+* **Cell variants.**  A cell may carry a :attr:`SweepCell.variant` —
+  hashable system-construction overrides — so parameterised artefacts
+  (Table 1's fixed SP degrees, Fig. 7's solver ablations) ride the
+  same grid machinery instead of ad-hoc benchmark loops.
+* **Persistent cross-process cache.**  With a
+  :class:`~repro.core.cache_store.CacheStore`, each context restores
+  spilled cost-model fits, tuner memos and plan-cache entries on
+  construction and spills them back after a pass, so a *new process*
+  (CI re-run, next regeneration) starts warm with bit-identical
+  metrics.
+* **One shared solver pool.**  With ``solver_workers > 1`` (or a
+  ``solver_config.workers > 1``) the runner owns a single
+  :class:`~repro.core.solver.SolverPool` whose tenant clients are
+  injected into every workload's :class:`FlexSPSolver` — the
+  per-workload solvers no longer nest their own process pools.
 * **Process-pool fan-out.**  With ``workers > 1`` the unique cells are
   dispatched over a persistent ``ProcessPoolExecutor`` whose workers
   keep their own context caches alive across cells and sweeps, the
-  same architecture as :class:`repro.core.solver.SolverService`.
+  same architecture as :class:`repro.core.solver.SolverService`.  Each
+  worker shares one solver pool and one cache store across all of its
+  workloads.
 
 Results are plain :class:`CellMetrics` (no plans or traces), so they
 are cheap to ship across the pool and serialise into the
-``BENCH_e2e.json`` trajectory.
+``BENCH_e2e.json`` / ``BENCH_campaign.json`` trajectories.
 """
 
 from __future__ import annotations
@@ -33,13 +51,22 @@ import dataclasses
 import os
 import threading
 import time
-import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.solver import SolverConfig
+from repro.core import pools
+from repro.core.cache_store import (
+    CacheStore,
+    WorkloadState,
+    context_digest,
+    entries_from_cache,
+    preload_cache,
+)
+from repro.core.planner import PlanInfeasibleError
+from repro.core.solver import SolverConfig, SolverPool
+from repro.core.types import InfeasibleWorkloadError
 from repro.cost.model import CostModel
 from repro.cost.profiler import fit_cost_model
 from repro.data.dataset import GlobalBatch
@@ -58,13 +85,22 @@ from repro.experiments.workloads import Workload
 #: against a handful of representative batches, Appendix B.2).
 DEFAULT_PROBE_BATCHES = 2
 
+#: Variant keys each system accepts (see :attr:`SweepCell.variant`).
+VARIANT_KEYS = {
+    "flexsp": ("sort_sequences", "bucketing"),
+    "deepspeed": ("sp_degree",),
+    "batchada": (),
+    "megatron": (),
+}
+
 
 def workload_signature(workload: Workload) -> tuple:
     """Hashable identity of a workload's full configuration.
 
     Two workloads with equal signatures produce identical corpora,
     cost models and tuning results, so every per-workload memo in the
-    sweep is keyed on this.  Fields are enumerated dynamically so a
+    sweep — and every :class:`~repro.core.cache_store.CacheStore`
+    file — is keyed on this.  Fields are enumerated dynamically so a
     field added to :class:`Workload` later can never be silently left
     out of the key.
     """
@@ -82,12 +118,18 @@ class SweepCell:
         workload: Evaluation configuration.
         num_iterations: Consecutive global batches to measure.
         start_step: First corpus step of the measured window.
+        variant: System-construction overrides as sorted ``(key,
+            value)`` pairs — e.g. ``(("sp_degree", 8),)`` pins a
+            Table 1 degree, ``(("bucketing", "naive"),)`` selects a
+            Fig. 7 ablation.  Hashable, so variant cells dedup like
+            plain ones.  Valid keys per system: :data:`VARIANT_KEYS`.
     """
 
     system: str
     workload: Workload
     num_iterations: int = 1
     start_step: int = 0
+    variant: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEM_BUILDERS:
@@ -103,6 +145,40 @@ class SweepCell:
             raise ValueError(
                 f"start_step must be non-negative, got {self.start_step}"
             )
+        # Normalise the variant so equal override sets written in any
+        # order dedup to one cell.
+        variant = tuple(sorted(tuple(self.variant), key=lambda kv: kv[0]))
+        allowed = VARIANT_KEYS[self.system]
+        for key, value in variant:
+            if key not in allowed:
+                raise ValueError(
+                    f"system {self.system!r} does not accept variant key "
+                    f"{key!r}; options: {sorted(allowed)}"
+                )
+            # Values are validated here, eagerly: a bad value swallowed
+            # later by the infeasibility handling would masquerade as a
+            # fabricated OOM cell in the generated table.
+            if key == "bucketing" and value not in ("optimal", "naive", "none"):
+                raise ValueError(f"unknown bucketing variant {value!r}")
+            if key == "sort_sequences" and not isinstance(value, bool):
+                raise ValueError(
+                    f"sort_sequences variant must be a bool, got {value!r}"
+                )
+            if key == "sp_degree" and (
+                not isinstance(value, int)
+                or value <= 0
+                or value & (value - 1)
+            ):
+                raise ValueError(
+                    f"sp_degree variant must be a positive power of two, "
+                    f"got {value!r}"
+                )
+        object.__setattr__(self, "variant", variant)
+
+    @property
+    def variant_label(self) -> str:
+        """Human-readable variant tag, e.g. ``"sp_degree=8"``."""
+        return ",".join(f"{k}={v}" for k, v in self.variant)
 
 
 @dataclass(frozen=True)
@@ -112,7 +188,17 @@ class CellMetrics:
     ``mean_solve_seconds`` is host wall-clock (non-deterministic); the
     other fields are pure functions of the simulated execution and are
     bit-identical however the cell is computed (scalar or vectorized,
-    in-process or on a pool worker).
+    in-process or on a pool worker, cold or restored from a
+    :class:`~repro.core.cache_store.CacheStore`).
+
+    ``checkpointing`` surfaces the workload's chosen activation
+    checkpointing policy (``"none"`` / ``"selective"`` / ``"full"``):
+    long-context cells escalate the policy on small clusters, and
+    figure regeneration annotates that escalation from here.
+
+    ``status`` is ``"ok"`` for measured cells and ``"oom"`` for cells
+    whose configuration cannot be scheduled at all (Table 1's
+    infeasible degree/length corners); OOM cells carry zero metrics.
     """
 
     system: str
@@ -124,6 +210,8 @@ class CellMetrics:
     tokens_per_second_per_gpu: float
     mean_solve_seconds: float
     plan_cache_hit_rate: float
+    checkpointing: str = ""
+    status: str = "ok"
 
     def deterministic(self) -> tuple[float, float, float, float]:
         """The wall-clock-free metric tuple used for exact comparisons."""
@@ -132,6 +220,27 @@ class CellMetrics:
             self.mean_comm_fraction,
             self.mean_alltoall_fraction,
             self.tokens_per_second_per_gpu,
+        )
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def infeasible(cls, cell: SweepCell) -> "CellMetrics":
+        """The OOM marker cell: zero metrics, ``status="oom"``."""
+        return cls(
+            system=cell.system,
+            workload=cell.workload.name,
+            num_iterations=cell.num_iterations,
+            mean_iteration_seconds=0.0,
+            mean_comm_fraction=0.0,
+            mean_alltoall_fraction=0.0,
+            tokens_per_second_per_gpu=0.0,
+            mean_solve_seconds=0.0,
+            plan_cache_hit_rate=0.0,
+            checkpointing=cell.workload.checkpointing.value,
+            status="oom",
         )
 
 
@@ -149,7 +258,32 @@ def cell_metrics(result: RunResult, cell: SweepCell) -> CellMetrics:
         ),
         mean_solve_seconds=result.mean_solve_seconds,
         plan_cache_hit_rate=result.plan_cache_hit_rate,
+        checkpointing=cell.workload.checkpointing.value,
     )
+
+
+def find_cell_metrics(
+    cells: Sequence[SweepCell],
+    metrics: Sequence[CellMetrics],
+    system: str,
+    workload_name: str,
+    variant: tuple[tuple[str, object], ...] = (),
+) -> CellMetrics | None:
+    """Look one cell's metrics up in aligned (cells, metrics) lists.
+
+    The single definition of cell identity for lookups — shared by
+    :meth:`SweepResult.metric` and the campaign engine's per-artefact
+    slices, so the two can never diverge.  Returns None when absent.
+    """
+    variant = tuple(sorted(variant, key=lambda kv: kv[0]))
+    for cell, cell_metrics_ in zip(cells, metrics):
+        if (
+            cell.system == system
+            and cell.workload.name == workload_name
+            and cell.variant == variant
+        ):
+            return cell_metrics_
+    return None
 
 
 @dataclass(frozen=True)
@@ -169,12 +303,22 @@ class SweepResult:
     unique_cells: int
     wall_seconds: float
 
-    def metric(self, system: str, workload_name: str) -> CellMetrics:
-        """Look one cell's metrics up by system and workload name."""
-        for cell, metrics in zip(self.cells, self.metrics):
-            if cell.system == system and cell.workload.name == workload_name:
-                return metrics
-        raise KeyError(f"no cell for system={system!r} workload={workload_name!r}")
+    def metric(
+        self,
+        system: str,
+        workload_name: str,
+        variant: tuple[tuple[str, object], ...] = (),
+    ) -> CellMetrics:
+        """Look one cell's metrics up by system, workload and variant."""
+        found = find_cell_metrics(
+            self.cells, self.metrics, system, workload_name, variant
+        )
+        if found is None:
+            raise KeyError(
+                f"no cell for system={system!r} workload={workload_name!r} "
+                f"variant={variant!r}"
+            )
+        return found
 
 
 class WorkloadContext:
@@ -185,6 +329,12 @@ class WorkloadContext:
     strategies, and the system instances themselves (whose executors
     and FlexSP solver — with its plan cache — persist for the life of
     the context).
+
+    With a ``store``, the expensive derivations are *restored* from
+    disk instead of recomputed when a previous process spilled them
+    (see :mod:`repro.core.cache_store`), and :meth:`persist` spills the
+    current state back.  With a ``solver_pool``, FlexSP solvers plan on
+    the shared pool's workers instead of owning pools of their own.
     """
 
     def __init__(
@@ -192,20 +342,51 @@ class WorkloadContext:
         workload: Workload,
         solver_config: SolverConfig | None = None,
         vectorized: bool = True,
+        store: CacheStore | None = None,
+        solver_pool: SolverPool | None = None,
     ) -> None:
         self.workload = workload
         self.solver_config = solver_config
         self.vectorized = vectorized
+        self.store = store
+        self.solver_pool = solver_pool
+        self._signature = workload_signature(workload)
         self._corpus = workload.corpus()
         self._batches: dict[int, GlobalBatch] = {}
         self._cost_model: CostModel | None = None
         self._static_degree: int | None = None
         self._megatron_strategy = None
-        self._systems: dict[str, TrainingSystem] = {}
+        self._systems: dict[tuple[str, tuple], TrainingSystem] = {}
+        self._restored: WorkloadState | None = (
+            store.load(self._signature) if store is not None else None
+        )
+        self._persisted_fingerprint: tuple | None = None
+        self._restore_scalars()
+
+    def _restore_scalars(self) -> None:
+        """Adopt spilled cost-model / tuner state (bit-identical to a
+        fresh derivation — floats round-trip exactly through the
+        store's JSON)."""
+        state = self._restored
+        if state is None:
+            return
+        if state.coeffs is not None and state.comm_model == "alltoall":
+            self._cost_model = CostModel(
+                coeffs=state.coeffs,
+                cluster=self.workload.cluster,
+                comm_model=state.comm_model,
+            )
+        if state.static_degree is not None:
+            self._static_degree = int(state.static_degree)
+        if state.megatron_strategy is not None:
+            from repro.baselines.megatron import MegatronStrategy
+
+            tp, cp, dp = state.megatron_strategy
+            self._megatron_strategy = MegatronStrategy(tp=tp, cp=cp, dp=dp)
 
     @property
     def cost_model(self) -> CostModel:
-        """The workload's fitted cost model (profiled once)."""
+        """The workload's fitted cost model (profiled or restored once)."""
         if self._cost_model is None:
             self._cost_model = fit_cost_model(
                 self.workload.model_at_context,
@@ -232,7 +413,7 @@ class WorkloadContext:
         return [self.batch(step).lengths for step in range(num)]
 
     def static_degree(self) -> int:
-        """DeepSpeed's tuned static SP degree (tuned once)."""
+        """DeepSpeed's tuned static SP degree (tuned or restored once)."""
         if self._static_degree is None:
             from repro.baselines.tuner import choose_static_degree
 
@@ -259,23 +440,74 @@ class WorkloadContext:
             )
         return self._megatron_strategy
 
-    def system(self, name: str) -> TrainingSystem:
-        """The (persistent) system instance for this workload."""
-        system = self._systems.get(name)
+    def _flexsp_config(
+        self, variant: tuple[tuple[str, object], ...]
+    ) -> SolverConfig:
+        """The cell's solver config with variant overrides applied."""
+        config = self.solver_config or SolverConfig()
+        for key, value in variant:
+            if key == "sort_sequences":
+                config = dataclasses.replace(config, sort_sequences=bool(value))
+            elif key == "bucketing":
+                config = dataclasses.replace(
+                    config,
+                    planner=dataclasses.replace(config.planner, bucketing=value),
+                )
+            else:  # pragma: no cover - guarded by SweepCell validation
+                raise ValueError(f"unknown flexsp variant key {key!r}")
+        return config
+
+    def _build_flexsp(
+        self, variant: tuple[tuple[str, object], ...]
+    ) -> FlexSPSystem:
+        config = self._flexsp_config(variant)
+        service = (
+            self.solver_pool.client(self.cost_model, config)
+            if self.solver_pool is not None
+            else None
+        )
+        system = FlexSPSystem(
+            self.workload,
+            config,
+            cost_model=self.cost_model,
+            vectorized=self.vectorized,
+            solver_service=service,
+        )
+        self._preload_plans(system)
+        return system
+
+    def _preload_plans(self, system: FlexSPSystem) -> None:
+        """Replay spilled plan-cache entries into a fresh solver."""
+        state, solver = self._restored, system.solver
+        if state is None or solver.cache is None:
+            return
+        config = solver.config
+        entries = state.plans.get(context_digest(config.planner, config.backend))
+        if not entries:
+            return
+        # Key with the solver's own interned context so hot-path
+        # lookups take the identity fast path, not a deep comparison.
+        preload_cache(solver.cache, entries, solver.context)
+
+    def system(
+        self, name: str, variant: tuple[tuple[str, object], ...] = ()
+    ) -> TrainingSystem:
+        """The (persistent) system instance for this workload/variant."""
+        key = (name, variant)
+        system = self._systems.get(key)
         if system is not None:
             return system
         workload = self.workload
+        overrides = dict(variant)
         if name == "flexsp":
-            system = FlexSPSystem(
-                workload,
-                self.solver_config,
-                cost_model=self.cost_model,
-                vectorized=self.vectorized,
-            )
+            system = self._build_flexsp(variant)
         elif name == "deepspeed":
+            sp_degree = overrides.get("sp_degree")
             system = DeepSpeedUlyssesSystem(
                 workload,
-                sp_degree=self.static_degree(),
+                sp_degree=(
+                    sp_degree if sp_degree is not None else self.static_degree()
+                ),
                 cost_model=self.cost_model,
                 vectorized=self.vectorized,
             )
@@ -293,53 +525,143 @@ class WorkloadContext:
             )
         else:  # pragma: no cover - guarded by SweepCell validation
             raise ValueError(f"unknown system {name!r}")
-        self._systems[name] = system
+        self._systems[key] = system
         return system
 
     def run(self, cell: SweepCell) -> CellMetrics:
-        """Measure one cell against this context's shared state."""
-        result = run_system(
-            self.system(cell.system),
-            self.workload,
-            num_iterations=cell.num_iterations,
-            start_step=cell.start_step,
-            batches=self.batches(cell.num_iterations, cell.start_step),
-        )
+        """Measure one cell against this context's shared state.
+
+        Infeasible configurations — a Table 1 corner whose fixed SP
+        degree cannot host the batch, a cluster too small for any
+        strategy — are reported as ``status="oom"`` cells rather than
+        raised, exactly as the paper's tables mark them.  Only the two
+        dedicated infeasibility exceptions are converted; any other
+        error (a genuine bug, a bad argument) propagates.
+        """
+        try:
+            result = run_system(
+                self.system(cell.system, cell.variant),
+                self.workload,
+                num_iterations=cell.num_iterations,
+                start_step=cell.start_step,
+                batches=self.batches(cell.num_iterations, cell.start_step),
+            )
+        except (PlanInfeasibleError, InfeasibleWorkloadError):
+            return CellMetrics.infeasible(cell)
         return cell_metrics(result, cell)
+
+    def _state_fingerprint(self) -> tuple:
+        """Cheap summary of the spillable state, for dirty tracking.
+
+        Plan caches are fingerprinted by entry count — an entry
+        *replacing* another at constant size (LRU churn at capacity)
+        is not detected, which at worst delays its spill to the next
+        pass that grows any cache.
+        """
+        caches = sorted(
+            (
+                context_digest(
+                    system.solver.config.planner, system.solver.config.backend
+                ),
+                len(system.solver.cache),
+            )
+            for system in self._systems.values()
+            if getattr(system, "solver", None) is not None
+            and system.solver.cache is not None
+        )
+        return (
+            self._cost_model is not None,
+            self._static_degree,
+            self._megatron_strategy,
+            tuple(caches),
+        )
+
+    def persist(self) -> None:
+        """Spill this context's reusable state to the cache store.
+
+        No-op without a store, and skipped entirely when nothing
+        spillable changed since the last call (the fan-out path
+        persists after every cell; without this, each no-op cell would
+        re-serialise the whole workload file under the store lock).
+        Plan entries of flexsp variants that share a planning context
+        (e.g. the sort ablation, which changes blasting but not
+        per-shape planning) are unioned.
+        """
+        if self.store is None:
+            return
+        fingerprint = self._state_fingerprint()
+        if fingerprint == self._persisted_fingerprint:
+            return
+        state = WorkloadState(signature=repr(self._signature))
+        if self._cost_model is not None:
+            state.coeffs = self._cost_model.coeffs
+            state.comm_model = self._cost_model.comm_model
+        if self._static_degree is not None:
+            state.static_degree = self._static_degree
+        if self._megatron_strategy is not None:
+            strategy = self._megatron_strategy
+            state.megatron_strategy = (strategy.tp, strategy.cp, strategy.dp)
+        for system in self._systems.values():
+            solver = getattr(system, "solver", None)
+            if solver is None or solver.cache is None:
+                continue
+            digest = context_digest(solver.config.planner, solver.config.backend)
+            merged = {e[0]: e for e in state.plans.get(digest, [])}
+            for entry in entries_from_cache(solver.cache):
+                merged[entry[0]] = entry
+            state.plans[digest] = list(merged.values())
+        self.store.save(self._signature, state)
+        self._persisted_fingerprint = fingerprint
 
 
 # ---------------------------------------------------------------------------
 # Worker-side state of the sweep pool.  Contexts live in the worker
 # process and persist across cells and across sweeps, so each worker
 # amortises profiling/tuning/corpus work exactly like the serial path.
+# Each worker owns at most one SolverPool and one CacheStore, shared by
+# all of its workload contexts.
 # ---------------------------------------------------------------------------
 
-_WORKER_SWEEP: tuple[SolverConfig | None, bool] | None = None
+_WORKER_SWEEP: tuple[SolverConfig | None, bool, str | None, int] | None = None
 _WORKER_CONTEXTS: dict = {}
+_WORKER_SOLVER_POOL: SolverPool | None = None
 
 
 def _sweep_worker_init(
-    solver_config: SolverConfig | None, vectorized: bool
+    solver_config: SolverConfig | None,
+    vectorized: bool,
+    store_root: str | None,
+    solver_workers: int,
 ) -> None:
-    global _WORKER_SWEEP
-    _WORKER_SWEEP = (solver_config, vectorized)
+    global _WORKER_SWEEP, _WORKER_SOLVER_POOL
+    _WORKER_SWEEP = (solver_config, vectorized, store_root, solver_workers)
     _WORKER_CONTEXTS.clear()
+    _WORKER_SOLVER_POOL = None
 
 
 def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
+    global _WORKER_SOLVER_POOL
     assert _WORKER_SWEEP is not None, "sweep worker used before initialization"
-    solver_config, vectorized = _WORKER_SWEEP
+    solver_config, vectorized, store_root, solver_workers = _WORKER_SWEEP
+    if solver_workers > 1 and _WORKER_SOLVER_POOL is None:
+        _WORKER_SOLVER_POOL = SolverPool(solver_workers)
     key = workload_signature(cell.workload)
     context = _WORKER_CONTEXTS.get(key)
     if context is None:
-        context = WorkloadContext(cell.workload, solver_config, vectorized)
+        context = WorkloadContext(
+            cell.workload,
+            solver_config,
+            vectorized,
+            store=CacheStore(store_root) if store_root else None,
+            solver_pool=_WORKER_SOLVER_POOL,
+        )
         _WORKER_CONTEXTS[key] = context
-    return context.run(cell)
-
-
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
-    """weakref.finalize target: non-blocking best-effort shutdown."""
-    pool.shutdown(wait=False, cancel_futures=True)
+    metrics = context.run(cell)
+    # Spill after every cell: the parent cannot reach into the worker
+    # at shutdown, and the store's merge-on-save keeps repeated spills
+    # cheap relative to the cells themselves.
+    context.persist()
+    return metrics
 
 
 class SweepRunner:
@@ -349,7 +671,10 @@ class SweepRunner:
     worker pool, when ``workers > 1``) survive across :meth:`run`
     calls, so regenerating a campaign repeatedly — the benchmark
     trajectory use case — pays profiling, tuning, corpus sampling and
-    plan solving once.
+    plan solving once.  Pools are additionally guarded by
+    :mod:`repro.core.pools`: a runner that is dropped without
+    ``close()`` (or held until interpreter exit) cannot leak worker
+    processes.
 
     Args:
         cells: Default cell list for :meth:`run`.
@@ -358,6 +683,15 @@ class SweepRunner:
             hosts) runs in-process.  ``None`` uses the CPU count.
         vectorized: Evaluate timing kernels and tuners through the
             batched array paths (bit-identical to scalar).
+        store: Persistent cross-process cache — a
+            :class:`~repro.core.cache_store.CacheStore` or a directory
+            path.  Contexts restore from it on construction and spill
+            back after each pass (serial) or each cell (fan-out).
+        solver_workers: Width of the *one* shared
+            :class:`~repro.core.solver.SolverPool` injected into every
+            FlexSP solver.  ``None`` adopts ``solver_config.workers``
+            when that is > 1 (so sweeps never nest per-workload
+            pools); 1 plans in-process.
     """
 
     def __init__(
@@ -366,6 +700,8 @@ class SweepRunner:
         solver_config: SolverConfig | None = None,
         workers: int | None = None,
         vectorized: bool = True,
+        store: CacheStore | str | os.PathLike | None = None,
+        solver_workers: int | None = None,
     ) -> None:
         self.cells = tuple(cells)
         self.solver_config = solver_config
@@ -375,9 +711,33 @@ class SweepRunner:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self.vectorized = vectorized
+        if store is not None and not isinstance(store, CacheStore):
+            store = CacheStore(store)
+        self.store = store
+        if solver_workers is None:
+            solver_workers = (
+                solver_config.workers
+                if solver_config is not None and solver_config.workers > 1
+                else 1
+            )
+        if solver_workers <= 0:
+            raise ValueError(
+                f"solver_workers must be positive, got {solver_workers}"
+            )
+        self.solver_workers = solver_workers
         self._contexts: dict[tuple, WorkloadContext] = {}
+        self._solver_pool: SolverPool | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._finalizer = None
+
+    def _ensure_solver_pool(self) -> SolverPool | None:
+        if self.solver_workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._solver_pool is None:
+                self._solver_pool = SolverPool(self.solver_workers)
+            return self._solver_pool
 
     def context(self, workload: Workload) -> WorkloadContext:
         """The (memoised) shared context of ``workload``."""
@@ -385,7 +745,11 @@ class SweepRunner:
         context = self._contexts.get(key)
         if context is None:
             context = WorkloadContext(
-                workload, self.solver_config, self.vectorized
+                workload,
+                self.solver_config,
+                self.vectorized,
+                store=self.store,
+                solver_pool=self._ensure_solver_pool(),
             )
             self._contexts[key] = context
         return context
@@ -393,12 +757,20 @@ class SweepRunner:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
+                store_root = (
+                    str(self.store.root) if self.store is not None else None
+                )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_sweep_worker_init,
-                    initargs=(self.solver_config, self.vectorized),
+                    initargs=(
+                        self.solver_config,
+                        self.vectorized,
+                        store_root,
+                        self.solver_workers,
+                    ),
                 )
-                weakref.finalize(self, _shutdown_pool, self._pool)
+                self._finalizer = pools.track_pool(self, self._pool)
             return self._pool
 
     def run(self, cells: Iterable[SweepCell] | None = None) -> SweepResult:
@@ -410,8 +782,14 @@ class SweepRunner:
         unique: dict[SweepCell, CellMetrics | None] = dict.fromkeys(cells)
         order = list(unique)
         if self.workers == 1:
+            touched: dict[tuple, WorkloadContext] = {}
             for cell in order:
-                unique[cell] = self.context(cell.workload).run(cell)
+                context = self.context(cell.workload)
+                touched[workload_signature(cell.workload)] = context
+                unique[cell] = context.run(cell)
+            if self.store is not None:
+                for context in touched.values():
+                    context.persist()
         else:
             outcomes = self._run_on_pool(order)
             for cell, metrics in zip(order, outcomes):
@@ -451,17 +829,26 @@ class SweepRunner:
         raise AssertionError("unreachable: both sweep attempts returned")
 
     def close(self) -> None:
-        """Shut the worker pool down.
+        """Shut the worker pools down.
 
         The serial path's in-process contexts survive; with
         ``workers > 1`` the warm per-workload state lives inside the
         worker processes and is discarded with them — the next
-        :meth:`run` starts a fresh pool with cold caches.
+        :meth:`run` starts a fresh pool whose caches are cold (or
+        store-restored, when a ``store`` is configured).
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+            solver_pool = self._solver_pool
         if pool is not None:
             pool.shutdown()
+        if finalizer is not None:
+            finalizer()  # retires the pool from the exit registry too
+        if solver_pool is not None:
+            # Not discarded: live contexts hold tenant clients of this
+            # pool, which restarts lazily if the runner is used again.
+            solver_pool.close()
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -475,6 +862,7 @@ def grid_cells(
     workloads: Iterable[Workload],
     num_iterations: int = 1,
     start_step: int = 0,
+    variant: tuple[tuple[str, object], ...] = (),
 ) -> list[SweepCell]:
     """The cross product of systems and workloads as sweep cells."""
     return [
@@ -483,6 +871,7 @@ def grid_cells(
             workload=workload,
             num_iterations=num_iterations,
             start_step=start_step,
+            variant=variant,
         )
         for workload in workloads
         for system in systems

@@ -117,6 +117,10 @@ class FlexSPSystem:
     its plan cache warms over the workload and its worker pool (when
     ``solver_config.workers > 1``) is spawned once; call :meth:`close`
     (or use the system as a context manager) to release the pool.
+    With ``solver_service`` — typically a tenant of a sweep's shared
+    :class:`~repro.core.solver.SolverPool` — the solver plans on that
+    injected service instead of owning a pool (and :meth:`close`
+    leaves it running for its owner).
     """
 
     def __init__(
@@ -125,11 +129,14 @@ class FlexSPSystem:
         solver_config: SolverConfig | None = None,
         cost_model: CostModel | None = None,
         vectorized: bool = True,
+        solver_service=None,
     ):
         self.name = "FlexSP"
         self.workload = workload
         self.cost_model = _workload_cost_model(workload, cost_model)
-        self.solver = FlexSPSolver(self.cost_model, solver_config)
+        self.solver = FlexSPSolver(
+            self.cost_model, solver_config, service=solver_service
+        )
         self.executor = IterationExecutor(
             config=workload.model_at_context,
             cluster=workload.cluster,

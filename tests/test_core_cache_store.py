@@ -1,0 +1,228 @@
+"""Tests for repro.core.cache_store: the persistent cross-process store.
+
+The store's contract is exact restoration: a process that loads
+spilled state must behave bit-identically to the process that spilled
+it — same cost model, same plans, same
+:class:`~repro.core.types.SolveStats` counters on subsequent solves —
+and any corrupted, truncated or foreign file must read as *cold*,
+never as an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cache_store import (
+    STORE_VERSION,
+    CacheStore,
+    WorkloadState,
+    context_digest,
+    entries_from_cache,
+    preload_cache,
+    signature_digest,
+)
+from repro.core.plan_cache import PlanCache, cache_context
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.cost.model import CostModel
+
+SIGNATURE = ("gpt-7b", "github", 32 * 1024, 8)
+OTHER_SIGNATURE = ("gpt-7b", "wikipedia", 32 * 1024, 8)
+
+lengths_strategy = st.lists(
+    st.integers(min_value=64, max_value=24_000), min_size=1, max_size=32
+)
+
+
+def greedy_solver(model) -> FlexSPSolver:
+    return FlexSPSolver(model, SolverConfig(num_trials=3, backend="greedy"))
+
+
+def spill(store: CacheStore, solver: FlexSPSolver, signature) -> None:
+    state = WorkloadState(signature=repr(signature))
+    state.coeffs = solver.model.coeffs
+    state.comm_model = solver.model.comm_model
+    digest = context_digest(solver.config.planner, solver.config.backend)
+    state.plans[digest] = entries_from_cache(solver.cache)
+    store.save(signature, state)
+
+
+def restore(store: CacheStore, model, signature) -> FlexSPSolver:
+    solver = greedy_solver(model)
+    state = store.load(signature)
+    assert state is not None
+    digest = context_digest(solver.config.planner, solver.config.backend)
+    context = cache_context(
+        solver.model, solver.config.planner, solver.config.backend
+    )
+    preload_cache(solver.cache, state.plans[digest], context)
+    return solver
+
+
+def stats_counters(plan):
+    """SolveStats minus the wall-clock field (host-dependent)."""
+    assert plan.stats is not None
+    return (
+        plan.stats.cache_hits,
+        plan.stats.dedup_hits,
+        plan.stats.cache_misses,
+        plan.stats.trials,
+        plan.stats.microbatches,
+    )
+
+
+class TestRoundTripProperties:
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_restored_cache_solves_bit_identically(
+        self, cost_model8, tmp_path_factory, lengths
+    ):
+        """spill -> restore -> solve must equal the warm original: same
+        plans, same predicted times, same SolveStats counters."""
+        store = CacheStore(tmp_path_factory.mktemp("store"))
+        original = greedy_solver(cost_model8)
+        original.solve(tuple(lengths))
+        spill(store, original, SIGNATURE)
+
+        restored = restore(store, cost_model8, SIGNATURE)
+        warm = original.solve(tuple(lengths))
+        fresh = restored.solve(tuple(lengths))
+        assert fresh.microbatches == warm.microbatches
+        assert fresh.predicted_time == warm.predicted_time
+        assert stats_counters(fresh) == stats_counters(warm)
+        assert fresh.stats.planner_calls == 0
+
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_restored_coeffs_are_bit_identical(
+        self, cost_model8, tmp_path_factory, lengths
+    ):
+        """Cost-model fits survive the JSON round trip exactly."""
+        store = CacheStore(tmp_path_factory.mktemp("store"))
+        solver = greedy_solver(cost_model8)
+        solver.solve(tuple(lengths))
+        spill(store, solver, SIGNATURE)
+        state = store.load(SIGNATURE)
+        assert state.coeffs == cost_model8.coeffs
+        restored_model = CostModel(
+            coeffs=state.coeffs,
+            cluster=cost_model8.cluster,
+            comm_model=state.comm_model,
+        )
+        assert restored_model == CostModel(
+            coeffs=cost_model8.coeffs,
+            cluster=cost_model8.cluster,
+            comm_model=cost_model8.comm_model,
+        )
+
+    def test_infeasible_entries_round_trip(self, cost_model8, tmp_path):
+        """Shapes proven unplannable stay unplannable after restore."""
+        store = CacheStore(tmp_path)
+        cache = PlanCache()
+        context = cache_context(
+            cost_model8, SolverConfig().planner, "greedy"
+        )
+        cache.store(((10**9,), context), None, None)  # infeasible marker
+        state = WorkloadState(signature=repr(SIGNATURE))
+        state.plans["ctx"] = entries_from_cache(cache)
+        store.save(SIGNATURE, state)
+        restored = store.load(SIGNATURE)
+        (shape, plan, predicted) = restored.plans["ctx"][0]
+        assert shape == (10**9,)
+        assert plan is None and predicted is None
+
+
+class TestCorruptionIsIgnored:
+    def _path(self, store: CacheStore):
+        return store.root / f"workload-{signature_digest(SIGNATURE)}.json"
+
+    def test_missing_file_loads_cold(self, tmp_path):
+        assert CacheStore(tmp_path).load(SIGNATURE) is None
+
+    def test_garbage_bytes_load_cold(self, tmp_path):
+        store = CacheStore(tmp_path)
+        self._path(store).write_bytes(b"\x00\xffnot json at all")
+        assert store.load(SIGNATURE) is None
+
+    def test_truncated_json_loads_cold(self, tmp_path, cost_model8):
+        store = CacheStore(tmp_path)
+        solver = greedy_solver(cost_model8)
+        solver.solve((4096, 2048, 1024))
+        spill(store, solver, SIGNATURE)
+        text = self._path(store).read_text()
+        self._path(store).write_text(text[: len(text) // 2])
+        assert store.load(SIGNATURE) is None
+
+    def test_wrong_version_loads_cold(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.save(SIGNATURE, WorkloadState(signature=repr(SIGNATURE)))
+        payload = json.loads(self._path(store).read_text())
+        payload["version"] = STORE_VERSION + 1
+        self._path(store).write_text(json.dumps(payload))
+        assert store.load(SIGNATURE) is None
+
+    def test_signature_mismatch_loads_cold(self, tmp_path):
+        """A digest collision (or stale schema) must read as cold."""
+        store = CacheStore(tmp_path)
+        store.save(
+            OTHER_SIGNATURE, WorkloadState(signature=repr(OTHER_SIGNATURE))
+        )
+        foreign = store.root / (
+            f"workload-{signature_digest(OTHER_SIGNATURE)}.json"
+        )
+        foreign.rename(self._path(store))
+        assert store.load(SIGNATURE) is None
+
+    def test_save_recovers_after_corruption(self, tmp_path, cost_model8):
+        store = CacheStore(tmp_path)
+        self._path(store).write_text("{broken")
+        solver = greedy_solver(cost_model8)
+        solver.solve((8192, 4096))
+        spill(store, solver, SIGNATURE)  # must not raise
+        assert store.load(SIGNATURE) is not None
+
+
+class TestMergeAndKeys:
+    def test_save_merges_plan_entries(self, tmp_path):
+        store = CacheStore(tmp_path)
+        first = WorkloadState(signature=repr(SIGNATURE), static_degree=8)
+        first.plans["ctx"] = [((1024,), None, None)]
+        store.save(SIGNATURE, first)
+        second = WorkloadState(signature=repr(SIGNATURE))
+        second.plans["ctx"] = [((2048,), None, None)]
+        second.megatron_strategy = (2, 2, 2)
+        store.save(SIGNATURE, second)
+        merged = store.load(SIGNATURE)
+        assert {e[0] for e in merged.plans["ctx"]} == {(1024,), (2048,)}
+        # Scalars survive merging: the degree from the first spill, the
+        # strategy from the second.
+        assert merged.static_degree == 8
+        assert merged.megatron_strategy == (2, 2, 2)
+
+    def test_save_rejects_mismatched_signature(self, tmp_path):
+        with pytest.raises(ValueError, match="signature"):
+            CacheStore(tmp_path).save(
+                SIGNATURE, WorkloadState(signature=repr(OTHER_SIGNATURE))
+            )
+
+    def test_digests_are_deterministic_and_distinct(self):
+        assert signature_digest(SIGNATURE) == signature_digest(SIGNATURE)
+        assert signature_digest(SIGNATURE) != signature_digest(OTHER_SIGNATURE)
+        config = SolverConfig()
+        assert context_digest(config.planner, "milp") != context_digest(
+            config.planner, "greedy"
+        )
+        ablated = dataclasses.replace(config.planner, bucketing="naive")
+        assert context_digest(config.planner, "milp") != context_digest(
+            ablated, "milp"
+        )
+
+    def test_signatures_listing(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.signatures() == []
+        store.save(SIGNATURE, WorkloadState(signature=repr(SIGNATURE)))
+        assert store.signatures() == [signature_digest(SIGNATURE)]

@@ -1,0 +1,385 @@
+"""Tests for repro.experiments.campaign: the declarative campaign engine.
+
+The engine's contract: every paper artefact grid is a declarative cell
+list executed through *one* sweep pass, overlapping cells dedup to one
+measurement, and every campaign path (variant cells, store-restored
+runs, shared solver pool, deterministic MILP cells) reproduces the
+pre-refactor registry/benchmark computations bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.homogeneous import homogeneous_plan
+from repro.cluster.topology import standard_cluster
+from repro.core.planner import PlannerConfig
+from repro.core.solver import SolverConfig
+from repro.data.distributions import COMMONCRAWL, FixedLength
+from repro.experiments.campaign import (
+    ABLATIONS,
+    Artefact,
+    Campaign,
+    build_campaign,
+    fig4_artefact,
+    fig6_artefact,
+    fig7_artefact,
+    fig8_artefact,
+    smoke_campaign,
+    table1_artefact,
+)
+from repro.experiments.registry import artefact_grid
+from repro.experiments.runner import run_system
+from repro.experiments.sweep import SweepCell, SweepRunner
+from repro.experiments.systems import FlexSPSystem
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+from repro.simulator.executor import IterationExecutor
+
+SOLVER = SolverConfig(backend="greedy", num_trials=2)
+NUM_GPUS = 8
+BATCH = 16
+CONTEXT = 32 * 1024
+
+
+def small_runner(**kwargs) -> SweepRunner:
+    return SweepRunner(solver_config=SOLVER, workers=1, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def campaign() -> Campaign:
+    return smoke_campaign(global_batch_size=BATCH, num_gpus=NUM_GPUS)
+
+
+@pytest.fixture(scope="module")
+def result(campaign):
+    return campaign.run(small_runner())
+
+
+class TestArtefactBuilders:
+    def test_five_artefacts_cover_the_paper_grids(self, campaign):
+        assert [a.key for a in campaign.artefacts] == [
+            "fig4",
+            "fig6",
+            "table1",
+            "fig7",
+            "fig8",
+        ]
+
+    def test_fig4_grid_is_systems_by_corpora(self):
+        artefact = fig4_artefact(
+            global_batch_size=BATCH, num_gpus=NUM_GPUS, contexts=(CONTEXT,)
+        )
+        assert len(artefact.cells) == 4 * 3  # systems x corpora
+        assert {c.system for c in artefact.cells} == {
+            "flexsp",
+            "deepspeed",
+            "batchada",
+            "megatron",
+        }
+
+    def test_table1_cells_pin_degrees_via_variants(self):
+        artefact = table1_artefact(
+            rows=((4 * 1024, 16),),
+            degrees=(8, 4),
+            num_gpus=NUM_GPUS,
+            max_context=CONTEXT,
+        )
+        assert [dict(c.variant)["sp_degree"] for c in artefact.cells] == [8, 4]
+        assert all(c.system == "deepspeed" for c in artefact.cells)
+        assert all(
+            isinstance(c.workload.distribution, FixedLength)
+            for c in artefact.cells
+        )
+
+    def test_fig7_cells_are_ablation_variants(self):
+        artefact = fig7_artefact(
+            global_batch_size=BATCH, num_gpus=NUM_GPUS, contexts=(CONTEXT,)
+        )
+        assert [c.variant for c in artefact.cells] == [
+            variant for __, variant in ABLATIONS
+        ]
+
+    def test_empty_artefact_rejected(self):
+        with pytest.raises(ValueError, match="no cells"):
+            Artefact(key="x", title="x", cells=())
+
+    def test_duplicate_artefact_keys_rejected(self):
+        artefact = fig8_artefact(gpu_counts=(NUM_GPUS,), max_context=CONTEXT)
+        with pytest.raises(ValueError, match="duplicate"):
+            Campaign(name="bad", artefacts=(artefact, artefact))
+
+    def test_unknown_campaign_name(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            build_campaign("nope")
+
+    def test_registry_is_a_thin_adapter(self):
+        artefact = artefact_grid(
+            "table1",
+            rows=((4 * 1024, 8),),
+            degrees=(4,),
+            num_gpus=NUM_GPUS,
+            max_context=CONTEXT,
+        )
+        assert artefact.key == "table1"
+        assert len(artefact.cells) == 1
+        with pytest.raises(ValueError, match="not an evaluation grid"):
+            artefact_grid("fig2")
+
+
+class TestDedupAcrossArtefacts:
+    def test_overlapping_cells_measured_exactly_once(self, campaign, result):
+        cells = campaign.cells
+        assert len(cells) > len(set(cells))  # the grids really overlap
+        assert result.sweep.unique_cells == len(set(cells))
+
+    def test_shared_cells_share_one_metrics_object(self, result):
+        """Fig. 7's un-ablated column, Fig. 8's full-cluster point and
+        Fig. 6's largest-context point are all the same Fig. 4 cells —
+        dedup must fan out the *same* measurement, not re-measure."""
+        fig4 = result.artefact("fig4")
+        workload_name = f"gpt-7b/commoncrawl/32K/{NUM_GPUS}gpu"
+        flexsp = fig4.metric("flexsp", workload_name)
+        assert result.artefact("fig7").metric("flexsp", workload_name) is flexsp
+        assert result.artefact("fig8").metric("flexsp", workload_name) is flexsp
+        assert result.artefact("fig6").metric("flexsp", workload_name) is flexsp
+
+    def test_summary_counts(self, campaign, result):
+        summary = result.summary()
+        assert summary["cells"] == len(campaign.cells)
+        assert summary["unique_cells"] == len(set(campaign.cells))
+        assert set(summary["artefacts"]) == {
+            "fig4",
+            "fig6",
+            "table1",
+            "fig7",
+            "fig8",
+        }
+
+
+class TestBitIdenticalToPreRefactorPaths:
+    """Campaign cells must reproduce the ad-hoc registry/benchmark
+    computations they replaced, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return Workload(
+            model=GPT_7B,
+            distribution=COMMONCRAWL,
+            max_context=CONTEXT,
+            cluster=standard_cluster(NUM_GPUS),
+            global_batch_size=BATCH,
+        )
+
+    def test_table1_cell_matches_homogeneous_executor_path(self):
+        """The Table 1 campaign cell == the pre-refactor bench loop:
+        fit model, homogeneous_plan at a pinned degree, executor."""
+        from repro.cost.profiler import fit_cost_model
+
+        seq, bs, degree = 8 * 1024, 8, 4
+        artefact = table1_artefact(
+            rows=((seq, bs),),
+            degrees=(degree,),
+            num_gpus=NUM_GPUS,
+            max_context=64 * 1024,
+        )
+        result = small_runner().run(artefact.cells)
+        metrics = result.metrics[0]
+
+        # Pre-refactor path (benchmarks/test_bench_table1.py's _cell):
+        # one fit, fixed-length batch, homogeneous plan, executor — at
+        # the same checkpointing policy the workload selects (64K on
+        # one node escalates; the paper's 64-GPU protocol does not).
+        workload = artefact.cells[0].workload
+        cluster = standard_cluster(NUM_GPUS)
+        config = GPT_7B.with_max_context(64 * 1024)
+        model = fit_cost_model(config, cluster, workload.checkpointing)
+        executor = IterationExecutor(
+            config=config, cluster=cluster, checkpointing=workload.checkpointing
+        )
+        plan = homogeneous_plan((seq,) * bs, model, degree)
+        reference = executor.run(plan)
+        assert metrics.status == "ok"
+        assert metrics.mean_iteration_seconds == reference.iteration_seconds
+        assert (
+            metrics.mean_alltoall_fraction
+            == reference.trace.alltoall_seconds() / reference.iteration_seconds
+        )
+
+    def test_table1_oom_corner_matches_fits_check(self, cost_model8):
+        """A degree the memory model rejects surfaces as an OOM cell."""
+        seq, degree = 64 * 1024, 1
+        assert not cost_model8.fits([seq], degree)
+        artefact = table1_artefact(
+            rows=((seq, 4),),
+            degrees=(degree,),
+            num_gpus=NUM_GPUS,
+            max_context=64 * 1024,
+        )
+        result = small_runner().run(artefact.cells)
+        assert result.metrics[0].status == "oom"
+        assert not result.metrics[0].feasible
+        assert result.metrics[0].deterministic() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_fig7_ablation_cell_matches_ablated_system(self, workload):
+        """A bucketing-ablation variant == the pre-refactor bench path
+        (FlexSPSystem with a hand-ablated solver)."""
+        cell = SweepCell(
+            system="flexsp",
+            workload=workload,
+            num_iterations=2,
+            variant=(("bucketing", "naive"),),
+        )
+        result = small_runner().run([cell])
+
+        system = FlexSPSystem(workload, SOLVER)
+        system.solver = system.solver.ablated(
+            planner=dataclasses.replace(SOLVER.planner, bucketing="naive")
+        )
+        reference = run_system(system, workload, 2)
+        assert result.metrics[0].deterministic() == (
+            reference.mean_iteration_seconds,
+            reference.mean_comm_fraction,
+            reference.mean_alltoall_fraction,
+            reference.tokens_per_second_per_gpu(NUM_GPUS),
+        )
+
+    def test_bad_variant_values_raise_instead_of_fabricating_oom(
+        self, workload
+    ):
+        """A typo'd variant value must fail at cell construction, not
+        be swallowed downstream and rendered as a fake OOM corner."""
+        with pytest.raises(ValueError, match="bucketing"):
+            SweepCell(
+                system="flexsp",
+                workload=workload,
+                variant=(("bucketing", "nave"),),
+            )
+        with pytest.raises(ValueError, match="power of two"):
+            SweepCell(
+                system="deepspeed",
+                workload=workload,
+                variant=(("sp_degree", 0),),
+            )
+        with pytest.raises(ValueError, match="bool"):
+            SweepCell(
+                system="flexsp",
+                workload=workload,
+                variant=(("sort_sequences", "no"),),
+            )
+
+    def test_variant_order_does_not_split_cells(self, workload):
+        a = SweepCell(
+            system="flexsp",
+            workload=workload,
+            variant=(("sort_sequences", False), ("bucketing", "naive")),
+        )
+        b = SweepCell(
+            system="flexsp",
+            workload=workload,
+            variant=(("bucketing", "naive"), ("sort_sequences", False)),
+        )
+        assert a == b
+
+    def test_checkpointing_policy_surfaces_in_metrics(self, result):
+        """The satellite contract: every cell annotates the chosen
+        activation-checkpointing policy for figure regeneration."""
+        for cell, metrics in zip(result.sweep.cells, result.sweep.metrics):
+            assert metrics.checkpointing == cell.workload.checkpointing.value
+        assert {m.checkpointing for m in result.sweep.metrics} <= {
+            "none",
+            "selective",
+            "full",
+        }
+
+
+class TestMilpDeterminism:
+    def test_node_limited_milp_cells_are_bit_identical(self):
+        """With a deterministic work limit instead of a wall-clock
+        budget, MILP cells repeat bit-identically across fresh
+        processes' worth of state (fresh runners = fresh solvers)."""
+        workload = Workload(
+            model=GPT_7B,
+            distribution=COMMONCRAWL,
+            max_context=16 * 1024,
+            cluster=standard_cluster(NUM_GPUS),
+            global_batch_size=8,
+        )
+        config = SolverConfig(
+            backend="milp",
+            num_trials=2,
+            planner=PlannerConfig(node_limit=50, mip_rel_gap=0.05),
+        )
+        cell = SweepCell(system="flexsp", workload=workload, num_iterations=2)
+        first = SweepRunner([cell], solver_config=config, workers=1).run()
+        second = SweepRunner([cell], solver_config=config, workers=1).run()
+        assert (
+            first.metrics[0].deterministic()
+            == second.metrics[0].deterministic()
+        )
+
+
+class TestCampaignWithStoreAndPool:
+    def test_store_restored_campaign_is_bit_identical_and_warm(
+        self, campaign, result, tmp_path
+    ):
+        cold = campaign.run(small_runner(store=tmp_path))
+        for a, b in zip(result.sweep.metrics, cold.sweep.metrics):
+            assert a.deterministic() == b.deterministic()
+        # A fresh runner (fresh process's worth of state) restores
+        # everything: identical metrics, fully warm plan caches.
+        warm = campaign.run(small_runner(store=tmp_path))
+        for a, b in zip(cold.sweep.metrics, warm.sweep.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert warm.plan_cache_hit_rate == 1.0
+
+    def test_shared_solver_pool_is_bit_identical(self, campaign, result):
+        with small_runner(solver_workers=2) as runner:
+            pooled = campaign.run(runner)
+            assert runner._solver_pool is not None
+        for a, b in zip(result.sweep.metrics, pooled.sweep.metrics):
+            assert a.deterministic() == b.deterministic()
+
+
+class TestCampaignCli:
+    def test_repeat_must_be_positive(self):
+        from repro.bench import main
+
+        with pytest.raises(SystemExit):
+            main(["--campaign", "smoke", "--no-store", "--repeat", "0"])
+
+    def test_unknown_campaign_name_errors_cleanly(self):
+        from repro.bench import main
+
+        with pytest.raises(KeyError, match="unknown campaign"):
+            main(["--campaign", "nope", "--no-store"])
+
+
+class TestPipelineAdapter:
+    def test_pipeline_with_shared_pool_matches_plain(self, cost_model8):
+        from repro.core.solver import FlexSPSolver, SolverPool
+        from repro.data.dataset import SyntheticCorpus
+        from repro.experiments.pipeline import TrainingPipeline
+
+        corpus = SyntheticCorpus(
+            COMMONCRAWL, max_context=16 * 1024, global_batch_size=8
+        )
+        executor = IterationExecutor(
+            config=GPT_7B.with_max_context(64 * 1024),
+            cluster=standard_cluster(NUM_GPUS),
+        )
+        plain = TrainingPipeline(
+            FlexSPSolver(cost_model8, SOLVER), executor, corpus, workers=1
+        ).run(2)
+        with SolverPool(workers=2) as pool:
+            pooled = TrainingPipeline.with_shared_pool(
+                cost_model8, SOLVER, executor, corpus, pool, workers=1
+            ).run(2)
+        # Plans compare without stats: SolveStats carries host
+        # wall-clock, which legitimately differs between runs.
+        for a, b in zip(pooled.plans, plain.plans):
+            assert a.microbatches == b.microbatches
+            assert a.predicted_time == b.predicted_time
+        assert pooled.iteration_seconds == plain.iteration_seconds
