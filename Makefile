@@ -3,10 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-all bench-solver bench-e2e
+.PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
+	bench-prune
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Quick inner-loop tier: tests/ minus the slow and hypothesis-heavy
+# suites (property tests and the store round-trip/eviction property
+# classes all match "property").  The full `make test` (and the tier-1
+# `pytest -x -q` from the repo root) remains the merge gate.
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow" -k "not property"
 
 # The unified artefact campaign: Fig. 4, Fig. 6, Table 1, Fig. 7 and
 # Fig. 8 regenerated in one deduplicated sweep pass, with the
@@ -24,6 +32,17 @@ bench-smoke:
 # Every pytest benchmark suite (the pre-campaign `make bench`).
 bench-all:
 	$(PYTHON) -m repro.bench all
+
+# Cache-store lifecycle: evict campaign-store workload files last used
+# more than PRUNE_MAX_AGE_DAYS days ago, then least-recently-used files
+# until the store fits PRUNE_MAX_STORE_BYTES (default 256 MiB).  Evicted
+# workloads load cold on the next `make bench`; never fatal.
+PRUNE_MAX_AGE_DAYS ?= 30
+PRUNE_MAX_STORE_BYTES ?= 268435456
+bench-prune:
+	$(PYTHON) -m repro.bench --prune \
+		--max-age-days $(PRUNE_MAX_AGE_DAYS) \
+		--max-store-bytes $(PRUNE_MAX_STORE_BYTES)
 
 # Solver-throughput benchmark only; results land in
 # benchmarks/results/BENCH_solver.json for trajectory tracking.

@@ -47,6 +47,27 @@ def pytest_configure(config):
     )
 
 
+def pytest_collection_modifyitems(config, items):
+    """Marker guard: ``slow`` alone is enough to keep a benchmark out
+    of CI.
+
+    A bare ``pytest -q benchmarks`` (no ``-m`` selection, no
+    ``REPRO_BENCH_FULL=1``) must never silently run full-protocol
+    grids — a ``@pytest.mark.slow`` benchmark that forgot its
+    ``skipif(not FULL)`` companion would otherwise turn the tier-1
+    pass into a minutes-to-hours run.  An explicit ``-m`` expression
+    (e.g. ``-m slow``) is a deliberate selection and wins.
+    """
+    if FULL or config.getoption("-m"):
+        return
+    guard = pytest.mark.skip(
+        reason="slow benchmark: run with REPRO_BENCH_FULL=1 or -m slow"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(guard)
+
+
 #: Wall-clock of each benchmark's call phase, written at session end so
 #: future PRs can diff the perf trajectory (see BENCH_wallclock.json).
 _WALLCLOCK: dict[str, float] = {}

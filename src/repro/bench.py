@@ -1,6 +1,6 @@
 """Command-line entry point for the perf-tracking benchmarks.
 
-Two modes:
+Three modes:
 
 **Campaign mode** (``--campaign``) runs the declarative campaign
 engine directly — every paper artefact grid (Fig. 4, Fig. 6, Table 1,
@@ -10,7 +10,18 @@ This is what ``make bench`` invokes.  A persistent
 :class:`~repro.core.cache_store.CacheStore` (default
 ``benchmarks/results/campaign_store/``) keeps cost-model fits, tuner
 memos and FlexSP plan caches warm *across* invocations and processes;
-``--no-store`` runs cold (the ``make bench-smoke`` CI tier).
+``--no-store`` runs cold (the ``make bench-smoke`` CI tier).  Store
+runs print a ``StoreStats`` report (files, bytes, entries, hit / miss
+/ write / evict counts, write amplification) and append it with the
+trajectory record.
+
+**Prune mode** (``--prune``) applies the store's lifecycle policy:
+``--max-age-days D`` evicts workload files last used more than ``D``
+days ago, ``--max-store-bytes N`` then evicts least-recently-used
+files until the store fits ``N`` bytes (``make bench-prune``).  With
+neither cap (or with ``--dry-run``) nothing is deleted and the report
+shows what the store holds / would lose.  An evicted workload simply
+loads cold on the next campaign — pruning is never fatal.
 
 **Pytest mode** (everything else) drives the benchmark suites exactly
 as before::
@@ -20,12 +31,14 @@ as before::
     python -m repro.bench e2e_sweep          # batched-simulation sweep
     python -m repro.bench fig8               # any benchmark-file substring
 
-Campaign usage::
+Campaign / prune usage::
 
     python -m repro.bench --campaign unified             # make bench
     python -m repro.bench --campaign smoke --no-store    # make bench-smoke
     python -m repro.bench --campaign unified --backend milp --node-limit 500
     python -m repro.bench --campaign unified --repeat 3  # warm trajectory
+    python -m repro.bench --prune --max-age-days 30      # make bench-prune
+    python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
 
 ``--backend milp --node-limit N`` runs the MILP planner under a
 *deterministic* work limit (HiGHS branch-and-bound nodes) instead of a
@@ -191,11 +204,58 @@ def run_campaign(args: argparse.Namespace) -> int:
                 f"unique cells in {wall:.2f}s, plan-cache hit rate "
                 f"{result.plan_cache_hit_rate:.2%}"
             )
+            stats = result.sweep.store_stats
+            if stats is not None:
+                print(
+                    f"[{campaign.name}] epoch {epoch} store: "
+                    f"{stats.files} files / {stats.bytes} B / "
+                    f"{stats.entries} entries; hits {stats.hits}, "
+                    f"misses {stats.misses}, writes {stats.writes}, "
+                    f"evictions {stats.evictions}; write amplification "
+                    f"{result.store_write_amplification:.3f} "
+                    f"writes/cell"
+                )
     print()
     print(_campaign_tables(result))
     path = results_dir / "BENCH_campaign.json"
     append_history(path, records)
     print(f"\nappended {len(records)} record(s) to {path}")
+    return 0
+
+
+def run_prune(args: argparse.Namespace) -> int:
+    """Apply the store lifecycle policy from the command line."""
+    from repro.core.cache_store import CacheStore
+
+    results_dir = _benchmarks_dir() / "results"
+    root = pathlib.Path(args.store or results_dir / "campaign_store")
+    if not root.is_dir():
+        print(f"no cache store at {root}; nothing to prune")
+        return 0
+    store = CacheStore(root)
+    before = store.stats()
+    print(
+        f"store {root}: {before.files} files, {before.bytes} B, "
+        f"{before.entries} entries"
+    )
+    if args.max_store_bytes is None and args.max_age_days is None:
+        print(
+            "no caps given; nothing evicted (use --max-age-days and/or "
+            "--max-store-bytes)"
+        )
+        return 0
+    result = store.prune(
+        max_store_bytes=args.max_store_bytes,
+        max_age_days=args.max_age_days,
+        dry_run=args.dry_run,
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    for name in result.evicted:
+        print(f"  {verb} {name}")
+    print(
+        f"{verb} {len(result.evicted)} file(s) / {result.bytes_freed} B; "
+        f"kept {result.files_kept} file(s) / {result.bytes_kept} B"
+    )
     return 0
 
 
@@ -250,8 +310,53 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
     return args
 
 
+def _parse_prune_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Prune the persistent campaign cache store.",
+    )
+    parser.add_argument(
+        "--prune", action="store_true", required=True, help="prune mode"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="CacheStore directory (default benchmarks/results/campaign_store)",
+    )
+    parser.add_argument(
+        "--max-store-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used workload files until the store "
+        "fits this many bytes",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict workload files last used more than this many days ago",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    args = parser.parse_args(argv)
+    if args.max_store_bytes is not None and args.max_store_bytes < 0:
+        parser.error(
+            f"--max-store-bytes must be non-negative, got {args.max_store_bytes}"
+        )
+    if args.max_age_days is not None and args.max_age_days < 0:
+        parser.error(
+            f"--max-age-days must be non-negative, got {args.max_age_days}"
+        )
+    return args
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--prune" in argv:
+        return run_prune(_parse_prune_args(argv))
     if any(a.startswith("--campaign") for a in argv):
         return run_campaign(_parse_campaign_args(argv))
 

@@ -10,7 +10,12 @@ counts and returns the best full-iteration plan.
 """
 
 from repro.core.blaster import blast, min_microbatch_count
-from repro.core.cache_store import CacheStore, WorkloadState
+from repro.core.cache_store import (
+    CacheStore,
+    PruneResult,
+    StoreStats,
+    WorkloadState,
+)
 from repro.core.bucketing import (
     Bucket,
     bucket_sequences,
@@ -47,4 +52,6 @@ __all__ = [
     "SolverService",
     "CacheStore",
     "WorkloadState",
+    "StoreStats",
+    "PruneResult",
 ]

@@ -61,6 +61,32 @@ so two workers persisting different cells of one workload union their
 plan entries rather than clobbering each other (last writer wins per
 shape).  Readers never need the lock — ``os.replace`` keeps every
 observable file state a complete JSON document.
+
+Lifecycle (eviction): next to the data files lives a **store
+manifest** (``store-manifest.json``) with per-file accounting —
+``last_used`` (bumped by both loads and saves), ``entry_count`` and
+``bytes`` — maintained best-effort under its own advisory lock and
+fully reconciled against the directory on every :meth:`CacheStore.
+prune` / :meth:`CacheStore.stats` (a corrupt or stale manifest is
+rebuilt from a scan, never trusted blindly and never fatal).
+:meth:`CacheStore.prune` evicts files by age (``max_age_days``) and
+then least-recently-used-first until the store fits
+``max_store_bytes``.  Two guards keep pruning safe against running
+campaigns:
+
+* files this :class:`CacheStore` instance has itself saved or loaded
+  (its *working set*) are never evicted by its own ``prune`` unless
+  ``protect_touched=False``, and
+* a victim whose data file changed since the pass observed it (a
+  concurrent writer's merge-save) is skipped — re-checked under the
+  same per-workload lock the writers hold, against the file's own
+  recorded mtime/size rather than this process's wall clock, so clock
+  skew cannot defeat the guard.
+
+An evicted workload simply loads cold on the next miss; per-workload
+lock files are deliberately left in place (unlinking a lock file
+another process may already hold would let two writers hold "the"
+lock at once and clobber each other's merges).
 """
 
 from __future__ import annotations
@@ -72,6 +98,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -87,9 +114,12 @@ from repro.core.types import MicroBatchPlan
 from repro.cost.model import CostCoefficients
 
 __all__ = [
+    "MANIFEST_NAME",
     "STORE_VERSION",
     "CacheStore",
     "PlanEntry",
+    "PruneResult",
+    "StoreStats",
     "WorkloadState",
     "context_digest",
     "entries_from_cache",
@@ -99,6 +129,9 @@ __all__ = [
 
 #: Format tag of the store layout; bump to invalidate every store.
 STORE_VERSION = 1
+
+#: Name of the per-store accounting manifest (lives inside the root).
+MANIFEST_NAME = "store-manifest.json"
 
 #: One spilled plan-cache entry: canonical (sorted) micro-batch shape,
 #: the memoised plan (None = proven infeasible) and its predicted
@@ -215,6 +248,10 @@ def _state_to_dict(state: WorkloadState) -> dict[str, Any]:
 
 
 def _state_from_dict(payload: dict[str, Any]) -> WorkloadState:
+    if not isinstance(payload, dict):
+        # Valid JSON of the wrong shape (an array, a string): as
+        # corrupt as garbage bytes, and reported the same way.
+        raise ValueError(f"store payload is not an object: {type(payload)}")
     if payload.get("version") != STORE_VERSION:
         raise ValueError(f"unsupported store version {payload.get('version')!r}")
     cost_model = payload.get("cost_model")
@@ -236,6 +273,107 @@ def _state_from_dict(payload: dict[str, Any]) -> WorkloadState:
     )
 
 
+@dataclass(frozen=True)
+class StoreStats:
+    """One store's accounting snapshot plus this process's counters.
+
+    ``files`` / ``bytes`` / ``entries`` describe what is on disk right
+    now (reconciled manifest); ``hits`` / ``misses`` / ``writes`` /
+    ``evictions`` count what *this* :class:`CacheStore` instance did
+    (loads served warm, loads served cold, data files actually
+    written, files pruned).  The sweep layer sums counter dicts across
+    pool workers, so the counters are also the unit the campaign's
+    write-amplification figure (writes / cells measured) is built
+    from.
+    """
+
+    files: int = 0
+    bytes: int = 0
+    entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one :meth:`CacheStore.prune` pass.
+
+    ``evicted`` lists the pruned data-file names in eviction order;
+    with ``dry_run`` nothing was deleted and the list is what *would*
+    have been evicted.  ``bytes_freed`` is accounted from the victims'
+    sizes; ``files_kept`` / ``bytes_kept`` describe the surviving
+    store.
+    """
+
+    evicted: tuple[str, ...]
+    bytes_freed: int
+    files_kept: int
+    bytes_kept: int
+    dry_run: bool = False
+
+
+def _entry_count(state: WorkloadState) -> int:
+    """How many restorable entries a state holds (plan entries plus
+    each present scalar memo) — the manifest's ``entry_count``."""
+    return (
+        sum(len(entries) for entries in state.plans.values())
+        + (state.coeffs is not None)
+        + (state.static_degree is not None)
+        + (state.megatron_strategy is not None)
+    )
+
+
+@contextlib.contextmanager
+def _locked(lock_path: pathlib.Path):
+    """Advisory exclusive flock on ``lock_path``.
+
+    The single definition of the store's locking idiom (per-workload
+    write locks and the manifest lock both use it).  On platforms
+    without ``fcntl`` the lock degrades to a no-op — single-process
+    use is still fully safe.  Lock files are never deleted: unlinking
+    one while another process holds the flock would hand out a second
+    "same" lock on a fresh inode and let two writers clobber each
+    other's merges.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    with open(lock_path, "w") as lock:
+        fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+
+def _atomic_write(path: pathlib.Path, payload: str) -> None:
+    """Atomically replace ``path`` with ``payload``.
+
+    The single definition of the store's write idiom (data files and
+    the manifest both use it): a unique sibling temp file plus
+    ``os.replace``, so every observable file state is a complete JSON
+    document; the temp file is cleaned up on any failure.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 class CacheStore:
     """File-backed store of per-workload solver state.
 
@@ -246,9 +384,17 @@ class CacheStore:
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Data-file names this instance saved or loaded — the running
+        #: campaign's working set, protected from its own prune.
+        self._touched: set[str] = set()
+        self._counters = {"hits": 0, "misses": 0, "writes": 0, "evictions": 0}
 
     def _path(self, signature: tuple) -> pathlib.Path:
         return self.root / f"workload-{signature_digest(signature)}.json"
+
+    def counters(self) -> dict[str, int]:
+        """Copy of this instance's hit/miss/write/eviction counters."""
+        return dict(self._counters)
 
     def load(self, signature: tuple) -> WorkloadState | None:
         """The spilled state for ``signature``, or None.
@@ -256,8 +402,31 @@ class CacheStore:
         None covers every cold case uniformly: no file yet, a corrupt
         or truncated file, an incompatible :data:`STORE_VERSION`, or a
         digest collision / stale schema (embedded signature mismatch).
+        A served load counts as a hit and bumps the data file's mtime
+        (best-effort) — an O(1) lock-free metadata op the reconciled
+        manifest honours as ``last_used`` (it takes the max of the
+        recorded value and the mtime), so readers keep hot files out
+        of LRU eviction's reach without paying a manifest rewrite
+        under the store-wide lock on every warm restore.  The bump
+        also shields an in-use file from a concurrent prune's
+        changed-since-observed re-check.
         """
-        state = self._read(self._path(signature))
+        path = self._path(signature)
+        state = self._load_state(path, signature)
+        if state is None:
+            self._counters["misses"] += 1
+            return None
+        self._counters["hits"] += 1
+        self._touched.add(path.name)
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        return state
+
+    def _load_state(
+        self, path: pathlib.Path, signature: tuple
+    ) -> WorkloadState | None:
+        """Uncounted load (shared by :meth:`load` and save's merge)."""
+        state = self._read(path)
         if state is None or state.signature != repr(signature):
             return None
         return state
@@ -274,26 +443,14 @@ class CacheStore:
             # treat as cold; the next save() replaces it atomically.
             return None
 
-    @contextlib.contextmanager
     def _write_lock(self, path: pathlib.Path):
         """Advisory per-workload lock serialising read-merge-replace.
 
         Without it, two workers could both read state v0, each merge
         only its own entries, and the second ``os.replace`` would
-        discard the first's.  Lock files live beside the data files;
-        on platforms without ``fcntl`` the lock degrades to a no-op
-        (single-process use is still fully safe).
+        discard the first's.  Lock files live beside the data files.
         """
-        if fcntl is None:  # pragma: no cover - non-POSIX
-            yield
-            return
-        lock_path = path.with_suffix(".lock")
-        with open(lock_path, "w") as lock:
-            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+        return _locked(path.with_suffix(".lock"))
 
     def save(self, signature: tuple, state: WorkloadState) -> None:
         """Persist ``state``, merging with what is already on disk.
@@ -304,7 +461,9 @@ class CacheStore:
         runs under a per-workload file lock (concurrent writers union
         rather than clobber) and the write itself is atomic (unique
         temp file + ``os.replace``), so readers never observe partial
-        JSON.
+        JSON.  Each write also refreshes the file's manifest
+        accounting (``last_used`` / ``entry_count`` / ``bytes``) and
+        counts toward this instance's ``writes`` counter.
         """
         if state.signature != repr(signature):
             raise ValueError(
@@ -313,28 +472,294 @@ class CacheStore:
             )
         path = self._path(signature)
         with self._write_lock(path):
-            existing = self.load(signature)
+            existing = self._load_state(path, signature)
             if existing is not None:
                 state = _merged(existing, state)
             payload = json.dumps(_state_to_dict(state), separators=(",", ":"))
-            fd, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=path.stem + ".", suffix=".tmp"
+            _atomic_write(path, payload)
+            self._counters["writes"] += 1
+            self._touched.add(path.name)
+            self._update_manifest(
+                path.name,
+                last_used=time.time(),
+                entry_count=_entry_count(state),
+                size=len(payload),
             )
-            try:
-                with os.fdopen(fd, "w") as f:
-                    f.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
 
     def signatures(self) -> list[str]:
         """Digests of every workload file currently in the store."""
         return sorted(
             p.stem.split("-", 1)[1] for p in self.root.glob("workload-*.json")
+        )
+
+    # -- manifest accounting ------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> pathlib.Path:
+        return self.root / MANIFEST_NAME
+
+    def _manifest_lock(self):
+        """Advisory lock serialising manifest read-modify-write.
+
+        Always acquired *after* a per-workload file lock when both are
+        held (save, prune), so the two lock levels cannot deadlock.
+        """
+        return _locked(self.root / "store-manifest.lock")
+
+    def _read_manifest(self) -> dict[str, dict] | None:
+        """The manifest's file table, or None when corrupt/missing.
+
+        Validated field by field — a manifest is plain accounting that
+        can always be rebuilt from a directory scan, so anything
+        malformed (garbage bytes, truncation, foreign schema, wrong
+        version) reads as "no manifest", never as an error.
+        """
+        try:
+            payload = json.loads(self._manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != STORE_VERSION
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return None
+        files: dict[str, dict] = {}
+        for name, entry in payload["files"].items():
+            if not isinstance(name, str) or not isinstance(entry, dict):
+                return None
+            try:
+                files[name] = {
+                    "last_used": float(entry["last_used"]),
+                    "entry_count": int(entry["entry_count"]),
+                    "bytes": int(entry["bytes"]),
+                }
+            except (KeyError, TypeError, ValueError):
+                return None
+        return files
+
+    def _write_manifest(self, files: dict[str, dict]) -> None:
+        """Atomically replace the manifest (same temp-file dance as the
+        data files, so readers never observe partial JSON)."""
+        _atomic_write(
+            self._manifest_path,
+            json.dumps(
+                {"version": STORE_VERSION, "files": files},
+                separators=(",", ":"),
+                sort_keys=True,
+            ),
+        )
+
+    def _update_manifest(
+        self, name: str, *, last_used: float, entry_count: int, size: int
+    ) -> None:
+        """Record a save in the manifest (best-effort: accounting must
+        never fail a data write — a lost update is reconciled by the
+        next prune/stats scan)."""
+        try:
+            with self._manifest_lock():
+                files = self._read_manifest() or {}
+                files[name] = {
+                    "last_used": last_used,
+                    "entry_count": entry_count,
+                    "bytes": size,
+                }
+                self._write_manifest(files)
+        except OSError:  # pragma: no cover - disk full / permissions
+            pass
+
+    def _touch_manifest(self, name: str, when: float | None = None) -> None:
+        """Bump ``name``'s ``last_used`` (best-effort, loads/touches)."""
+        try:
+            with self._manifest_lock():
+                files = self._read_manifest() or {}
+                if name in files:
+                    files[name]["last_used"] = (
+                        time.time() if when is None else when
+                    )
+                    self._write_manifest(files)
+        except OSError:  # pragma: no cover - disk full / permissions
+            pass
+
+    def touch(self, signature: tuple, when: float | None = None) -> None:
+        """Record a use of ``signature``'s file at ``when`` (default
+        now).
+
+        With an explicit ``when`` the data file's mtime is rewound too,
+        so age-based pruning sees the backdated time through both the
+        manifest and the reconciliation scan (the eviction property
+        tests drive the clock through this).
+        """
+        path = self._path(signature)
+        if when is not None:
+            with contextlib.suppress(OSError):
+                os.utime(path, (when, when))
+        self._touch_manifest(path.name, when)
+
+    def _reconciled_files(self) -> dict[str, dict]:
+        """Manifest entries reconciled against the directory.
+
+        The manifest is best-effort, so the directory is the source of
+        truth for existence and size: entries for vanished files are
+        dropped, files the manifest missed are adopted (their
+        ``last_used`` falls back to mtime), and ``last_used`` is the
+        max of the recorded value and the file's mtime so a writer
+        whose manifest update was lost still reads as fresh.
+        """
+        recorded = self._read_manifest() or {}
+        files: dict[str, dict] = {}
+        for path in sorted(self.root.glob("workload-*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entry = recorded.get(path.name)
+            if entry is None:
+                state = self._read(path)
+                files[path.name] = {
+                    "last_used": st.st_mtime,
+                    "entry_count": 0 if state is None else _entry_count(state),
+                    "bytes": st.st_size,
+                }
+            else:
+                files[path.name] = {
+                    "last_used": max(entry["last_used"], st.st_mtime),
+                    "entry_count": entry["entry_count"],
+                    "bytes": st.st_size,
+                }
+        return files
+
+    def scan(self) -> tuple[int, int, int]:
+        """Reconciled ``(files, bytes, entries)`` totals of the store."""
+        files = self._reconciled_files()
+        return (
+            len(files),
+            sum(entry["bytes"] for entry in files.values()),
+            sum(entry["entry_count"] for entry in files.values()),
+        )
+
+    def stats(self) -> StoreStats:
+        """On-disk totals plus this instance's counters."""
+        num_files, num_bytes, num_entries = self.scan()
+        return StoreStats(
+            files=num_files,
+            bytes=num_bytes,
+            entries=num_entries,
+            **self._counters,
+        )
+
+    def prune(
+        self,
+        *,
+        max_store_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+        protect_touched: bool = True,
+        dry_run: bool = False,
+    ) -> PruneResult:
+        """Evict workload files by age and least-recently-used order.
+
+        Two passes over the reconciled manifest, oldest ``last_used``
+        first:
+
+        1. with ``max_age_days``, every file last used more than that
+           many days before ``now`` is a victim;
+        2. with ``max_store_bytes``, further files are evicted
+           LRU-first until the survivors' total size fits the cap.
+
+        Files in this instance's working set (saved or loaded here)
+        are skipped while ``protect_touched`` holds, so a prune issued
+        mid-campaign can never evict an entry the campaign just wrote;
+        cross-process writers are protected by a re-check under the
+        per-workload lock — a victim whose mtime or size no longer
+        matches what this pass observed is left alone.  ``now`` exists
+        for deterministic tests; with ``dry_run`` the victims are
+        computed but nothing is deleted.  An evicted signature simply
+        loads cold on its next miss.
+        """
+        started = time.time() if now is None else now
+        with self._manifest_lock():
+            files = self._reconciled_files()
+            if not dry_run:
+                self._write_manifest(files)
+        protected = set(self._touched) if protect_touched else set()
+        order = sorted(files, key=lambda n: (files[n]["last_used"], n))
+        victims: list[str] = []
+        if max_age_days is not None:
+            cutoff = started - max_age_days * 86400.0
+            victims.extend(
+                name
+                for name in order
+                if files[name]["last_used"] < cutoff and name not in protected
+            )
+        if max_store_bytes is not None:
+            total = sum(entry["bytes"] for entry in files.values())
+            total -= sum(files[name]["bytes"] for name in victims)
+            for name in order:
+                if total <= max_store_bytes:
+                    break
+                if name in victims or name in protected:
+                    continue
+                victims.append(name)
+                total -= files[name]["bytes"]
+        evicted: list[str] = []
+        gone: set[str] = set()
+        freed = 0
+        for name in victims:
+            if dry_run:
+                evicted.append(name)
+                freed += files[name]["bytes"]
+                continue
+            path = self.root / name
+            removed = False
+            with self._write_lock(path):
+                try:
+                    st = path.stat()
+                except OSError:
+                    st = None  # already gone; still drop the accounting
+                if st is not None:
+                    if (
+                        st.st_mtime > files[name]["last_used"]
+                        or st.st_size != files[name]["bytes"]
+                    ):
+                        # Changed since the pass observed it (a live
+                        # writer's merge-save landed): not a victim
+                        # anymore.  Compared against the file's own
+                        # reconciled accounting, not this process's
+                        # wall clock, so clock skew between hosts (or
+                        # a lagging filesystem timestamp) cannot let
+                        # prune swallow a concurrent write.
+                        continue
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed = True
+                    freed += st.st_size
+                with self._manifest_lock():
+                    recorded = self._read_manifest()
+                    if recorded is not None and name in recorded:
+                        del recorded[name]
+                        self._write_manifest(recorded)
+            if removed:
+                self._counters["evictions"] += 1
+                evicted.append(name)
+            elif st is None:
+                # Vanished before we acted (another pruner won the
+                # race): its stale accounting was dropped above, but it
+                # is NOT this pass's eviction — reporting it would
+                # double-count the deletion across concurrent prunes —
+                # and it is not a survivor either.
+                gone.add(name)
+        kept = [
+            name for name in files if name not in gone and name not in evicted
+        ]
+        return PruneResult(
+            evicted=tuple(evicted),
+            bytes_freed=freed,
+            files_kept=len(kept),
+            bytes_kept=sum(files[name]["bytes"] for name in kept),
+            dry_run=dry_run,
         )
 
 

@@ -29,7 +29,7 @@ import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["track_pool", "live_pool_count"]
+__all__ = ["track_pool", "live_pool_count", "register_worker_exit_flush"]
 
 _LOCK = threading.Lock()
 #: Every tracked pool that has not been collected yet.  Weak references
@@ -60,6 +60,33 @@ def live_pool_count() -> int:
     """How many tracked pools are still alive (test/diagnostic hook)."""
     with _LOCK:
         return len(_POOLS)
+
+
+def register_worker_exit_flush(callback) -> None:
+    """Run ``callback`` when the current (worker) process exits.
+
+    The sweep pool's workers batch their cache-store spills, so each
+    worker needs a drain hook that survives pool shutdown.  Plain
+    ``atexit`` is NOT that hook: ``multiprocessing`` children leave
+    through ``os._exit`` after running only ``multiprocessing.util``'s
+    finalizers, so the flush is registered as a ``util.Finalize`` with
+    a non-None ``exitpriority`` (None-priority finalizers run only on
+    garbage collection, never at exit).  In a regular interpreter the
+    same finalizers run via ``util._exit_function``'s own ``atexit``
+    registration, so one registration covers worker processes and
+    in-process use alike.  The callback is wrapped: a flush failure at
+    exit (e.g. the store volume vanished) must not turn a clean worker
+    shutdown into a crash.
+    """
+    from multiprocessing import util
+
+    def _safe_flush() -> None:
+        try:
+            callback()
+        except Exception:  # pragma: no cover - exit-time best effort
+            pass
+
+    util.Finalize(None, _safe_flush, exitpriority=10)
 
 
 @atexit.register

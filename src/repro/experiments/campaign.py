@@ -352,9 +352,19 @@ class CampaignResult:
             return 0.0
         return sum(rates.values()) / len(rates)
 
+    @property
+    def store_write_amplification(self) -> float | None:
+        """Store data-file writes per measured cell for this pass —
+        the figure the batched-spill engine drives below the
+        spill-per-cell baseline (None without a store)."""
+        stats = self.sweep.store_stats
+        if stats is None:
+            return None
+        return stats.writes / max(self.sweep.unique_cells, 1)
+
     def summary(self) -> dict:
         """JSON-ready record of the pass (the trajectory payload)."""
-        return {
+        payload = {
             "campaign": self.campaign.name,
             "cells": len(self.sweep.cells),
             "unique_cells": self.sweep.unique_cells,
@@ -364,6 +374,14 @@ class CampaignResult:
                 r.artefact.key: r.summary for r in self.artefacts
             },
         }
+        if self.sweep.store_stats is not None:
+            payload["store"] = {
+                **self.sweep.store_stats.to_dict(),
+                "write_amplification": round(
+                    self.store_write_amplification, 4
+                ),
+            }
+        return payload
 
 
 # ---------------------------------------------------------------------------

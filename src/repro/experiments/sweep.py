@@ -39,6 +39,15 @@ re-samples the same corpus, and re-solves the same FlexSP plans.
   same architecture as :class:`repro.core.solver.SolverService`.  Each
   worker shares one solver pool and one cache store across all of its
   workloads.
+* **Batched spills.**  Workers accumulate dirty store state and
+  merge-save once per drain (end of a :meth:`SweepRunner.run` pass,
+  and guaranteed at worker exit via :func:`repro.core.pools.
+  register_worker_exit_flush`) instead of after every cell;
+  ``spill_batch`` restores per-cell spilling (``1``, the write-
+  amplification baseline) or any intermediate cadence.  Store write
+  amplification (writes / cells measured) is surfaced per cell as
+  :attr:`CellMetrics.store_writes` and per pass as
+  :attr:`SweepResult.store_stats`.
 
 Results are plain :class:`CellMetrics` (no plans or traces), so they
 are cheap to ship across the pool and serialise into the
@@ -59,6 +68,7 @@ from typing import Iterable, Sequence
 from repro.core import pools
 from repro.core.cache_store import (
     CacheStore,
+    StoreStats,
     WorkloadState,
     context_digest,
     entries_from_cache,
@@ -199,6 +209,14 @@ class CellMetrics:
     ``status`` is ``"ok"`` for measured cells and ``"oom"`` for cells
     whose configuration cannot be scheduled at all (Table 1's
     infeasible degree/length corners); OOM cells carry zero metrics.
+
+    ``store_writes`` counts the cache-store data files written while
+    this cell was handled (including any spill it triggered) — the
+    per-cell leg of the write-amplification accounting.  Like
+    ``mean_solve_seconds`` it is host-side bookkeeping, not part of
+    :meth:`deterministic`: it depends on the spill cadence
+    (``spill_batch``) and on which cell of a batch crosses the flush
+    threshold.
     """
 
     system: str
@@ -212,6 +230,7 @@ class CellMetrics:
     plan_cache_hit_rate: float
     checkpointing: str = ""
     status: str = "ok"
+    store_writes: int = 0
 
     def deterministic(self) -> tuple[float, float, float, float]:
         """The wall-clock-free metric tuple used for exact comparisons."""
@@ -296,12 +315,22 @@ class SweepResult:
             cells share one measurement).
         unique_cells: How many distinct cells were actually measured.
         wall_seconds: Host wall-clock of the pass.
+        store_stats: Cache-store accounting for this pass (None
+            without a store): on-disk totals after the pass plus the
+            hit/miss/write/eviction counter *deltas* attributable to
+            it.  Fan-out counters are collected at the drain flushes
+            (after each pass and again at ``close()``); a worker that
+            misses every drain still spills at exit, but those writes
+            land after the last collection and are absent from every
+            pass's delta — the figure is a lower bound, short by at
+            most one merge-save per dirty workload per such worker.
     """
 
     cells: tuple[SweepCell, ...]
     metrics: tuple[CellMetrics, ...]
     unique_cells: int
     wall_seconds: float
+    store_stats: StoreStats | None = None
 
     def metric(
         self,
@@ -362,6 +391,15 @@ class WorkloadContext:
         )
         self._persisted_fingerprint: tuple | None = None
         self._restore_scalars()
+        if self._restored is not None:
+            # What is on disk IS this context's spillable state until a
+            # cell learns something new, so seed the dirty-tracking
+            # fingerprint from it (no systems exist yet, so the
+            # fingerprint is exactly the restored state): a fully warm
+            # pass then spills nothing instead of rewriting identical
+            # bytes — the restored-run half of the write-amplification
+            # fix.
+            self._persisted_fingerprint = self._state_fingerprint()
 
     def _restore_scalars(self) -> None:
         """Adopt spilled cost-model / tuner state (bit-identical to a
@@ -553,39 +591,49 @@ class WorkloadContext:
     def _state_fingerprint(self) -> tuple:
         """Cheap summary of the spillable state, for dirty tracking.
 
-        Plan caches are fingerprinted by entry count — an entry
-        *replacing* another at constant size (LRU churn at capacity)
-        is not detected, which at worst delays its spill to the next
-        pass that grows any cache.
+        Plan caches are fingerprinted by entry count per planning-
+        context digest — the unit :meth:`persist` unions by — taking
+        the max over the live solver caches sharing a digest (the
+        Fig. 7 sort ablation) and the restored entries of digests this
+        pass never instantiated, so a fully warm or partially
+        exercised restored context fingerprints equal to its seed and
+        spills nothing.  An entry *replacing* another at constant
+        count (LRU churn at capacity), or a smaller variant cache
+        catching up to its sibling's count, is not detected, which at
+        worst delays the spill to the next pass that grows any cache
+        past the digest's max.
         """
-        caches = sorted(
-            (
-                context_digest(
-                    system.solver.config.planner, system.solver.config.backend
-                ),
-                len(system.solver.cache),
+        caches: dict[str, int] = {}
+        for system in self._systems.values():
+            solver = getattr(system, "solver", None)
+            if solver is None or solver.cache is None:
+                continue
+            digest = context_digest(
+                solver.config.planner, solver.config.backend
             )
-            for system in self._systems.values()
-            if getattr(system, "solver", None) is not None
-            and system.solver.cache is not None
-        )
+            caches[digest] = max(caches.get(digest, 0), len(solver.cache))
+        if self._restored is not None:
+            for digest, entries in self._restored.plans.items():
+                caches[digest] = max(caches.get(digest, 0), len(entries))
         return (
             self._cost_model is not None,
             self._static_degree,
             self._megatron_strategy,
-            tuple(caches),
+            tuple(sorted(caches.items())),
         )
 
     def persist(self) -> None:
         """Spill this context's reusable state to the cache store.
 
         No-op without a store, and skipped entirely when nothing
-        spillable changed since the last call (the fan-out path
-        persists after every cell; without this, each no-op cell would
-        re-serialise the whole workload file under the store lock).
-        Plan entries of flexsp variants that share a planning context
-        (e.g. the sort ablation, which changes blasting but not
-        per-shape planning) are unioned.
+        spillable changed since the last persist (or, for a restored
+        context, since the restore — the drain flush persists every
+        context it touched, and with ``spill_batch=1`` every cell
+        triggers one; without the fingerprint check each no-op call
+        would re-serialise the whole workload file under the store
+        lock).  Plan entries of flexsp variants that share a planning
+        context (e.g. the sort ablation, which changes blasting but
+        not per-shape planning) are unioned.
         """
         if self.store is None:
             return
@@ -619,12 +667,18 @@ class WorkloadContext:
 # process and persist across cells and across sweeps, so each worker
 # amortises profiling/tuning/corpus work exactly like the serial path.
 # Each worker owns at most one SolverPool and one CacheStore, shared by
-# all of its workload contexts.
+# all of its workload contexts; spills are batched per worker and
+# drained at the end of each pass (and, as a guarantee, at worker
+# exit — the parent cannot reach into a worker at shutdown).
 # ---------------------------------------------------------------------------
 
-_WORKER_SWEEP: tuple[SolverConfig | None, bool, str | None, int] | None = None
+_WORKER_SWEEP: (
+    tuple[SolverConfig | None, bool, str | None, int, int] | None
+) = None
 _WORKER_CONTEXTS: dict = {}
 _WORKER_SOLVER_POOL: SolverPool | None = None
+_WORKER_STORE: CacheStore | None = None
+_WORKER_CELLS_SINCE_SPILL = 0
 
 
 def _sweep_worker_init(
@@ -632,17 +686,46 @@ def _sweep_worker_init(
     vectorized: bool,
     store_root: str | None,
     solver_workers: int,
+    spill_batch: int,
 ) -> None:
-    global _WORKER_SWEEP, _WORKER_SOLVER_POOL
-    _WORKER_SWEEP = (solver_config, vectorized, store_root, solver_workers)
+    global _WORKER_SWEEP, _WORKER_SOLVER_POOL, _WORKER_STORE
+    global _WORKER_CELLS_SINCE_SPILL
+    _WORKER_SWEEP = (
+        solver_config, vectorized, store_root, solver_workers, spill_batch,
+    )
     _WORKER_CONTEXTS.clear()
     _WORKER_SOLVER_POOL = None
+    _WORKER_CELLS_SINCE_SPILL = 0
+    _WORKER_STORE = CacheStore(store_root) if store_root else None
+    if _WORKER_STORE is not None:
+        # Batched spills must survive pool shutdown: whatever is still
+        # dirty when this worker exits is flushed on the way out.
+        pools.register_worker_exit_flush(_sweep_worker_flush)
+
+
+def _sweep_worker_flush() -> tuple[int, dict[str, int]]:
+    """Spill every dirty context and report this worker's counters.
+
+    The drain hook: the parent submits one flush per pool slot after
+    each pass (idempotent — a worker that receives two drains, or
+    none, stays correct; :class:`WorkloadContext.persist` skips clean
+    state) and :func:`repro.core.pools.register_worker_exit_flush`
+    runs it once more at worker exit.  Returns ``(pid, cumulative
+    counters)`` so the parent can aggregate store stats per worker
+    process.
+    """
+    global _WORKER_CELLS_SINCE_SPILL
+    for context in _WORKER_CONTEXTS.values():
+        context.persist()
+    _WORKER_CELLS_SINCE_SPILL = 0
+    counters = _WORKER_STORE.counters() if _WORKER_STORE is not None else {}
+    return os.getpid(), counters
 
 
 def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
-    global _WORKER_SOLVER_POOL
+    global _WORKER_SOLVER_POOL, _WORKER_CELLS_SINCE_SPILL
     assert _WORKER_SWEEP is not None, "sweep worker used before initialization"
-    solver_config, vectorized, store_root, solver_workers = _WORKER_SWEEP
+    solver_config, vectorized, __, solver_workers, spill_batch = _WORKER_SWEEP
     if solver_workers > 1 and _WORKER_SOLVER_POOL is None:
         _WORKER_SOLVER_POOL = SolverPool(solver_workers)
     key = workload_signature(cell.workload)
@@ -652,15 +735,22 @@ def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
             cell.workload,
             solver_config,
             vectorized,
-            store=CacheStore(store_root) if store_root else None,
+            store=_WORKER_STORE,
             solver_pool=_WORKER_SOLVER_POOL,
         )
         _WORKER_CONTEXTS[key] = context
+    writes_before = (
+        _WORKER_STORE.counters()["writes"] if _WORKER_STORE is not None else 0
+    )
     metrics = context.run(cell)
-    # Spill after every cell: the parent cannot reach into the worker
-    # at shutdown, and the store's merge-on-save keeps repeated spills
-    # cheap relative to the cells themselves.
-    context.persist()
+    if _WORKER_STORE is not None:
+        _WORKER_CELLS_SINCE_SPILL += 1
+        if spill_batch and _WORKER_CELLS_SINCE_SPILL >= spill_batch:
+            _sweep_worker_flush()
+        metrics = dataclasses.replace(
+            metrics,
+            store_writes=_WORKER_STORE.counters()["writes"] - writes_before,
+        )
     return metrics
 
 
@@ -686,12 +776,21 @@ class SweepRunner:
         store: Persistent cross-process cache — a
             :class:`~repro.core.cache_store.CacheStore` or a directory
             path.  Contexts restore from it on construction and spill
-            back after each pass (serial) or each cell (fan-out).
+            back per the ``spill_batch`` cadence.
         solver_workers: Width of the *one* shared
             :class:`~repro.core.solver.SolverPool` injected into every
             FlexSP solver.  ``None`` adopts ``solver_config.workers``
             when that is > 1 (so sweeps never nest per-workload
             pools); 1 plans in-process.
+        spill_batch: Cells a worker (or the serial loop) measures
+            before spilling dirty store state.  ``0`` (default)
+            batches the whole drain: one merge-save per dirty workload
+            per pass, flushed at the end of :meth:`run` and guaranteed
+            at worker exit.  ``1`` restores the historical
+            spill-after-every-cell behaviour (the write-amplification
+            baseline); larger values flush every N cells.  Durability
+            trade-off only — restored state is bit-identical at every
+            cadence, a crash can just lose at most the unflushed tail.
     """
 
     def __init__(
@@ -702,6 +801,7 @@ class SweepRunner:
         vectorized: bool = True,
         store: CacheStore | str | os.PathLike | None = None,
         solver_workers: int | None = None,
+        spill_batch: int = 0,
     ) -> None:
         self.cells = tuple(cells)
         self.solver_config = solver_config
@@ -725,11 +825,21 @@ class SweepRunner:
                 f"solver_workers must be positive, got {solver_workers}"
             )
         self.solver_workers = solver_workers
+        if spill_batch < 0:
+            raise ValueError(
+                f"spill_batch must be non-negative, got {spill_batch}"
+            )
+        self.spill_batch = spill_batch
         self._contexts: dict[tuple, WorkloadContext] = {}
         self._solver_pool: SolverPool | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._finalizer = None
+        #: Per-worker-pid cumulative store counters (fan-out) and the
+        #: totals already attributed to earlier passes, so each
+        #: SweepResult carries this pass's counter deltas.
+        self._worker_counters: dict[int, dict[str, int]] = {}
+        self._counters_attributed: dict[str, int] = {}
 
     def _ensure_solver_pool(self) -> SolverPool | None:
         if self.solver_workers <= 1:
@@ -768,13 +878,21 @@ class SweepRunner:
                         self.vectorized,
                         store_root,
                         self.solver_workers,
+                        self.spill_batch,
                     ),
                 )
                 self._finalizer = pools.track_pool(self, self._pool)
             return self._pool
 
     def run(self, cells: Iterable[SweepCell] | None = None) -> SweepResult:
-        """Measure every cell (deduplicated) and return aligned metrics."""
+        """Measure every cell (deduplicated) and return aligned metrics.
+
+        Store spills follow the ``spill_batch`` cadence, with a final
+        drain at the end of the pass either way, so a fresh process
+        restoring from the store right after :meth:`run` returns sees
+        every measured cell's state (fan-out drains are best-effort
+        per worker; :meth:`close` is the hard guarantee).
+        """
         cells = self.cells if cells is None else tuple(cells)
         if not cells:
             raise ValueError("a sweep needs at least one cell")
@@ -783,10 +901,32 @@ class SweepRunner:
         order = list(unique)
         if self.workers == 1:
             touched: dict[tuple, WorkloadContext] = {}
+            cells_since_spill = 0
             for cell in order:
                 context = self.context(cell.workload)
                 touched[workload_signature(cell.workload)] = context
-                unique[cell] = context.run(cell)
+                writes_before = (
+                    self.store.counters()["writes"]
+                    if self.store is not None
+                    else 0
+                )
+                metrics = context.run(cell)
+                if self.store is not None:
+                    cells_since_spill += 1
+                    if (
+                        self.spill_batch
+                        and cells_since_spill >= self.spill_batch
+                    ):
+                        for dirty in touched.values():
+                            dirty.persist()
+                        cells_since_spill = 0
+                    metrics = dataclasses.replace(
+                        metrics,
+                        store_writes=(
+                            self.store.counters()["writes"] - writes_before
+                        ),
+                    )
+                unique[cell] = metrics
             if self.store is not None:
                 for context in touched.values():
                     context.persist()
@@ -794,12 +934,59 @@ class SweepRunner:
             outcomes = self._run_on_pool(order)
             for cell, metrics in zip(order, outcomes):
                 unique[cell] = metrics
+            self._drain_workers()
         metrics = tuple(unique[cell] for cell in cells)
         return SweepResult(
             cells=tuple(cells),
             metrics=metrics,
             unique_cells=len(unique),
             wall_seconds=time.perf_counter() - started,
+            store_stats=self._store_stats_delta(),
+        )
+
+    def _drain_workers(self) -> None:
+        """Flush every pool worker's batched spills (best-effort).
+
+        One flush task per pool slot; the tasks are idempotent, so an
+        uneven distribution (a fast worker running two, another none)
+        costs durability-until-exit at worst, never correctness — the
+        exit flush registered in the worker covers the gap.  Counter
+        reports are cumulative per pid, so collecting a worker twice
+        is harmless.
+        """
+        if self.store is None:
+            return
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return
+        try:
+            futures = [
+                pool.submit(_sweep_worker_flush) for _ in range(self.workers)
+            ]
+            for future in futures:
+                pid, counters = future.result()
+                self._worker_counters[pid] = counters
+        except (BrokenProcessPool, RuntimeError):  # pragma: no cover
+            pass  # drain is best-effort; exit flush still runs
+
+    def _store_stats_delta(self) -> StoreStats | None:
+        """This pass's store accounting: on-disk totals plus the
+        counter deltas not yet attributed to an earlier pass."""
+        if self.store is None:
+            return None
+        totals = dict(self.store.counters())
+        for counters in self._worker_counters.values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        delta = {
+            key: totals.get(key, 0) - self._counters_attributed.get(key, 0)
+            for key in ("hits", "misses", "writes", "evictions")
+        }
+        self._counters_attributed = totals
+        num_files, num_bytes, num_entries = self.store.scan()
+        return StoreStats(
+            files=num_files, bytes=num_bytes, entries=num_entries, **delta
         )
 
     def _run_on_pool(self, cells: list[SweepCell]) -> list[CellMetrics]:
@@ -835,8 +1022,12 @@ class SweepRunner:
         ``workers > 1`` the warm per-workload state lives inside the
         worker processes and is discarded with them — the next
         :meth:`run` starts a fresh pool whose caches are cold (or
-        store-restored, when a ``store`` is configured).
+        store-restored, when a ``store`` is configured).  Workers are
+        drained first so their batched spills land (and are counted)
+        before shutdown; the per-worker exit flush remains the
+        backstop for anything a best-effort drain missed.
         """
+        self._drain_workers()
         with self._pool_lock:
             pool, self._pool = self._pool, None
             finalizer, self._finalizer = self._finalizer, None

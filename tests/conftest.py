@@ -16,6 +16,16 @@ from repro.model.config import GPT_7B, GPT_TINY, ModelConfig
 from repro.model.memory import ActivationCheckpointing
 
 
+def pytest_configure(config):
+    # Registered here as well as in benchmarks/conftest.py so `make
+    # test-fast` (`pytest tests/ -m "not slow"`) selects cleanly under
+    # --strict-markers.
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running tests excluded from `make test-fast`",
+    )
+
+
 @pytest.fixture(scope="session")
 def cluster8() -> ClusterSpec:
     """One node of 8 A100-40GBs."""

@@ -10,6 +10,7 @@ pre-refactor registry/benchmark computations bit-for-bit.
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
@@ -341,6 +342,54 @@ class TestCampaignWithStoreAndPool:
             assert runner._solver_pool is not None
         for a, b in zip(result.sweep.metrics, pooled.sweep.metrics):
             assert a.deterministic() == b.deterministic()
+
+    def test_corrupted_store_never_crashes_a_campaign(
+        self, campaign, result, tmp_path
+    ):
+        """Corruption fuzz at campaign level: with every store file
+        and the manifest damaged (truncated / garbage / partial JSON),
+        the campaign runs cold-on-miss with bit-identical metrics and
+        leaves the store cleanly rewritten."""
+        campaign.run(small_runner(store=tmp_path))
+        damage = [
+            lambda text: text.encode()[: len(text) // 2],  # truncated
+            lambda text: b"\x00\xffgarbage",
+            lambda text: b'{"version": 1, "plans": ',  # partial JSON
+        ]
+        for index, path in enumerate(sorted(tmp_path.glob("*.json"))):
+            path.write_bytes(damage[index % len(damage)](path.read_text()))
+        recovered = campaign.run(small_runner(store=tmp_path))
+        for a, b in zip(result.sweep.metrics, recovered.sweep.metrics):
+            assert a.deterministic() == b.deterministic()
+        # Every load was cold (nothing restorable survived the damage)
+        # and the pass respilled a fully valid store.
+        assert recovered.sweep.store_stats.hits == 0
+        assert recovered.sweep.store_stats.writes > 0
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text())
+
+    def test_store_write_amplification_below_per_cell_baseline(
+        self, campaign, tmp_path
+    ):
+        """The campaign summary carries the write-amplification figure
+        and the default drain cadence beats spill-per-cell."""
+        per_cell = campaign.run(
+            small_runner(store=tmp_path / "per_cell", spill_batch=1)
+        )
+        batched = campaign.run(small_runner(store=tmp_path / "batched"))
+        assert (
+            batched.sweep.store_stats.writes
+            < per_cell.sweep.store_stats.writes
+        )
+        assert (
+            batched.store_write_amplification
+            < per_cell.store_write_amplification
+        )
+        summary = batched.summary()
+        assert summary["store"]["writes"] == batched.sweep.store_stats.writes
+        assert summary["store"]["write_amplification"] == round(
+            batched.store_write_amplification, 4
+        )
 
 
 class TestCampaignCli:
