@@ -27,6 +27,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Reduced-protocol knobs (full protocol with REPRO_BENCH_FULL=1).
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Per-stage SolveStats profiling — set by ``python -m repro.bench
+#: <suite> --profile``; suites that support it print their cold-path
+#: stage breakdowns (the numbers land in the bench records even when
+#: off).
+PROFILE = bool(int(os.environ.get("REPRO_BENCH_PROFILE", "0")))
 GLOBAL_BATCH = 512 if FULL else 128
 NUM_ITERATIONS = 3 if FULL else 1
 

@@ -8,14 +8,25 @@ kept here so the speedup stays measurable after the optimized code
 replaced it in-tree (both paths produce bit-identical plans, which
 this benchmark asserts).
 
-Contract (the PR's acceptance bar, on a 4-trial ~8-micro-batch
-workload):
+Contract (tightened by the cold-path planning engine PR: memoised
+dominance-pruned layout enumeration, the stacked/incremental LPT
+passes, and the one-DP-per-solve blaster), on a 4-trial
+~8-micro-batch workload:
 
-* cold (empty plan cache): >= 1.5x reference plans/sec;
+* cold (empty plan cache): >= 4x reference plans/sec — comfortably
+  past 3x the pre-engine cold figure, which sat at ~1.6x reference
+  (see the ``BENCH_solver.json`` history; measured ~8-9x on the
+  reference container, so the gate keeps a ~2x noise margin for
+  shared CI runners while the recorded figure tracks the real value);
 * warm (recurring batches): >= 3x reference plans/sec;
-* predicted iteration times bit-for-bit equal to the reference.
+* plans and predicted iteration times bit-for-bit equal to the
+  reference.
 
-Results land in ``results/BENCH_solver.json`` for trajectory tracking.
+Results are *appended* to ``results/BENCH_solver.json`` so the
+cold-path trajectory stays diffable across PRs; the per-stage
+SolveStats breakdown (enumerate / lpt / milp_build / milp_solve)
+rides each record and is printed under
+``python -m repro.bench solver_throughput --profile``.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import FULL
+from benchmarks.conftest import FULL, PROFILE
 from repro.cluster.topology import standard_cluster
 from repro.core.blaster import blast, min_microbatch_count
 from repro.core.planner import PlanInfeasibleError, PlannerConfig
@@ -157,7 +168,18 @@ def _throughput(plans_produced: int, seconds: float) -> float:
     return plans_produced / max(seconds, 1e-9)
 
 
-def test_solver_throughput(emit, bench_json):
+def _stage_breakdown(plans) -> dict[str, float]:
+    """Summed per-stage SolveStats seconds across iteration plans."""
+    totals: dict[str, float] = {}
+    for plan in plans:
+        if plan.stats is None:
+            continue
+        for stage, seconds in plan.stats.stage_seconds().items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    return totals
+
+
+def test_solver_throughput(emit, bench_json_history):
     model = fit_cost_model(GPT_7B.with_max_context(64 * 1024), standard_cluster(8))
     batches = _workload(model, dense=True)
 
@@ -219,6 +241,7 @@ def test_solver_throughput(emit, bench_json):
             f"{warm_hits / warm_lookups:.0%}",
         ),
     ]
+    stages = _stage_breakdown(cold)
     emit(
         "Solver throughput (greedy backend, plans/sec; "
         f"{NUM_BATCHES} batches x {NUM_TRIALS} trials, "
@@ -227,7 +250,15 @@ def test_solver_throughput(emit, bench_json):
             ["path", "plans/sec", "speedup", "reuse rate"], rows
         )
     )
-    bench_json(
+    if PROFILE:
+        emit(
+            "Cold-path stage breakdown (seconds across the cold pass)\n"
+            + format_table(
+                ["stage", "seconds"],
+                [(stage, f"{s:.4f}") for stage, s in stages.items()],
+            )
+        )
+    bench_json_history(
         "solver",
         {
             "reference_plans_per_sec": round(ref_rate, 2),
@@ -237,15 +268,18 @@ def test_solver_throughput(emit, bench_json):
             "warm_speedup": round(warm_speedup, 3),
             "cold_reuse_rate": round(cold_hits / cold_lookups, 4),
             "warm_reuse_rate": round(warm_hits / warm_lookups, 4),
+            "cold_stage_seconds": {
+                stage: round(s, 5) for stage, s in stages.items()
+            },
         },
     )
 
-    assert cold_speedup >= 1.5, f"cold speedup {cold_speedup:.2f}x < 1.5x"
+    assert cold_speedup >= 4.0, f"cold speedup {cold_speedup:.2f}x < 4x"
     assert warm_speedup >= 3.0, f"warm speedup {warm_speedup:.2f}x < 3x"
     assert warm_hits == warm_lookups  # fully cached second pass
 
 
-def test_milp_cache_skips_solves(emit, bench_json):
+def test_milp_cache_skips_solves(emit, bench_json_history):
     """MILP backend: a warm cache skips the HiGHS solves entirely and
     reproduces the cold plans exactly."""
     model = fit_cost_model(GPT_7B.with_max_context(64 * 1024), standard_cluster(8))
@@ -295,13 +329,25 @@ def test_milp_cache_skips_solves(emit, bench_json):
             ],
         )
     )
-    bench_json(
+    stages = _stage_breakdown(cold)
+    if PROFILE:
+        emit(
+            "MILP cold-path stage breakdown (seconds)\n"
+            + format_table(
+                ["stage", "seconds"],
+                [(stage, f"{s:.4f}") for stage, s in stages.items()],
+            )
+        )
+    bench_json_history(
         "solver_milp",
         {
             "uncached_seconds": round(base_seconds, 3),
             "cold_seconds": round(cold_seconds, 3),
             "warm_seconds": round(warm_seconds, 4),
             "warm_speedup_vs_uncached": round(warm_speedup, 2),
+            "cold_stage_seconds": {
+                stage: round(s, 5) for stage, s in stages.items()
+            },
         },
     )
     assert planner_calls_warm == 0

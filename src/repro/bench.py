@@ -37,8 +37,18 @@ Campaign / prune usage::
     python -m repro.bench --campaign smoke --no-store    # make bench-smoke
     python -m repro.bench --campaign unified --backend milp --node-limit 500
     python -m repro.bench --campaign unified --repeat 3  # warm trajectory
+    python -m repro.bench --campaign unified --profile   # stage breakdown
+    python -m repro.bench --campaign unified --no-prewarm
     python -m repro.bench --prune --max-age-days 30      # make bench-prune
     python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
+
+``--profile`` prints the per-stage SolveStats timing breakdown
+(enumerate / lpt / milp_build / milp_solve) — in campaign mode per
+epoch, in pytest mode through the suites that support it (e.g.
+``python -m repro.bench solver_throughput --profile``); the breakdown
+is part of the appended bench records either way.  ``--no-prewarm``
+disables the campaign-level cold-batching pass that plans the grid's
+unique uncached micro-batch shapes up front.
 
 ``--backend milp --node-limit N`` runs the MILP planner under a
 *deterministic* work limit (HiGHS branch-and-bound nodes) instead of a
@@ -182,6 +192,7 @@ def run_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=store,
         solver_workers=args.solver_workers,
+        prewarm=args.prewarm,
     )
     records = []
     with runner:
@@ -204,6 +215,24 @@ def run_campaign(args: argparse.Namespace) -> int:
                 f"unique cells in {wall:.2f}s, plan-cache hit rate "
                 f"{result.plan_cache_hit_rate:.2%}"
             )
+            if result.sweep.prewarm_planned:
+                print(
+                    f"[{campaign.name}] epoch {epoch} cold batching: "
+                    f"{result.sweep.prewarm_planned} unique shapes "
+                    f"planned up front in "
+                    f"{result.sweep.prewarm_seconds:.2f}s"
+                )
+            if args.profile:
+                stage_totals = result.stage_seconds
+                total = sum(stage_totals.values()) or 1.0
+                breakdown = ", ".join(
+                    f"{stage} {seconds:.3f}s ({seconds / total:.0%})"
+                    for stage, seconds in stage_totals.items()
+                )
+                print(
+                    f"[{campaign.name}] epoch {epoch} solve stages: "
+                    f"{breakdown}"
+                )
             stats = result.sweep.store_stats
             if stats is not None:
                 print(
@@ -302,6 +331,19 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
         default=1,
         help="campaign epochs in this process (warm-trajectory measurement)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage SolveStats breakdown (enumerate / lpt "
+        "/ milp_build / milp_solve) for each epoch",
+    )
+    parser.add_argument(
+        "--no-prewarm",
+        dest="prewarm",
+        action="store_false",
+        help="disable campaign-level cold batching (per-cell planning, "
+        "the pre-PR5 behaviour)",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be at least 1, got {args.repeat}")
@@ -359,6 +401,15 @@ def main(argv: list[str] | None = None) -> int:
         return run_prune(_parse_prune_args(argv))
     if any(a.startswith("--campaign") for a in argv):
         return run_campaign(_parse_campaign_args(argv))
+
+    if "--profile" in argv:
+        # Pytest-mode profiling: the benchmark suites read this flag
+        # through the environment (see benchmarks/conftest.py PROFILE)
+        # and print/record their per-stage SolveStats breakdowns.
+        argv.remove("--profile")
+        import os
+
+        os.environ["REPRO_BENCH_PROFILE"] = "1"
 
     import pytest
 

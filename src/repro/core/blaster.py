@@ -56,20 +56,50 @@ def balanced_cut_points(lengths: SequenceABC[int], num_chunks: int) -> list[int]
         Ending indices ``j_1 < ... < j_M = len(lengths)`` such that
         chunk ``i`` covers ``[j_{i-1}, j_i)``.
     """
+    return balanced_cut_points_multi(lengths, (num_chunks,))[num_chunks]
+
+
+def balanced_cut_points_multi(
+    lengths: SequenceABC[int], chunk_counts: SequenceABC[int]
+) -> dict[int, list[int]]:
+    """Cut points for *several* chunk counts from one shared DP.
+
+    The Appendix A recurrence ``DP[k][i] = min_j max(DP[j][i-1],
+    sum(s_{j+1}..s_k))`` is independent of the final chunk count M —
+    layer ``i`` is the same table whatever M the caller backtracks
+    for.  The solver's trial loop blasts the *same sorted batch* at
+    ``M_min .. M_min + M' - 1``, so running the layers once up to
+    ``max(chunk_counts)`` and backtracking each requested count from
+    the shared choice matrix does the work of M' separate DPs for the
+    price of one; every count's cuts are bit-identical to an
+    independent :func:`balanced_cut_points` call.
+
+    Returns:
+        ``{count: cuts}`` for every requested count (duplicates
+        collapse onto one entry).
+    """
     k_total = len(lengths)
-    if num_chunks <= 0:
-        raise ValueError(f"num_chunks must be positive, got {num_chunks}")
-    if num_chunks > k_total:
+    counts = sorted(set(int(c) for c in chunk_counts))
+    if not counts:
+        raise ValueError("need at least one chunk count")
+    if counts[0] <= 0:
+        raise ValueError(f"num_chunks must be positive, got {counts[0]}")
+    if counts[-1] > k_total:
         raise ValueError(
-            f"cannot split {k_total} sequences into {num_chunks} non-empty "
+            f"cannot split {k_total} sequences into {counts[-1]} non-empty "
             "micro-batches"
         )
+    results: dict[int, list[int]] = {}
     # Trivial splits need no DP: one chunk takes everything; as many
     # chunks as sequences forces singleton chunks.
-    if num_chunks == 1:
-        return [k_total]
-    if num_chunks == k_total:
-        return list(range(1, k_total + 1))
+    if counts[0] == 1:
+        results[1] = [k_total]
+    if counts[-1] == k_total:
+        results[k_total] = list(range(1, k_total + 1))
+    needed = [c for c in counts if c not in results]
+    if not needed:
+        return results
+    max_chunks = needed[-1]
     arr = np.asarray(lengths, dtype=np.int64)
     prefix = np.concatenate(([0], np.cumsum(arr)))
 
@@ -81,8 +111,8 @@ def balanced_cut_points(lengths: SequenceABC[int], num_chunks: int) -> list[int]
     inf = np.iinfo(np.int64).max // 4
     dp = np.full(k_total + 1, inf, dtype=np.int64)
     dp[0] = 0
-    choice = np.zeros((k_total + 1, num_chunks + 1), dtype=np.int64)
-    for i in range(1, num_chunks + 1):
+    choice = np.zeros((k_total + 1, max_chunks + 1), dtype=np.int64)
+    for i in range(1, max_chunks + 1):
         new_dp = np.full(k_total + 1, inf, dtype=np.int64)
 
         def flat_cost(k, lens, flat_j):
@@ -96,13 +126,15 @@ def balanced_cut_points(lengths: SequenceABC[int], num_chunks: int) -> list[int]
         solve_monotone_layer(i, k_total, i - 1, k_total - 1, flat_cost, assign)
         dp = new_dp
 
-    cuts: list[int] = []
-    k = k_total
-    for i in range(num_chunks, 0, -1):
-        cuts.append(k)
-        k = int(choice[k][i])
-    cuts.reverse()
-    return cuts
+    for num_chunks in needed:
+        cuts: list[int] = []
+        k = k_total
+        for i in range(num_chunks, 0, -1):
+            cuts.append(k)
+            k = int(choice[k][i])
+        cuts.reverse()
+        results[num_chunks] = cuts
+    return results
 
 
 def blast(
@@ -130,6 +162,40 @@ def blast(
     for end in cuts:
         out.append(SequenceBatch(lengths=tuple(lengths[start:end])))
         start = end
+    return out
+
+
+def blast_multi(
+    batch: SequenceBatch, counts: SequenceABC[int], sort: bool = True
+) -> dict[int, list[SequenceBatch]]:
+    """Blast one batch at several micro-batch counts in one DP pass.
+
+    The solver's trial sweep calls this once instead of :func:`blast`
+    per trial: the batch is sorted once and the balanced-cut DP runs
+    once to the largest count (see :func:`balanced_cut_points_multi`).
+    Counts that cannot split the batch (more chunks than sequences)
+    are simply absent from the result, mirroring the ``ValueError``
+    the per-trial loop used to swallow.
+
+    Returns:
+        ``{count: micro-batches}``, each entry bit-identical to
+        ``blast(batch, count, sort)``.
+    """
+    lengths = list(batch.lengths)
+    if sort:
+        lengths.sort()
+    feasible = [c for c in counts if 0 < c <= len(lengths)]
+    if not feasible:
+        return {}
+    all_cuts = balanced_cut_points_multi(lengths, feasible)
+    out: dict[int, list[SequenceBatch]] = {}
+    for count, cuts in all_cuts.items():
+        microbatches: list[SequenceBatch] = []
+        start = 0
+        for end in cuts:
+            microbatches.append(SequenceBatch(lengths=tuple(lengths[start:end])))
+            start = end
+        out[count] = microbatches
     return out
 
 

@@ -167,6 +167,14 @@ class PlanCache:
             self._entries.move_to_end(key)
             return entry
 
+    def peek(self, key: tuple):
+        """Like :meth:`lookup` but with zero side effects: no hit/miss
+        counting, no LRU reordering.  The cold-path prewarmer uses
+        this so probing for missing shapes cannot change what a later
+        ``solve()`` observes or reports."""
+        with self._lock:
+            return self._entries.get(key)
+
     def store(
         self, key: tuple, plan: MicroBatchPlan | None, predicted: float | None
     ) -> None:

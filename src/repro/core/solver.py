@@ -34,12 +34,17 @@ import os
 import pickle
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from repro.core import pools
-from repro.core.blaster import DEFAULT_NUM_TRIALS, blast, min_microbatch_count
+from repro.core import pools, stage_timing
+from repro.core.blaster import (
+    DEFAULT_NUM_TRIALS,
+    blast_multi,
+    min_microbatch_count,
+)
 from repro.core.plan_cache import (
     DEFAULT_CAPACITY,
     INFEASIBLE,
@@ -141,14 +146,40 @@ def _service_initializer(
 
 def _service_plan(
     lengths: tuple[int, ...]
-) -> tuple[MicroBatchPlan, float] | None:
-    """Plan one micro-batch in a service worker; None if infeasible."""
+) -> tuple[tuple[MicroBatchPlan, float] | None, dict[str, float]]:
+    """Plan one micro-batch in a service worker; ships the outcome
+    (None if infeasible) together with the per-stage timing the
+    planner recorded, so the parent's solve-level breakdown covers
+    pooled work too."""
     assert _WORKER_STATE is not None, "service worker used before initialization"
     model, planner_config, backend = _WORKER_STATE
-    try:
-        return _BACKENDS[backend](lengths, model, planner_config)
-    except PlanInfeasibleError:
-        return None
+    with stage_timing.collect() as stages:
+        try:
+            outcome = _BACKENDS[backend](lengths, model, planner_config)
+        except PlanInfeasibleError:
+            outcome = None
+    return outcome, stages
+
+
+def _collect_planned(futures) -> list[tuple[MicroBatchPlan, float] | None]:
+    """Gather worker outcomes, replaying their stage timings into the
+    caller's open :mod:`~repro.core.stage_timing` frames (the parent
+    thread is the one assembling the solve-level breakdown).
+
+    Timings are held back until every future has resolved: a
+    ``BrokenProcessPool`` raised mid-collection makes the caller retry
+    the whole batch, and eagerly merged timings from the first attempt
+    would then be double-counted in the solve's breakdown.
+    """
+    outcomes: list[tuple[MicroBatchPlan, float] | None] = []
+    stage_dicts: list[dict[str, float]] = []
+    for future in futures:
+        outcome, stages = future.result()
+        stage_dicts.append(stages)
+        outcomes.append(outcome)
+    for stages in stage_dicts:
+        stage_timing.merge(stages)
+    return outcomes
 
 
 class SolverService:
@@ -219,7 +250,7 @@ class SolverService:
                 self.close()
                 continue
             try:
-                return [f.result() for f in futures]
+                return _collect_planned(futures)
             except BrokenProcessPool:
                 if attempt:
                     raise
@@ -263,8 +294,9 @@ _POOL_CONTEXTS: dict[str, tuple[CostModel, PlannerConfig, str]] = {}
 
 def _pool_plan(
     digest: str, blob: bytes, shape: tuple[int, ...]
-) -> tuple[MicroBatchPlan, float] | None:
-    """Plan one micro-batch for one tenant context; None if infeasible."""
+) -> tuple[tuple[MicroBatchPlan, float] | None, dict[str, float]]:
+    """Plan one micro-batch for one tenant context; ships the outcome
+    (None if infeasible) plus the planner's stage timings."""
     state = _POOL_CONTEXTS.get(digest)
     if state is None:
         state = pickle.loads(blob)
@@ -273,10 +305,12 @@ def _pool_plan(
         # this context reuses it.
         cost_table(state[0])
     model, planner_config, backend = state
-    try:
-        return _BACKENDS[backend](shape, model, planner_config)
-    except PlanInfeasibleError:
-        return None
+    with stage_timing.collect() as stages:
+        try:
+            outcome = _BACKENDS[backend](shape, model, planner_config)
+        except PlanInfeasibleError:
+            outcome = None
+    return outcome, stages
 
 
 class PooledPlanner:
@@ -380,7 +414,7 @@ class SolverPool:
                 self.close()
                 continue
             try:
-                return [f.result() for f in futures]
+                return _collect_planned(futures)
             except BrokenProcessPool:
                 if attempt:
                     raise
@@ -449,8 +483,15 @@ class FlexSPSolver:
         self._service_owned = service is None
         # solve() may be called from several threads at once (the
         # pipeline prefetches with a thread pool); the cache locks
-        # internally, but lazy service creation needs this guard.
+        # internally, but lazy service creation and the blast memo
+        # need this guard.
         self._service_lock = threading.Lock()
+        #: Tiny LRU of blasted trial shapes per batch — pending_shapes
+        #: (the prewarm probe) and the following solve() share one DP.
+        self._trial_memo: OrderedDict[
+            tuple[int, ...],
+            tuple[list[int], list[list[tuple[int, ...]] | None]],
+        ] = OrderedDict()
 
     @property
     def context(self):
@@ -469,6 +510,106 @@ class FlexSPSolver:
         capacity = self.model.cluster_token_capacity() * self.config.capacity_safety
         return min_microbatch_count(batch.total_tokens, capacity)
 
+    def _trial_shapes(
+        self, batch: SequenceBatch
+    ) -> tuple[list[int], list[list[tuple[int, ...]] | None]]:
+        """Every trial's micro-batch shapes — one shared balanced-cut
+        DP for the whole trial sweep (the layers are count-independent,
+        see :func:`~repro.core.blaster.blast_multi`).  ``None`` slots
+        mark counts that cannot split the batch.
+
+        Memoised on the batch's lengths (small LRU): the campaign
+        prewarmer asks for a batch's shapes via :meth:`pending_shapes`
+        and the measurement's :meth:`solve` immediately re-derives the
+        same split — the DP is pure, so the repeat is served from the
+        memo bit-identically.
+        """
+        key = batch.lengths
+        memo = self._trial_memo
+        with self._service_lock:
+            cached = memo.get(key)
+            if cached is not None:
+                memo.move_to_end(key)
+                return cached
+        m_min = self.minimum_microbatches(batch)
+        trials = [
+            m
+            for m in range(m_min, m_min + self.config.num_trials)
+            if m <= len(batch.lengths)
+        ]
+        if not trials:
+            trials = [len(batch.lengths)]
+        blasted = blast_multi(batch, trials, sort=self.config.sort_sequences)
+        trial_shapes: list[list[tuple[int, ...]] | None] = [
+            [mb.lengths for mb in blasted[m]] if m in blasted else None
+            for m in trials
+        ]
+        with self._service_lock:
+            memo[key] = (trials, trial_shapes)
+            while len(memo) > 16:
+                memo.popitem(last=False)
+        return trials, trial_shapes
+
+    def pending_shapes(
+        self, batch: SequenceBatch | tuple[int, ...]
+    ) -> list[tuple[int, ...]]:
+        """Canonical micro-batch shapes a :meth:`solve` of ``batch``
+        would have to plan from scratch right now.
+
+        The campaign-level cold-batching hook: the sweep runner asks
+        every cold cell for its pending shapes up front, dedups them
+        across cells *at planner-call granularity*, and dispatches the
+        union in sorted-shape order (see ``SweepRunner``).  Pure
+        inspection — no planning happens, and the cache is probed
+        without touching its hit/miss counters or LRU order, so a
+        later ``solve()`` reports the same statistics it would have
+        cold.  Returns sorted shapes ((length count, lengths) order —
+        the order that maximises MILP skeleton reuse, which is keyed
+        on bucket/degree structure).  Without a plan cache there is
+        nothing to seed, so the result is empty.
+        """
+        if self.cache is None:
+            return []
+        if not isinstance(batch, SequenceBatch):
+            batch = SequenceBatch(lengths=tuple(batch))
+        __, trial_shapes = self._trial_shapes(batch)
+        missing: set[tuple[int, ...]] = set()
+        for shapes in trial_shapes:
+            if shapes is None:
+                continue
+            for shape in shapes:
+                canonical = canonical_shape(shape)
+                if canonical in missing:
+                    continue
+                if self.cache.peek((canonical, self._context)) is None:
+                    missing.add(canonical)
+        return sorted(missing, key=lambda s: (len(s), s))
+
+    def plan_shapes_cold(
+        self, shapes: list[tuple[int, ...]]
+    ) -> list[tuple[MicroBatchPlan, float] | None]:
+        """Plan ``shapes`` exactly as a solve's cache misses would —
+        in-process or on the injected pool/service — without reading
+        or writing the plan cache.  Pair with :meth:`seed_plan`."""
+        return self._plan_missing(list(shapes))
+
+    def seed_plan(
+        self,
+        shape: tuple[int, ...],
+        outcome: tuple[MicroBatchPlan, float] | None,
+    ) -> None:
+        """Store one planning outcome (``None`` = infeasible) under
+        this solver's interned cache context.  Seeded entries are
+        indistinguishable from entries a solve stored itself —
+        bit-identical plans, same eviction order semantics."""
+        if self.cache is None:
+            return
+        self.cache.store(
+            (canonical_shape(shape), self._context),
+            None if outcome is None else outcome[0],
+            None if outcome is None else outcome[1],
+        )
+
     def solve(self, batch: SequenceBatch | tuple[int, ...]) -> IterationPlan:
         """Alg. 1: sweep micro-batch counts and return the best plan.
 
@@ -479,25 +620,7 @@ class FlexSPSolver:
         started = time.perf_counter()
         if not isinstance(batch, SequenceBatch):
             batch = SequenceBatch(lengths=tuple(batch))
-        m_min = self.minimum_microbatches(batch)
-        trials = [
-            m
-            for m in range(m_min, m_min + self.config.num_trials)
-            if m <= len(batch.lengths)
-        ]
-        if not trials:
-            trials = [len(batch.lengths)]
-
-        # Blast every trial up front, then resolve the union of
-        # micro-batch shapes: cache first, planner for the rest.
-        trial_shapes: list[list[tuple[int, ...]] | None] = []
-        for m in trials:
-            try:
-                microbatches = blast(batch, m, sort=self.config.sort_sequences)
-            except ValueError:
-                trial_shapes.append(None)
-                continue
-            trial_shapes.append([mb.lengths for mb in microbatches])
+        trials, trial_shapes = self._trial_shapes(batch)
 
         # Resolve shapes.  With the cache enabled, shapes are
         # canonicalized and deduplicated (within the solve and against
@@ -536,7 +659,8 @@ class FlexSPSolver:
                 to_plan.append(key[0])  # canonical sorted lengths
             trial_slots.append(slots)
 
-        outcomes = self._plan_missing(to_plan)
+        with stage_timing.collect() as stages:
+            outcomes = self._plan_missing(to_plan)
         entries = [
             INFEASIBLE if outcome is None else outcome for outcome in outcomes
         ]
@@ -582,6 +706,10 @@ class FlexSPSolver:
             trials=len(trials),
             microbatches=total_microbatches,
             solve_seconds=time.perf_counter() - started,
+            **{
+                f"{stage}_seconds": stages.get(stage, 0.0)
+                for stage in stage_timing.STAGES
+            },
         )
         return IterationPlan(
             microbatches=tuple(plans),

@@ -37,6 +37,19 @@ class SolveStats:
         microbatches: Total micro-batches across all trials; always
             ``cache_hits + dedup_hits + cache_misses``.
         solve_seconds: Wall-clock of the solve, when measured.
+        enumerate_seconds: Wall-clock spent enumerating/pruning
+            candidate layouts, bucketing and building the virtual
+            group universe (the cold path's first stage).
+        lpt_seconds: Wall-clock spent in the stacked/scalar LPT
+            placement passes.
+        milp_build_seconds: Wall-clock spent assembling MILP value
+            blocks and bounds onto the cached constraint skeleton.
+        milp_solve_seconds: Wall-clock spent inside HiGHS.
+
+    The four stage counters are host wall-clock like
+    ``solve_seconds`` — never part of any bit-identical contract —
+    and cover planner work wherever it ran (in-process or on a
+    service/pool worker; see :mod:`repro.core.stage_timing`).
     """
 
     cache_hits: int = 0
@@ -45,6 +58,10 @@ class SolveStats:
     trials: int = 0
     microbatches: int = 0
     solve_seconds: float = 0.0
+    enumerate_seconds: float = 0.0
+    lpt_seconds: float = 0.0
+    milp_build_seconds: float = 0.0
+    milp_solve_seconds: float = 0.0
 
     @property
     def planner_calls(self) -> int:
@@ -70,7 +87,25 @@ class SolveStats:
             trials=self.trials + other.trials,
             microbatches=self.microbatches + other.microbatches,
             solve_seconds=self.solve_seconds + other.solve_seconds,
+            enumerate_seconds=self.enumerate_seconds + other.enumerate_seconds,
+            lpt_seconds=self.lpt_seconds + other.lpt_seconds,
+            milp_build_seconds=(
+                self.milp_build_seconds + other.milp_build_seconds
+            ),
+            milp_solve_seconds=(
+                self.milp_solve_seconds + other.milp_solve_seconds
+            ),
         )
+
+    def stage_seconds(self) -> dict[str, float]:
+        """The cold-path stage breakdown as an ordered dict (the
+        ``--profile`` report's unit).  Driven by
+        :data:`repro.core.stage_timing.STAGES` — each stage name maps
+        onto its ``<stage>_seconds`` field, so the vocabulary cannot
+        drift from the collectors'."""
+        from repro.core.stage_timing import STAGES
+
+        return {stage: getattr(self, f"{stage}_seconds") for stage in STAGES}
 
 
 @dataclass(frozen=True)

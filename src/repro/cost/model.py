@@ -18,6 +18,7 @@ a MILP.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -290,6 +291,18 @@ class CostTable:
             self.token_caps = budget / coeffs.memory_per_token * self.degree_arr
         else:
             self.token_caps = np.zeros(n)
+        #: Cold-path memos keyed by problem *structure*: the greedy
+        #: planner's stacked candidate-layout family per memory class
+        #: (``d_big``) and the MILP's assembled constraint skeletons
+        #: per (bucket count, degree list).  Both caches live exactly
+        #: as long as this table (== the model instance), so repeated
+        #: solves and persistent pool workers enumerate/assemble once.
+        #: Layout stacks are bounded by the power-of-two degree
+        #: universe; skeleton keys vary with batch length
+        #: distributions, so the planner LRU-caps that dict (see
+        #: ``repro.core.planner._skeleton``).
+        self.layout_stacks: dict = {}
+        self.milp_skeletons: "OrderedDict" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Elementwise kernels (bit-identical to the scalar path).

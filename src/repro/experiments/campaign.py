@@ -353,6 +353,24 @@ class CampaignResult:
         return sum(rates.values()) / len(rates)
 
     @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Cold-path planning stage totals (enumerate / lpt /
+        milp_build / milp_solve) over the pass: every *unique* cell's
+        solve-side breakdown plus the runner's cold-batching prewarm
+        pass, which is where a prewarmed campaign's planning actually
+        happens.  Host wall-clock (``--profile`` report)."""
+        totals: dict[str, float] = {}
+        unique: dict = {}
+        for cell, m in zip(self.sweep.cells, self.sweep.metrics):
+            unique.setdefault(cell, m)
+        for m in unique.values():
+            for stage, seconds in m.stage_seconds:
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        for stage, seconds in self.sweep.prewarm_stage_seconds:
+            totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    @property
     def store_write_amplification(self) -> float | None:
         """Store data-file writes per measured cell for this pass —
         the figure the batched-spill engine drives below the
@@ -370,6 +388,14 @@ class CampaignResult:
             "unique_cells": self.sweep.unique_cells,
             "wall_seconds": round(self.sweep.wall_seconds, 3),
             "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 4),
+            "stage_seconds": {
+                stage: round(seconds, 4)
+                for stage, seconds in self.stage_seconds.items()
+            },
+            "prewarm": {
+                "planned_shapes": self.sweep.prewarm_planned,
+                "seconds": round(self.sweep.prewarm_seconds, 4),
+            },
             "artefacts": {
                 r.artefact.key: r.summary for r in self.artefacts
             },

@@ -65,7 +65,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core import pools
+from repro.core import pools, stage_timing
 from repro.core.cache_store import (
     CacheStore,
     StoreStats,
@@ -217,6 +217,15 @@ class CellMetrics:
     :meth:`deterministic`: it depends on the spill cadence
     (``spill_batch``) and on which cell of a batch crosses the flush
     threshold.
+
+    ``stage_seconds`` is the cold-path planning breakdown —
+    ``(stage, seconds)`` pairs for enumerate / lpt / milp_build /
+    milp_solve, summed over the cell's solves (see
+    :class:`~repro.core.types.SolveStats`) — surfaced by
+    ``python -m repro.bench --profile``.  Host wall-clock, excluded
+    from :meth:`deterministic`; empty for systems without a solver
+    and for prewarmed cells (whose planning happened in the runner's
+    cold-batching pass and is accounted there).
     """
 
     system: str
@@ -231,6 +240,7 @@ class CellMetrics:
     checkpointing: str = ""
     status: str = "ok"
     store_writes: int = 0
+    stage_seconds: tuple[tuple[str, float], ...] = ()
 
     def deterministic(self) -> tuple[float, float, float, float]:
         """The wall-clock-free metric tuple used for exact comparisons."""
@@ -265,6 +275,10 @@ class CellMetrics:
 
 def cell_metrics(result: RunResult, cell: SweepCell) -> CellMetrics:
     """Condense a :class:`RunResult` into sweep metrics."""
+    stats = result.solve_stats
+    stage_seconds = (
+        tuple(stats.stage_seconds().items()) if stats is not None else ()
+    )
     return CellMetrics(
         system=result.system,
         workload=result.workload,
@@ -278,6 +292,7 @@ def cell_metrics(result: RunResult, cell: SweepCell) -> CellMetrics:
         mean_solve_seconds=result.mean_solve_seconds,
         plan_cache_hit_rate=result.plan_cache_hit_rate,
         checkpointing=cell.workload.checkpointing.value,
+        stage_seconds=stage_seconds,
     )
 
 
@@ -324,6 +339,13 @@ class SweepResult:
             land after the last collection and are absent from every
             pass's delta — the figure is a lower bound, short by at
             most one merge-save per dirty workload per such worker.
+        prewarm_planned: Micro-batch shapes the cold-batching pass
+            planned up front (0 when prewarming was off, fanned out,
+            or everything was already cached/restored).
+        prewarm_seconds: Wall-clock of that pass (inside
+            ``wall_seconds``).
+        prewarm_stage_seconds: Its cold-path stage breakdown, same
+            vocabulary as :attr:`CellMetrics.stage_seconds`.
     """
 
     cells: tuple[SweepCell, ...]
@@ -331,6 +353,9 @@ class SweepResult:
     unique_cells: int
     wall_seconds: float
     store_stats: StoreStats | None = None
+    prewarm_planned: int = 0
+    prewarm_seconds: float = 0.0
+    prewarm_stage_seconds: tuple[tuple[str, float], ...] = ()
 
     def metric(
         self,
@@ -791,6 +816,22 @@ class SweepRunner:
             baseline); larger values flush every N cells.  Durability
             trade-off only — restored state is bit-identical at every
             cadence, a crash can just lose at most the unflushed tail.
+        prewarm: Campaign-level cold batching (serial passes only —
+            fan-out workers own their contexts).  Before measuring,
+            every FlexSP cell is asked for the micro-batch shapes its
+            solves would plan from scratch
+            (:meth:`~repro.core.solver.FlexSPSolver.pending_shapes`);
+            the union is deduplicated *at planner-call granularity*
+            across cells — variant cells that share a planning
+            context (e.g. the sort ablation) are planned once — and
+            dispatched in sorted shape order, through the shared
+            :class:`~repro.core.solver.SolverPool` when one is
+            configured, so MILP skeleton reuse and worker locality
+            trigger.  Seeded plans are bit-identical to what each
+            cell would have solved itself; per-cell
+            ``mean_solve_seconds`` then reflects cache replay while
+            the batched planning cost is reported as
+            :attr:`SweepResult.prewarm_seconds`.
     """
 
     def __init__(
@@ -802,6 +843,7 @@ class SweepRunner:
         store: CacheStore | str | os.PathLike | None = None,
         solver_workers: int | None = None,
         spill_batch: int = 0,
+        prewarm: bool = True,
     ) -> None:
         self.cells = tuple(cells)
         self.solver_config = solver_config
@@ -830,6 +872,7 @@ class SweepRunner:
                 f"spill_batch must be non-negative, got {spill_batch}"
             )
         self.spill_batch = spill_batch
+        self.prewarm = prewarm
         self._contexts: dict[tuple, WorkloadContext] = {}
         self._solver_pool: SolverPool | None = None
         self._pool: ProcessPoolExecutor | None = None
@@ -899,6 +942,13 @@ class SweepRunner:
         started = time.perf_counter()
         unique: dict[SweepCell, CellMetrics | None] = dict.fromkeys(cells)
         order = list(unique)
+        prewarm_planned = 0
+        prewarm_seconds = 0.0
+        prewarm_stages: dict[str, float] = {}
+        if self.prewarm and self.workers == 1:
+            prewarm_planned, prewarm_seconds, prewarm_stages = (
+                self._prewarm_cold_cells(order)
+            )
         if self.workers == 1:
             touched: dict[tuple, WorkloadContext] = {}
             cells_since_spill = 0
@@ -942,7 +992,62 @@ class SweepRunner:
             unique_cells=len(unique),
             wall_seconds=time.perf_counter() - started,
             store_stats=self._store_stats_delta(),
+            prewarm_planned=prewarm_planned,
+            prewarm_seconds=prewarm_seconds,
+            prewarm_stage_seconds=tuple(prewarm_stages.items()),
         )
+
+    def _prewarm_cold_cells(
+        self, cells: list[SweepCell]
+    ) -> tuple[int, float, dict[str, float]]:
+        """The campaign-level cold-batching pass (see the ``prewarm``
+        constructor doc): collect every FlexSP cell's uncached
+        micro-batch shapes, dedup by planning context, plan the union
+        in sorted shape order, and seed every sharing solver's cache.
+
+        Infeasible cells are skipped here exactly as
+        :meth:`WorkloadContext.run` would convert them to OOM cells;
+        the real measurement still reports them.  Returns (shapes
+        planned, wall seconds, stage-seconds breakdown).
+        """
+        started = time.perf_counter()
+        by_context: dict[object, dict] = {}
+        for cell in cells:
+            if cell.system != "flexsp":
+                continue
+            context = self.context(cell.workload)
+            try:
+                system = context.system(cell.system, cell.variant)
+                solver = system.solver
+                if solver.cache is None:
+                    continue
+                batches = context.batches(cell.num_iterations, cell.start_step)
+                for batch in batches:
+                    pending = solver.pending_shapes(batch.lengths)
+                    if not pending:
+                        continue
+                    entry = by_context.setdefault(
+                        solver.context, {"solvers": [], "shapes": set()}
+                    )
+                    if not any(s is solver for s in entry["solvers"]):
+                        entry["solvers"].append(solver)
+                    entry["shapes"].update(pending)
+            except (PlanInfeasibleError, InfeasibleWorkloadError):
+                continue
+        planned = 0
+        stages: dict[str, float] = {}
+        for entry in by_context.values():
+            shapes = sorted(entry["shapes"], key=lambda s: (len(s), s))
+            representative = entry["solvers"][0]
+            with stage_timing.collect() as collected:
+                outcomes = representative.plan_shapes_cold(shapes)
+            for stage, seconds in collected.items():
+                stages[stage] = stages.get(stage, 0.0) + seconds
+            for solver in entry["solvers"]:
+                for shape, outcome in zip(shapes, outcomes):
+                    solver.seed_plan(shape, outcome)
+            planned += len(shapes)
+        return planned, time.perf_counter() - started, stages
 
     def _drain_workers(self) -> None:
         """Flush every pool worker's batched spills (best-effort).

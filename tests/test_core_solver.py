@@ -156,3 +156,86 @@ class TestSolverServiceRecovery:
             serial = fast_solver(cost_model8, backend="greedy").solve(batch)
             assert recovered.predicted_time == serial.predicted_time
             assert recovered.microbatches == serial.microbatches
+
+
+class TestColdShapeSurface:
+    """pending_shapes / plan_shapes_cold / seed_plan — the campaign
+    prewarmer's planner-call-granularity dedup hooks."""
+
+    def test_pending_then_seed_then_full_hit(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024, 512, 16384) * 2)
+        solver = fast_solver(cost_model8, backend="greedy")
+        pending = solver.pending_shapes(batch)
+        assert pending, "cold solver must report uncached shapes"
+        assert pending == sorted(pending, key=lambda s: (len(s), s))
+        outcomes = solver.plan_shapes_cold(pending)
+        for shape, outcome in zip(pending, outcomes):
+            solver.seed_plan(shape, outcome)
+        assert solver.pending_shapes(batch) == []
+        result = solver.solve(batch)
+        assert result.stats is not None
+        assert result.stats.planner_calls == 0
+        assert result.stats.hit_rate == 1.0
+
+    def test_seeded_solve_bit_identical_to_cold_solve(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024, 512, 16384) * 2)
+        cold = fast_solver(cost_model8, backend="greedy").solve(batch)
+        seeded_solver = fast_solver(cost_model8, backend="greedy")
+        pending = seeded_solver.pending_shapes(batch)
+        for shape, outcome in zip(
+            pending, seeded_solver.plan_shapes_cold(pending)
+        ):
+            seeded_solver.seed_plan(shape, outcome)
+        seeded = seeded_solver.solve(batch)
+        assert seeded.predicted_time == cold.predicted_time
+        assert seeded.microbatches == cold.microbatches
+
+    def test_pending_probe_leaves_solve_stats_untouched(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024) * 2)
+        probed = fast_solver(cost_model8, backend="greedy")
+        probed.pending_shapes(batch)
+        probed.pending_shapes(batch)  # idempotent, no counter drift
+        unprobed = fast_solver(cost_model8, backend="greedy")
+        a = probed.solve(batch)
+        b = unprobed.solve(batch)
+        assert a.stats.cache_hits == b.stats.cache_hits
+        assert a.stats.cache_misses == b.stats.cache_misses
+
+    def test_disabled_cache_reports_nothing_pending(self, cost_model8):
+        solver = fast_solver(cost_model8, backend="greedy", plan_cache=False)
+        assert solver.pending_shapes((4096, 2048, 1024)) == []
+
+
+class TestStageBreakdown:
+    def test_greedy_solve_records_enumerate_and_lpt(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024, 512) * 3)
+        result = fast_solver(cost_model8, backend="greedy").solve(batch)
+        stages = result.stats.stage_seconds()
+        assert stages["lpt"] > 0.0
+        assert stages["milp_solve"] == 0.0
+
+    def test_milp_solve_records_build_and_solve(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024, 512) * 3)
+        result = fast_solver(cost_model8, backend="milp").solve(batch)
+        stages = result.stats.stage_seconds()
+        assert stages["milp_build"] > 0.0
+        assert stages["milp_solve"] > 0.0
+
+    def test_pooled_planning_ships_stage_timings_home(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 2048, 1024, 8192) * 2)
+        with fast_solver(cost_model8, backend="greedy", workers=2) as solver:
+            result = solver.solve(batch)
+        stages = result.stats.stage_seconds()
+        assert stages["lpt"] > 0.0
+
+    def test_warm_solve_spends_no_stage_time(self, cost_model8):
+        batch = SequenceBatch(lengths=(4096, 8192, 2048, 1024) * 2)
+        solver = fast_solver(cost_model8, backend="greedy")
+        solver.solve(batch)
+        warm = solver.solve(batch)
+        assert warm.stats.stage_seconds() == {
+            "enumerate": 0.0,
+            "lpt": 0.0,
+            "milp_build": 0.0,
+            "milp_solve": 0.0,
+        }

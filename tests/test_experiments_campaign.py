@@ -159,6 +159,19 @@ class TestDedupAcrossArtefacts:
             "fig8",
         }
 
+    def test_summary_carries_stage_breakdown_and_prewarm(self, result):
+        """The trajectory record surfaces the cold-path engine: the
+        per-stage SolveStats totals and the cold-batching pass."""
+        summary = result.summary()
+        stages = summary["stage_seconds"]
+        assert set(stages) >= {"lpt"}
+        assert all(seconds >= 0.0 for seconds in stages.values())
+        # This campaign runs serially with prewarming on, so its
+        # FlexSP planning happened in the batched cold pass.
+        assert summary["prewarm"]["planned_shapes"] > 0
+        assert summary["prewarm"]["seconds"] > 0.0
+        assert stages["lpt"] > 0.0
+
 
 class TestBitIdenticalToPreRefactorPaths:
     """Campaign cells must reproduce the ad-hoc registry/benchmark

@@ -198,6 +198,83 @@ class TestSweepRunner:
         assert outcome.iteration_seconds > 0
 
 
+class TestColdBatching:
+    """Campaign-level cold batching (the serial prewarm pass)."""
+
+    def _cells(self, workload):
+        base = SweepCell(
+            system="flexsp", workload=workload, num_iterations=2
+        )
+        no_sort = SweepCell(
+            system="flexsp",
+            workload=workload,
+            num_iterations=2,
+            variant=(("sort_sequences", False),),
+        )
+        return [base, no_sort]
+
+    def test_prewarmed_pass_bit_identical_to_unprewarmed(self, workload):
+        cells = self._cells(workload)
+        warmed = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        plain = SweepRunner(
+            cells, solver_config=SOLVER, workers=1, prewarm=False
+        ).run()
+        for a, b in zip(warmed.metrics, plain.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert plain.prewarm_planned == 0
+        assert warmed.prewarm_planned > 0
+        assert warmed.prewarm_seconds > 0.0
+
+    def test_prewarmed_cells_replay_from_cache(self, workload):
+        cells = self._cells(workload)
+        result = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        for metrics in result.metrics:
+            assert metrics.plan_cache_hit_rate == 1.0
+
+    def test_prewarm_dedups_across_shared_planning_contexts(self, workload):
+        """The sort ablation changes blasting but not per-shape
+        planning, so its solver shares the base cell's planning
+        context — the prewarmer must plan the union once and seed
+        both caches."""
+        cells = self._cells(workload)
+        runner = SweepRunner(cells, solver_config=SOLVER, workers=1)
+        result = runner.run()
+        context = runner.context(workload)
+        solvers = [
+            context.system("flexsp", cell.variant).solver for cell in cells
+        ]
+        assert solvers[0].context == solvers[1].context
+        assert len(solvers[0].cache) > 0
+        assert len(solvers[1].cache) > 0
+        union = {
+            key[0]
+            for solver in solvers
+            for key, __ in solver.cache.snapshot()
+        }
+        assert result.prewarm_planned == len(union)
+
+    def test_prewarm_stage_breakdown_recorded(self, workload):
+        cells = self._cells(workload)
+        warmed = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        stages = dict(warmed.prewarm_stage_seconds)
+        assert stages.get("lpt", 0.0) > 0.0
+        # Unprewarmed cells carry the breakdown on the cell instead.
+        plain = SweepRunner(
+            cells, solver_config=SOLVER, workers=1, prewarm=False
+        ).run()
+        cell_stages = dict(plain.metrics[0].stage_seconds)
+        assert cell_stages.get("lpt", 0.0) > 0.0
+
+    def test_prewarm_skips_disabled_plan_caches(self, workload):
+        config = SolverConfig(
+            backend="greedy", num_trials=2, plan_cache=False
+        )
+        cells = [SweepCell(system="flexsp", workload=workload)]
+        result = SweepRunner(cells, solver_config=config, workers=1).run()
+        assert result.prewarm_planned == 0
+        assert result.metrics[0].feasible
+
+
 class TestSpillBatching:
     """Batched per-worker spills: fewer store writes, identical state."""
 

@@ -35,9 +35,19 @@ class TestCachedPlansMatchFreshSolves:
     @settings(max_examples=40, deadline=None)
     def test_warm_solve_equals_cold_solve(self, cost_model8, lengths):
         """Solving the same batch twice (second time fully cached) must
-        reproduce the cold plan bit-for-bit."""
+        reproduce the cold plan bit-for-bit.  Batches infeasible at
+        every trial count (a near-capacity micro-batch in each split —
+        the strategy can generate these) must stay infeasible on the
+        cached retry: the INFEASIBLE sentinel is memoised too."""
+        from repro.core.planner import PlanInfeasibleError
+
         solver = greedy_solver(cost_model8, plan_cache=True)
-        cold = solver.solve(tuple(lengths))
+        try:
+            cold = solver.solve(tuple(lengths))
+        except PlanInfeasibleError:
+            with pytest.raises(PlanInfeasibleError):
+                solver.solve(tuple(lengths))
+            return
         warm = solver.solve(tuple(lengths))
         assert warm.predicted_time == cold.predicted_time
         assert warm.microbatches == cold.microbatches
@@ -48,7 +58,18 @@ class TestCachedPlansMatchFreshSolves:
     @settings(max_examples=40, deadline=None)
     def test_cached_path_equals_uncached_path(self, cost_model8, lengths):
         """The cache must never change what the solver returns."""
-        cached = greedy_solver(cost_model8, plan_cache=True).solve(tuple(lengths))
+        from repro.core.planner import PlanInfeasibleError
+
+        try:
+            cached = greedy_solver(cost_model8, plan_cache=True).solve(
+                tuple(lengths)
+            )
+        except PlanInfeasibleError:
+            with pytest.raises(PlanInfeasibleError):
+                greedy_solver(cost_model8, plan_cache=False).solve(
+                    tuple(lengths)
+                )
+            return
         uncached = greedy_solver(cost_model8, plan_cache=False).solve(tuple(lengths))
         assert cached.predicted_time == uncached.predicted_time
         assert cached.microbatches == uncached.microbatches

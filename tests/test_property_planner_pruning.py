@@ -1,0 +1,245 @@
+"""Property tests for the cold-path planning engine (hypothesis).
+
+Four invariants guard the PR-5 cold-path machinery:
+
+* **Dominance pruning is lossless** — for random corpora and
+  clusters, planning over the pruned candidate family yields
+  bit-identical best layouts and makespans to an exhaustive pass over
+  the unpruned :func:`~repro.core.planner_greedy.candidate_layouts`
+  family, and every layout pruning drops is genuinely LPT-infeasible.
+* **Stacked == scalar** — the stacked multi-layout LPT pass and the
+  scalar per-layout loop return identical plans whatever the
+  threshold would have chosen.
+* **Multi-count blasting == per-count blasting** — the shared-DP
+  :func:`~repro.core.blaster.blast_multi` reproduces every
+  :func:`~repro.core.blaster.blast` result bit-for-bit.
+* **Skeleton assembly == from-scratch assembly** — the cached MILP
+  constraint skeleton scatters values into a CSC matrix bit-identical
+  to an independent COO assembly of the same instance.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import planner_greedy
+from repro.core.blaster import blast, blast_multi
+from repro.core.planner import (
+    PlanInfeasibleError,
+    PlannerConfig,
+    _make_buckets,
+    _skeleton,
+    enumerate_virtual_groups,
+)
+from repro.core.planner_greedy import (
+    _assign_lpt_scalar,
+    _layout_stack,
+    candidate_layouts,
+    plan_microbatch_greedy,
+)
+from repro.core.types import SequenceBatch
+from repro.cost.model import cost_table
+
+lengths_strategy = st.lists(
+    st.integers(min_value=16, max_value=24_000), min_size=1, max_size=24
+)
+
+#: Quantised corpora exercise the equal-length incremental cache.
+quantized_strategy = st.lists(
+    st.integers(min_value=1, max_value=40).map(lambda k: k * 512),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _unpruned_best(lengths, model):
+    """Exhaustive reference: scalar LPT over the *whole* family."""
+    table = cost_table(model)
+    stack = _layout_stack(model, max(lengths))
+    ordered = sorted(lengths, reverse=True)
+    best = None
+    outcomes = []
+    for row, layout in enumerate(stack.layouts):
+        assigned = _assign_lpt_scalar(
+            ordered, stack.lane_constants[row], table
+        )
+        outcomes.append((layout, assigned))
+        if assigned is None:
+            continue
+        if best is not None and assigned[1] >= best[1]:
+            continue
+        best = (layout, assigned[1])
+    return best, outcomes
+
+
+class TestDominancePruningLossless:
+    @pytest.mark.parametrize("fixture", ["cost_model8", "cost_model16"])
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_family_bit_identical(self, fixture, lengths, request):
+        model = request.getfixturevalue(fixture)
+        lengths = tuple(lengths)
+        if sum(lengths) > model.cluster_token_capacity():
+            return
+        best, outcomes = _unpruned_best(lengths, model)
+        if best is None:
+            with pytest.raises(PlanInfeasibleError):
+                plan_microbatch_greedy(lengths, model)
+            return
+        plan, makespan = plan_microbatch_greedy(lengths, model)
+        # Bit-identical makespan and winning layout degrees.
+        assert makespan == best[1]
+        winner_degrees = tuple(
+            sorted((g.degree for g in plan.groups), reverse=True)
+        )
+        nonempty = tuple(
+            sorted(
+                (
+                    d
+                    for d, gl in zip(best[0], outcomes_for(best[0], outcomes))
+                    if gl
+                ),
+                reverse=True,
+            )
+        )
+        assert winner_degrees == nonempty
+
+    @pytest.mark.parametrize("fixture", ["cost_model8", "cost_model16"])
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_layouts_are_infeasible(self, fixture, lengths, request):
+        """Every layout dominance pruning drops would have returned
+        None from LPT — the definition of lossless."""
+        model = request.getfixturevalue(fixture)
+        lengths = tuple(lengths)
+        if sum(lengths) > model.cluster_token_capacity():
+            return
+        table = cost_table(model)
+        stack = _layout_stack(model, max(lengths))
+        kept = {
+            stack.layouts[int(r)]
+            for r in stack.surviving(float(sum(lengths)), float(max(lengths)))
+        }
+        ordered = sorted(lengths, reverse=True)
+        for row, layout in enumerate(stack.layouts):
+            if layout in kept:
+                continue
+            assert (
+                _assign_lpt_scalar(ordered, stack.lane_constants[row], table)
+                is None
+            ), f"pruned layout {layout} was feasible"
+
+    def test_family_matches_public_enumeration(self, cost_model16):
+        """The cached stack serves exactly candidate_layouts' family."""
+        assert candidate_layouts(cost_model16, 4096) == _layout_stack(
+            cost_model16, 4096
+        ).layouts
+
+
+def outcomes_for(layout, outcomes):
+    for candidate, assigned in outcomes:
+        if candidate == layout:
+            return assigned[0]
+    raise AssertionError(f"layout {layout} missing from reference outcomes")
+
+
+class TestStackedEqualsScalar:
+    @given(lengths=st.one_of(lengths_strategy, quantized_strategy))
+    @settings(max_examples=60, deadline=None)
+    def test_paths_identical(self, cost_model16, lengths):
+        lengths = tuple(lengths)
+        if sum(lengths) > cost_model16.cluster_token_capacity():
+            return
+
+        def run():
+            try:
+                return plan_microbatch_greedy(lengths, cost_model16)
+            except PlanInfeasibleError:
+                return None
+
+        saved = planner_greedy._VECTOR_THRESHOLD
+        try:
+            planner_greedy._VECTOR_THRESHOLD = 10**9
+            scalar = run()
+            planner_greedy._VECTOR_THRESHOLD = 0
+            stacked = run()
+        finally:
+            planner_greedy._VECTOR_THRESHOLD = saved
+        if scalar is None:
+            assert stacked is None
+            return
+        assert stacked is not None
+        assert scalar[0] == stacked[0]
+        assert scalar[1] == stacked[1]
+
+
+class TestMultiBlast:
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=50_000), min_size=1, max_size=40
+        ),
+        num_counts=st.integers(min_value=1, max_value=6),
+        sort=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_per_count_blast(self, lengths, num_counts, sort):
+        batch = SequenceBatch(lengths=tuple(lengths))
+        counts = list(range(1, 1 + num_counts))
+        multi = blast_multi(batch, counts, sort=sort)
+        for count in counts:
+            if count > len(lengths):
+                assert count not in multi
+                continue
+            single = blast(batch, count, sort=sort)
+            assert [mb.lengths for mb in single] == [
+                mb.lengths for mb in multi[count]
+            ]
+
+
+class TestSkeletonAssembly:
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_bit_identical_to_coo(self, cost_model16, lengths):
+        from scipy import sparse
+
+        model = cost_model16
+        lengths = tuple(lengths)
+        if sum(lengths) > model.cluster_token_capacity():
+            return
+        config = PlannerConfig()
+        try:
+            buckets = _make_buckets(lengths, config)
+            groups = enumerate_virtual_groups(model, lengths, config)
+        except PlanInfeasibleError:
+            return
+        table = cost_table(model)
+        skeleton = _skeleton(
+            table, len(buckets), tuple(g.degree for g in groups)
+        )
+        uppers = np.asarray([b.upper for b in buckets], dtype=np.float64)
+        got = skeleton.matrix(table, uppers)
+
+        # Independent COO reference re-derived from the skeleton's own
+        # blocks is circular; rebuild the canonical CSC from the raw
+        # (rows, cols, vals) triplet instead and let scipy do the
+        # duplicate-summing sort the original assembly relied on.
+        vals = skeleton.values(table, uppers)
+        # Invert the cached permutation to recover emission order.
+        inverse = np.empty_like(skeleton.perm)
+        inverse[skeleton.perm] = np.arange(skeleton.perm.size)
+        coo_rows = skeleton.indices[inverse]
+        coo_cols = np.repeat(
+            np.arange(skeleton.num_vars),
+            np.diff(skeleton.indptr),
+        )[inverse]
+        reference = sparse.csc_array(
+            (vals, (coo_rows, coo_cols)),
+            shape=(skeleton.num_rows, skeleton.num_vars),
+            dtype=np.float64,
+        )
+        reference.sum_duplicates()
+        reference.sort_indices()
+        assert np.array_equal(got.indptr, reference.indptr)
+        assert np.array_equal(got.indices, reference.indices)
+        assert np.array_equal(got.data, reference.data)
