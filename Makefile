@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
-	bench-prune
+	bench-prune bench-scaleout bench-calibrate
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -43,6 +43,19 @@ bench-prune:
 	$(PYTHON) -m repro.bench --prune \
 		--max-age-days $(PRUNE_MAX_AGE_DAYS) \
 		--max-store-bytes $(PRUNE_MAX_STORE_BYTES)
+
+# Scale-out benchmark: worker-scaling of the unified campaign (serial
+# vs workers=2/4, bit-identity asserted) plus two concurrent campaigns
+# sharing one store (write amplification and lock contention at
+# fan-out).  Appends to benchmarks/results/BENCH_scaleout.json.
+bench-scaleout:
+	$(PYTHON) -m repro.bench scaleout
+
+# Sweep the sweep-workers x solver-workers product on this box and
+# recommend the fastest combination (appends the calibration grid to
+# benchmarks/results/BENCH_scaleout.json).
+bench-calibrate:
+	$(PYTHON) -m repro.bench --calibrate-workers
 
 # Solver-throughput benchmark only; results land in
 # benchmarks/results/BENCH_solver.json for trajectory tracking.

@@ -31,7 +31,14 @@ as before::
     python -m repro.bench e2e_sweep          # batched-simulation sweep
     python -m repro.bench fig8               # any benchmark-file substring
 
-Campaign / prune usage::
+**Calibrate mode** (``--calibrate-workers``) sweeps the sweep-workers
+x solver-workers product over a campaign (no store, so every combo
+pays the same cold work), prints a wall-clock table with per-combo
+steal/context-build telemetry, recommends the fastest combo, and
+appends the grid to ``benchmarks/results/BENCH_scaleout.json``
+(``make bench-calibrate``).
+
+Campaign / prune / calibrate usage::
 
     python -m repro.bench --campaign unified             # make bench
     python -m repro.bench --campaign smoke --no-store    # make bench-smoke
@@ -39,8 +46,18 @@ Campaign / prune usage::
     python -m repro.bench --campaign unified --repeat 3  # warm trajectory
     python -m repro.bench --campaign unified --profile   # stage breakdown
     python -m repro.bench --campaign unified --no-prewarm
+    python -m repro.bench --campaign unified --workers 0 # 0 = all CPUs
     python -m repro.bench --prune --max-age-days 30      # make bench-prune
     python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
+    python -m repro.bench --calibrate-workers            # make bench-calibrate
+    python -m repro.bench --calibrate-workers --campaign unified \
+        --workers-grid 1,2,4 --solver-workers-grid 1,2
+
+``--workers`` / ``--solver-workers`` accept ``0`` as "use every CPU"
+(``os.cpu_count()``); negative values are an argparse error.  Note the
+default asymmetry: the CLI defaults to ``--workers 1`` (predictable on
+shared boxes), while constructing ``SweepRunner(workers=None)``
+directly defaults to the CPU count.
 
 ``--profile`` prints the per-stage SolveStats timing breakdown
 (enumerate / lpt / milp_build / milp_solve) — in campaign mode per
@@ -60,6 +77,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -233,6 +251,18 @@ def run_campaign(args: argparse.Namespace) -> int:
                     f"[{campaign.name}] epoch {epoch} solve stages: "
                     f"{breakdown}"
                 )
+                for t in result.sweep.worker_telemetry:
+                    stages = ", ".join(
+                        f"{stage} {seconds:.3f}s"
+                        for stage, seconds in t.stage_seconds
+                    )
+                    print(
+                        f"[{campaign.name}] epoch {epoch} worker "
+                        f"{t.worker} (pid {t.pid}): {t.cells} cells, "
+                        f"{t.steals} steals, {t.context_builds} context "
+                        f"builds ({t.restore_seconds:.3f}s)"
+                        + (f"; {stages}" if stages else "")
+                    )
             stats = result.sweep.store_stats
             if stats is not None:
                 print(
@@ -240,7 +270,8 @@ def run_campaign(args: argparse.Namespace) -> int:
                     f"{stats.files} files / {stats.bytes} B / "
                     f"{stats.entries} entries; hits {stats.hits}, "
                     f"misses {stats.misses}, writes {stats.writes}, "
-                    f"evictions {stats.evictions}; write amplification "
+                    f"evictions {stats.evictions}, lock waits "
+                    f"{stats.lock_waits}; write amplification "
                     f"{result.store_write_amplification:.3f} "
                     f"writes/cell"
                 )
@@ -306,13 +337,19 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
     )
     parser.add_argument("--batch-size", type=int, default=None)
     parser.add_argument(
-        "--workers", type=int, default=1, help="sweep process-pool width"
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep fan-out width; 0 = all CPUs (default 1 — note "
+        "SweepRunner(workers=None) defaults to the CPU count, the CLI "
+        "deliberately does not)",
     )
     parser.add_argument(
         "--solver-workers",
         type=int,
         default=None,
-        help="width of the shared SolverPool (default: in-process planning)",
+        help="width of the shared SolverPool; 0 = all CPUs "
+        "(default: in-process planning)",
     )
     parser.add_argument(
         "--backend", choices=("greedy", "milp"), default="greedy"
@@ -347,9 +384,25 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be at least 1, got {args.repeat}")
-    if args.workers < 1:
-        parser.error(f"--workers must be at least 1, got {args.workers}")
+    args.workers = _resolve_workers(parser, "--workers", args.workers)
+    if args.solver_workers is not None:
+        args.solver_workers = _resolve_workers(
+            parser, "--solver-workers", args.solver_workers
+        )
     return args
+
+
+def _resolve_workers(
+    parser: argparse.ArgumentParser, flag: str, value: int
+) -> int:
+    """Normalise a worker-width flag: ``0`` means every CPU, negatives
+    are a clear argparse error (not a deep ``SweepRunner``
+    ``ValueError`` later)."""
+    if value < 0:
+        parser.error(
+            f"{flag} must be non-negative (0 = all CPUs), got {value}"
+        )
+    return value if value else (os.cpu_count() or 1)
 
 
 def _parse_prune_args(argv: list[str]) -> argparse.Namespace:
@@ -395,10 +448,179 @@ def _parse_prune_args(argv: list[str]) -> argparse.Namespace:
     return args
 
 
+def _parse_calibrate_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Sweep the sweep-workers x solver-workers product "
+        "over one campaign and recommend the fastest combination.",
+    )
+    parser.add_argument(
+        "--calibrate-workers",
+        action="store_true",
+        required=True,
+        help="calibrate mode",
+    )
+    parser.add_argument(
+        "--campaign",
+        default="smoke",
+        help="campaign to time each combination against (default smoke)",
+    )
+    parser.add_argument(
+        "--workers-grid",
+        default="1,2,4",
+        help="comma-separated sweep-worker widths (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--solver-workers-grid",
+        default="1,2",
+        help="comma-separated shared-SolverPool widths (0 = all CPUs)",
+    )
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--backend", choices=("greedy", "milp"), default="greedy"
+    )
+    parser.add_argument("--num-trials", type=int, default=2)
+    parser.add_argument("--node-limit", type=int, default=None)
+    args = parser.parse_args(argv)
+    args.workers_grid = _parse_grid(parser, "--workers-grid", args.workers_grid)
+    args.solver_workers_grid = _parse_grid(
+        parser, "--solver-workers-grid", args.solver_workers_grid
+    )
+    return args
+
+
+def _parse_grid(
+    parser: argparse.ArgumentParser, flag: str, text: str
+) -> list[int]:
+    try:
+        values = [int(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        parser.error(f"{flag} must be a comma-separated int list, got {text!r}")
+    if not values:
+        parser.error(f"{flag} is empty")
+    return [_resolve_workers(parser, flag, v) for v in values]
+
+
+def run_calibrate(args: argparse.Namespace) -> int:
+    """Time every (workers, solver_workers) combination on one campaign.
+
+    Each combination runs storeless in its own runner, so every combo
+    pays identical cold work and the wall-clocks compare like for
+    like; metrics stay bit-identical across combos by the fan-out
+    contract (asserted here — a calibration that changed results
+    would be measuring the wrong thing).
+    """
+    from repro.core.planner import PlannerConfig
+    from repro.core.solver import SolverConfig
+    from repro.experiments.campaign import build_campaign
+    from repro.experiments.reporting import format_table
+    from repro.experiments.sweep import SweepRunner
+
+    planner = PlannerConfig(node_limit=args.node_limit)
+    solver_config = SolverConfig(
+        backend=args.backend, num_trials=args.num_trials, planner=planner
+    )
+    overrides = {}
+    if args.batch_size is not None:
+        overrides["global_batch_size"] = args.batch_size
+    campaign = build_campaign(args.campaign, **overrides)
+    combos = [
+        (workers, solver_workers)
+        for workers in args.workers_grid
+        for solver_workers in args.solver_workers_grid
+    ]
+    print(
+        f"calibrating {len(combos)} combinations on campaign "
+        f"{campaign.name!r} ({os.cpu_count() or 1} CPUs)"
+    )
+    grid = []
+    reference = None
+    for workers, solver_workers in combos:
+        runner = SweepRunner(
+            solver_config=solver_config,
+            workers=workers,
+            solver_workers=solver_workers,
+        )
+        started = time.perf_counter()
+        with runner:
+            result = campaign.run(runner)
+        wall = time.perf_counter() - started
+        deterministic = tuple(
+            m.deterministic() for m in result.sweep.metrics
+        )
+        if reference is None:
+            reference = deterministic
+        elif deterministic != reference:
+            raise SystemExit(
+                f"combination workers={workers} solver_workers="
+                f"{solver_workers} broke the bit-identity contract"
+            )
+        grid.append(
+            {
+                "workers": workers,
+                "solver_workers": solver_workers,
+                "wall_seconds": round(wall, 3),
+                "steals": result.total_steals,
+                "context_builds": result.total_context_builds,
+                "prewarm_planned": result.sweep.prewarm_planned,
+            }
+        )
+        print(
+            f"  workers={workers} solver_workers={solver_workers}: "
+            f"{wall:.2f}s ({result.total_steals} steals, "
+            f"{result.total_context_builds} context builds)"
+        )
+    best = min(grid, key=lambda g: g["wall_seconds"])
+    rows = [
+        [
+            g["workers"],
+            g["solver_workers"],
+            f"{g['wall_seconds']:.2f}",
+            g["steals"],
+            g["context_builds"],
+            "<-- best" if g is best else "",
+        ]
+        for g in grid
+    ]
+    print()
+    print(
+        format_table(
+            ["workers", "solver workers", "wall (s)", "steals", "builds", ""],
+            rows,
+            title=f"--calibrate-workers: campaign {campaign.name!r}",
+        )
+    )
+    print(
+        f"\nrecommended: --workers {best['workers']} "
+        f"--solver-workers {best['solver_workers']}"
+    )
+    path = _benchmarks_dir() / "results" / "BENCH_scaleout.json"
+    append_history(
+        path,
+        [
+            {
+                "mode": "calibrate-workers",
+                "campaign": campaign.name,
+                "backend": args.backend,
+                "cpu_count": os.cpu_count() or 1,
+                "grid": grid,
+                "best": {
+                    "workers": best["workers"],
+                    "solver_workers": best["solver_workers"],
+                },
+            }
+        ],
+    )
+    print(f"appended calibration record to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if "--prune" in argv:
         return run_prune(_parse_prune_args(argv))
+    if "--calibrate-workers" in argv:
+        return run_calibrate(_parse_calibrate_args(argv))
     if any(a.startswith("--campaign") for a in argv):
         return run_campaign(_parse_campaign_args(argv))
 
@@ -407,8 +629,6 @@ def main(argv: list[str] | None = None) -> int:
         # through the environment (see benchmarks/conftest.py PROFILE)
         # and print/record their per-stage SolveStats breakdowns.
         argv.remove("--profile")
-        import os
-
         os.environ["REPRO_BENCH_PROFILE"] = "1"
 
     import pytest

@@ -294,6 +294,10 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    #: Contended lock acquisitions: how often a save had to block
+    #: behind another process's merge of the same workload file — the
+    #: shared-store contention figure at campaign fan-out.
+    lock_waits: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -329,7 +333,7 @@ def _entry_count(state: WorkloadState) -> int:
 
 
 @contextlib.contextmanager
-def _locked(lock_path: pathlib.Path):
+def _locked(lock_path: pathlib.Path, on_wait=None):
     """Advisory exclusive flock on ``lock_path``.
 
     The single definition of the store's locking idiom (per-workload
@@ -339,12 +343,23 @@ def _locked(lock_path: pathlib.Path):
     one while another process holds the flock would hand out a second
     "same" lock on a fresh inode and let two writers clobber each
     other's merges.
+
+    ``on_wait`` is called (once) when the lock is contended — the
+    non-blocking acquisition attempt fails and this writer is about to
+    block behind another process.  The store counts those events as
+    ``lock_waits``: the contention leg of the shared-store accounting
+    that the concurrent-campaigns benchmark watches at fan-out.
     """
     if fcntl is None:  # pragma: no cover - non-POSIX
         yield
         return
     with open(lock_path, "w") as lock:
-        fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        try:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            if on_wait is not None:
+                on_wait()
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
         try:
             yield
         finally:
@@ -387,7 +402,13 @@ class CacheStore:
         #: Data-file names this instance saved or loaded — the running
         #: campaign's working set, protected from its own prune.
         self._touched: set[str] = set()
-        self._counters = {"hits": 0, "misses": 0, "writes": 0, "evictions": 0}
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "evictions": 0,
+            "lock_waits": 0,
+        }
 
     def _path(self, signature: tuple) -> pathlib.Path:
         return self.root / f"workload-{signature_digest(signature)}.json"
@@ -449,8 +470,12 @@ class CacheStore:
         Without it, two workers could both read state v0, each merge
         only its own entries, and the second ``os.replace`` would
         discard the first's.  Lock files live beside the data files.
+        Contended acquisitions bump the ``lock_waits`` counter.
         """
-        return _locked(path.with_suffix(".lock"))
+        return _locked(path.with_suffix(".lock"), on_wait=self._count_wait)
+
+    def _count_wait(self) -> None:
+        self._counters["lock_waits"] += 1
 
     def save(self, signature: tuple, state: WorkloadState) -> None:
         """Persist ``state``, merging with what is already on disk.

@@ -62,8 +62,17 @@ def live_pool_count() -> int:
         return len(_POOLS)
 
 
+#: ``(pid, callback)`` pairs already registered, so a process whose
+#: init path runs more than once (a worker re-initialised across pool
+#: generations, or in-process use re-entering it) flushes once at
+#: exit, not once per registration.  Keyed by pid because a forked
+#: child inherits this set while ``multiprocessing`` clears its
+#: finalizer registry at bootstrap — the child must register afresh.
+_EXIT_FLUSHES: set = set()
+
+
 def register_worker_exit_flush(callback) -> None:
-    """Run ``callback`` when the current (worker) process exits.
+    """Run ``callback`` once when the current (worker) process exits.
 
     The sweep pool's workers batch their cache-store spills, so each
     worker needs a drain hook that survives pool shutdown.  Plain
@@ -74,11 +83,19 @@ def register_worker_exit_flush(callback) -> None:
     garbage collection, never at exit).  In a regular interpreter the
     same finalizers run via ``util._exit_function``'s own ``atexit``
     registration, so one registration covers worker processes and
-    in-process use alike.  The callback is wrapped: a flush failure at
-    exit (e.g. the store volume vanished) must not turn a clean worker
-    shutdown into a crash.
+    in-process use alike.  Registering the same callback again is a
+    no-op (idempotent per process).  The callback is wrapped: a flush
+    failure at exit (e.g. the store volume vanished) must not turn a
+    clean worker shutdown into a crash.
     """
+    import os
     from multiprocessing import util
+
+    key = (os.getpid(), callback)
+    with _LOCK:
+        if key in _EXIT_FLUSHES:
+            return
+        _EXIT_FLUSHES.add(key)
 
     def _safe_flush() -> None:
         try:

@@ -366,6 +366,15 @@ class SolverPool:
         self._lock = threading.Lock()
         self._clients: dict[str, PooledPlanner] = {}
         self._finalizer = None
+        self._dispatched = 0
+
+    @property
+    def dispatched(self) -> int:
+        """Planner tasks shipped to pool workers so far (telemetry for
+        the ``--calibrate-workers`` sweep: a combo whose pool never
+        receives work is configured too wide)."""
+        with self._lock:
+            return self._dispatched
 
     def client(self, model: CostModel, config: SolverConfig) -> PooledPlanner:
         """The (interned) tenant handle for one (model, config) context."""
@@ -413,6 +422,8 @@ class SolverPool:
                     raise
                 self.close()
                 continue
+            with self._lock:
+                self._dispatched += len(futures)
             try:
                 return _collect_planned(futures)
             except BrokenProcessPool:

@@ -56,6 +56,22 @@ def merge(stages: dict[str, float] | None) -> None:
         add(stage, seconds)
 
 
+def accumulate(totals: dict[str, float], stages) -> dict[str, float]:
+    """Fold a stage breakdown into ``totals`` (mutated and returned).
+
+    ``stages`` may be a dict or an iterable of ``(stage, seconds)``
+    pairs — the two shapes stage breakdowns travel in (collected
+    frames vs the serialised tuples on
+    :class:`~repro.experiments.sweep.CellMetrics`).  The single
+    definition of stage-total aggregation, shared by the sweep's
+    per-worker telemetry and the campaign's ``--profile`` report.
+    """
+    pairs = stages.items() if isinstance(stages, dict) else stages
+    for stage, seconds in pairs:
+        totals[stage] = totals.get(stage, 0.0) + seconds
+    return totals
+
+
 @contextmanager
 def collect():
     """Open a frame; yields the dict the frame accumulates into.

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.topology import standard_cluster
+from repro.core import stage_timing
 from repro.data.distributions import (
     COMMONCRAWL,
     GITHUB,
@@ -364,11 +365,22 @@ class CampaignResult:
         for cell, m in zip(self.sweep.cells, self.sweep.metrics):
             unique.setdefault(cell, m)
         for m in unique.values():
-            for stage, seconds in m.stage_seconds:
-                totals[stage] = totals.get(stage, 0.0) + seconds
-        for stage, seconds in self.sweep.prewarm_stage_seconds:
-            totals[stage] = totals.get(stage, 0.0) + seconds
+            stage_timing.accumulate(totals, m.stage_seconds)
+        stage_timing.accumulate(totals, self.sweep.prewarm_stage_seconds)
         return totals
+
+    @property
+    def total_steals(self) -> int:
+        """Cells that ran outside their shard's home worker this pass."""
+        return sum(t.steals for t in self.sweep.worker_telemetry)
+
+    @property
+    def total_context_builds(self) -> int:
+        """Workload-context constructions across every worker this
+        pass — with shard affinity, bounded by unique workloads plus
+        :attr:`total_steals` (vs. up to workers x workloads for naive
+        fan-out)."""
+        return sum(t.context_builds for t in self.sweep.worker_telemetry)
 
     @property
     def store_write_amplification(self) -> float | None:
@@ -395,6 +407,26 @@ class CampaignResult:
             "prewarm": {
                 "planned_shapes": self.sweep.prewarm_planned,
                 "seconds": round(self.sweep.prewarm_seconds, 4),
+            },
+            "workers": {
+                "count": len(self.sweep.worker_telemetry),
+                "steals": self.total_steals,
+                "context_builds": self.total_context_builds,
+                "per_worker": [
+                    {
+                        "worker": t.worker,
+                        "pid": t.pid,
+                        "cells": t.cells,
+                        "steals": t.steals,
+                        "context_builds": t.context_builds,
+                        "restore_seconds": round(t.restore_seconds, 4),
+                        "stage_seconds": {
+                            stage: round(seconds, 4)
+                            for stage, seconds in t.stage_seconds
+                        },
+                    }
+                    for t in self.sweep.worker_telemetry
+                ],
             },
             "artefacts": {
                 r.artefact.key: r.summary for r in self.artefacts

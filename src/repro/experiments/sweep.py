@@ -33,12 +33,31 @@ re-samples the same corpus, and re-solves the same FlexSP plans.
   :class:`~repro.core.solver.SolverPool` whose tenant clients are
   injected into every workload's :class:`FlexSPSolver` — the
   per-workload solvers no longer nest their own process pools.
-* **Process-pool fan-out.**  With ``workers > 1`` the unique cells are
-  dispatched over a persistent ``ProcessPoolExecutor`` whose workers
-  keep their own context caches alive across cells and sweeps, the
-  same architecture as :class:`repro.core.solver.SolverService`.  Each
-  worker shares one solver pool and one cache store across all of its
-  workloads.
+* **Workload-sharded work-stealing fan-out.**  With ``workers > 1``
+  the unique cells are grouped into *shards* by
+  :func:`workload_signature` and affinity-dispatched over persistent
+  single-worker pool slots (one ``ProcessPoolExecutor`` per slot, so
+  a shard's cells land on exactly one worker process): each
+  workload's context — cost-model fit, corpus sample, tuner memos,
+  plan cache — is built or store-restored *once*, in the worker that
+  owns the shard.  An idle slot steals cells from the tail of the
+  heaviest remaining shard, paying the duplicate context build only
+  when a steal actually happens, so long-tail cells no longer
+  serialize behind a static partition.  Workers keep their context
+  caches alive across cells and sweeps, the same architecture as
+  :class:`repro.core.solver.SolverService`, and share one solver pool
+  and one cache store across all of their workloads.  Fan-out passes
+  run the same cold-batching prewarm as serial ones: pending shapes
+  are probed in the parent (side-effect-free), planned once through
+  the shared :class:`~repro.core.solver.SolverPool`, and the seeded
+  state reaches the shard workers via the store (when configured) or
+  a shipped pre-seed snapshot (when not).
+* **Per-worker telemetry.**  Every pass reports
+  :class:`WorkerTelemetry` rows — cells run, steals, context builds,
+  context build/restore seconds and the solve-stage breakdown —
+  shipped home beside the store counters the way
+  :mod:`repro.core.stage_timing` ships solver stages, and surfaced by
+  ``python -m repro.bench --campaign ... --profile``.
 * **Batched spills.**  Workers accumulate dirty store state and
   merge-save once per drain (end of a :meth:`SweepRunner.run` pass,
   and guaranteed at worker exit via :func:`repro.core.pools.
@@ -60,7 +79,13 @@ import dataclasses
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -321,6 +346,44 @@ def find_cell_metrics(
 
 
 @dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker's share of a sweep pass (host-side accounting).
+
+    A row per pool slot for fan-out passes, plus a single row
+    (``worker=0``, the parent pid) for serial ones, so campaign
+    tooling reads one vocabulary either way.  Everything here is
+    wall-clock/bookkeeping — never part of the bit-identical metrics
+    contract.
+
+    Attributes:
+        worker: Pool-slot index (0-based; serial passes use 0).
+        pid: Worker process id (the parent's for serial passes; 0
+            when a fan-out drain could not reach the worker).
+        cells: Unique cells this worker measured during the pass.
+        steals: How many of those were stolen from another slot's
+            shard — each steal is the price of one (possible)
+            duplicate context build, so ``sum(context_builds) <=
+            unique workloads + sum(steals)`` bounds the redundant
+            work.
+        context_builds: :class:`WorkloadContext` constructions
+            (cold builds and store restores alike) in this worker
+            during the pass.
+        restore_seconds: Wall-clock those constructions took —
+            the fan-out overhead the shard affinity amortises.
+        stage_seconds: The worker's cold-path solve-stage breakdown
+            (same vocabulary as :attr:`CellMetrics.stage_seconds`).
+    """
+
+    worker: int
+    pid: int
+    cells: int
+    steals: int
+    context_builds: int = 0
+    restore_seconds: float = 0.0
+    stage_seconds: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Outcome of one sweep pass.
 
@@ -346,6 +409,9 @@ class SweepResult:
             ``wall_seconds``).
         prewarm_stage_seconds: Its cold-path stage breakdown, same
             vocabulary as :attr:`CellMetrics.stage_seconds`.
+        worker_telemetry: Per-worker accounting rows for this pass
+            (see :class:`WorkerTelemetry`); one row per pool slot, or
+            a single parent row for serial passes.
     """
 
     cells: tuple[SweepCell, ...]
@@ -356,6 +422,7 @@ class SweepResult:
     prewarm_planned: int = 0
     prewarm_seconds: float = 0.0
     prewarm_stage_seconds: tuple[tuple[str, float], ...] = ()
+    worker_telemetry: tuple[WorkerTelemetry, ...] = ()
 
     def metric(
         self,
@@ -387,8 +454,12 @@ class WorkloadContext:
     With a ``store``, the expensive derivations are *restored* from
     disk instead of recomputed when a previous process spilled them
     (see :mod:`repro.core.cache_store`), and :meth:`persist` spills the
-    current state back.  With a ``solver_pool``, FlexSP solvers plan on
-    the shared pool's workers instead of owning pools of their own.
+    current state back.  Without a store, a ``preseed``
+    :class:`~repro.core.cache_store.WorkloadState` (the parent's
+    exported prewarm state, shipped to shard workers by the fan-out
+    dispatcher) restores exactly like a store load would.  With a
+    ``solver_pool``, FlexSP solvers plan on the shared pool's workers
+    instead of owning pools of their own.
     """
 
     def __init__(
@@ -398,6 +469,7 @@ class WorkloadContext:
         vectorized: bool = True,
         store: CacheStore | None = None,
         solver_pool: SolverPool | None = None,
+        preseed: WorkloadState | None = None,
     ) -> None:
         self.workload = workload
         self.solver_config = solver_config
@@ -412,7 +484,7 @@ class WorkloadContext:
         self._megatron_strategy = None
         self._systems: dict[tuple[str, tuple], TrainingSystem] = {}
         self._restored: WorkloadState | None = (
-            store.load(self._signature) if store is not None else None
+            store.load(self._signature) if store is not None else preseed
         )
         self._persisted_fingerprint: tuple | None = None
         self._restore_scalars()
@@ -647,24 +719,18 @@ class WorkloadContext:
             tuple(sorted(caches.items())),
         )
 
-    def persist(self) -> None:
-        """Spill this context's reusable state to the cache store.
+    def export_state(self) -> WorkloadState:
+        """Snapshot the spillable state as a
+        :class:`~repro.core.cache_store.WorkloadState`.
 
-        No-op without a store, and skipped entirely when nothing
-        spillable changed since the last persist (or, for a restored
-        context, since the restore — the drain flush persists every
-        context it touched, and with ``spill_batch=1`` every cell
-        triggers one; without the fingerprint check each no-op call
-        would re-serialise the whole workload file under the store
-        lock).  Plan entries of flexsp variants that share a planning
-        context (e.g. the sort ablation, which changes blasting but
-        not per-shape planning) are unioned.
+        The serialisation half of :meth:`persist`, also used directly
+        by the fan-out dispatcher to ship the parent's prewarm-seeded
+        state to shard workers when no store is configured (the
+        snapshot round-trips bit-identically either way).  Plan
+        entries of flexsp variants that share a planning context
+        (e.g. the sort ablation, which changes blasting but not
+        per-shape planning) are unioned.
         """
-        if self.store is None:
-            return
-        fingerprint = self._state_fingerprint()
-        if fingerprint == self._persisted_fingerprint:
-            return
         state = WorkloadState(signature=repr(self._signature))
         if self._cost_model is not None:
             state.coeffs = self._cost_model.coeffs
@@ -683,18 +749,38 @@ class WorkloadContext:
             for entry in entries_from_cache(solver.cache):
                 merged[entry[0]] = entry
             state.plans[digest] = list(merged.values())
-        self.store.save(self._signature, state)
+        return state
+
+    def persist(self) -> None:
+        """Spill this context's reusable state to the cache store.
+
+        No-op without a store, and skipped entirely when nothing
+        spillable changed since the last persist (or, for a restored
+        context, since the restore — the drain flush persists every
+        context it touched, and with ``spill_batch=1`` every cell
+        triggers one; without the fingerprint check each no-op call
+        would re-serialise the whole workload file under the store
+        lock).
+        """
+        if self.store is None:
+            return
+        fingerprint = self._state_fingerprint()
+        if fingerprint == self._persisted_fingerprint:
+            return
+        self.store.save(self._signature, self.export_state())
         self._persisted_fingerprint = fingerprint
 
 
 # ---------------------------------------------------------------------------
-# Worker-side state of the sweep pool.  Contexts live in the worker
-# process and persist across cells and across sweeps, so each worker
-# amortises profiling/tuning/corpus work exactly like the serial path.
-# Each worker owns at most one SolverPool and one CacheStore, shared by
-# all of its workload contexts; spills are batched per worker and
-# drained at the end of each pass (and, as a guarantee, at worker
-# exit — the parent cannot reach into a worker at shutdown).
+# Worker-side state of the sweep pool slots.  Contexts live in the
+# worker process and persist across cells and across sweeps, so each
+# worker amortises profiling/tuning/corpus work exactly like the serial
+# path.  Each worker owns at most one SolverPool and one CacheStore,
+# shared by all of its workload contexts; spills are batched per worker
+# and drained at the end of each pass (and, as a guarantee, at worker
+# exit — the parent cannot reach into a worker at shutdown).  The
+# telemetry dict is cumulative for the life of the worker process; the
+# parent attributes per-pass deltas (see SweepRunner).
 # ---------------------------------------------------------------------------
 
 _WORKER_SWEEP: (
@@ -704,6 +790,13 @@ _WORKER_CONTEXTS: dict = {}
 _WORKER_SOLVER_POOL: SolverPool | None = None
 _WORKER_STORE: CacheStore | None = None
 _WORKER_CELLS_SINCE_SPILL = 0
+_WORKER_PRESEED: dict = {}
+_WORKER_TELEMETRY: dict = {
+    "cells": 0,
+    "context_builds": 0,
+    "restore_seconds": 0.0,
+    "stages": {},
+}
 
 
 def _sweep_worker_init(
@@ -719,8 +812,12 @@ def _sweep_worker_init(
         solver_config, vectorized, store_root, solver_workers, spill_batch,
     )
     _WORKER_CONTEXTS.clear()
+    _WORKER_PRESEED.clear()
     _WORKER_SOLVER_POOL = None
     _WORKER_CELLS_SINCE_SPILL = 0
+    _WORKER_TELEMETRY.update(
+        cells=0, context_builds=0, restore_seconds=0.0, stages={}
+    )
     _WORKER_STORE = CacheStore(store_root) if store_root else None
     if _WORKER_STORE is not None:
         # Batched spills must survive pool shutdown: whatever is still
@@ -728,15 +825,30 @@ def _sweep_worker_init(
         pools.register_worker_exit_flush(_sweep_worker_flush)
 
 
-def _sweep_worker_flush() -> tuple[int, dict[str, int]]:
-    """Spill every dirty context and report this worker's counters.
+def _sweep_worker_preseed(states: dict) -> int:
+    """Adopt the parent's exported prewarm state (storeless fan-out).
+
+    ``states`` maps workload signatures to
+    :class:`~repro.core.cache_store.WorkloadState` snapshots; a
+    context built later for one of these signatures restores from the
+    snapshot exactly as it would from a store file.  Returns the
+    number of snapshots adopted (a cheap dispatch barrier for the
+    parent).
+    """
+    _WORKER_PRESEED.update(states)
+    return len(states)
+
+
+def _sweep_worker_flush() -> tuple[int, dict[str, int], dict]:
+    """Spill every dirty context and report this worker's accounting.
 
     The drain hook: the parent submits one flush per pool slot after
     each pass (idempotent — a worker that receives two drains, or
     none, stays correct; :class:`WorkloadContext.persist` skips clean
     state) and :func:`repro.core.pools.register_worker_exit_flush`
     runs it once more at worker exit.  Returns ``(pid, cumulative
-    counters)`` so the parent can aggregate store stats per worker
+    store counters, cumulative telemetry)`` so the parent can
+    aggregate store stats and :class:`WorkerTelemetry` per worker
     process.
     """
     global _WORKER_CELLS_SINCE_SPILL
@@ -744,7 +856,8 @@ def _sweep_worker_flush() -> tuple[int, dict[str, int]]:
         context.persist()
     _WORKER_CELLS_SINCE_SPILL = 0
     counters = _WORKER_STORE.counters() if _WORKER_STORE is not None else {}
-    return os.getpid(), counters
+    telemetry = dict(_WORKER_TELEMETRY, stages=dict(_WORKER_TELEMETRY["stages"]))
+    return os.getpid(), counters, telemetry
 
 
 def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
@@ -756,18 +869,26 @@ def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
     key = workload_signature(cell.workload)
     context = _WORKER_CONTEXTS.get(key)
     if context is None:
+        build_started = time.perf_counter()
         context = WorkloadContext(
             cell.workload,
             solver_config,
             vectorized,
             store=_WORKER_STORE,
             solver_pool=_WORKER_SOLVER_POOL,
+            preseed=_WORKER_PRESEED.get(key),
+        )
+        _WORKER_TELEMETRY["context_builds"] += 1
+        _WORKER_TELEMETRY["restore_seconds"] += (
+            time.perf_counter() - build_started
         )
         _WORKER_CONTEXTS[key] = context
     writes_before = (
         _WORKER_STORE.counters()["writes"] if _WORKER_STORE is not None else 0
     )
     metrics = context.run(cell)
+    _WORKER_TELEMETRY["cells"] += 1
+    stage_timing.accumulate(_WORKER_TELEMETRY["stages"], metrics.stage_seconds)
     if _WORKER_STORE is not None:
         _WORKER_CELLS_SINCE_SPILL += 1
         if spill_batch and _WORKER_CELLS_SINCE_SPILL >= spill_batch:
@@ -777,6 +898,74 @@ def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
             store_writes=_WORKER_STORE.counters()["writes"] - writes_before,
         )
     return metrics
+
+
+class _ShardScheduler:
+    """Workload-sharded work-stealing cell dispatch (parent side).
+
+    Cells are grouped into shards by :func:`workload_signature`
+    (request order preserved within a shard) and shards are assigned
+    to pool slots longest-processing-time-first: sorted by descending
+    size, each to the least-loaded slot.  :meth:`next_cell` serves a
+    slot its own shards first (head of the deque); a slot whose own
+    shards are drained *steals* from the tail of the heaviest
+    remaining shard — the owner and the thief eat the same shard from
+    opposite ends, so the duplicate context build a steal pays is
+    taken from the workload with the most work left, where it
+    amortises best.
+
+    Pure bookkeeping, deliberately free of any pool/process concerns
+    so the dispatch policy is unit-testable; scheduling order affects
+    only *where* a cell runs, never its metrics (the bit-identity
+    contract).
+    """
+
+    def __init__(self, cells: Sequence[SweepCell], slots: int) -> None:
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        shards: dict[tuple, deque] = {}
+        for cell in cells:
+            shards.setdefault(
+                workload_signature(cell.workload), deque()
+            ).append(cell)
+        self._shards: list[deque] = list(shards.values())
+        self.owners: list[list[int]] = [[] for _ in range(slots)]
+        loads = [0] * slots
+        heaviest_first = sorted(
+            range(len(self._shards)),
+            key=lambda i: (-len(self._shards[i]), i),
+        )
+        for index in heaviest_first:
+            slot = min(range(slots), key=lambda s: (loads[s], s))
+            self.owners[slot].append(index)
+            loads[slot] += len(self._shards[index])
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def remaining(self) -> int:
+        """Cells not yet handed out."""
+        return sum(len(shard) for shard in self._shards)
+
+    def next_cell(self, slot: int) -> tuple[SweepCell, bool] | None:
+        """The next cell for ``slot``, or None when everything is out.
+
+        Returns ``(cell, stolen)``; ``stolen`` is True when the cell
+        came from another slot's shard.
+        """
+        for index in self.owners[slot]:
+            shard = self._shards[index]
+            if shard:
+                return shard.popleft(), False
+        victim = max(
+            (i for i, shard in enumerate(self._shards) if shard),
+            key=lambda i: (len(self._shards[i]), -i),
+            default=None,
+        )
+        if victim is None:
+            return None
+        return self._shards[victim].pop(), True
 
 
 class SweepRunner:
@@ -794,8 +983,11 @@ class SweepRunner:
     Args:
         cells: Default cell list for :meth:`run`.
         solver_config: FlexSP solver knobs shared by all cells.
-        workers: Process-pool width; 1 (the default on single-core
-            hosts) runs in-process.  ``None`` uses the CPU count.
+        workers: Fan-out width; 1 (the default on single-core hosts)
+            runs in-process.  ``None`` uses the CPU count.  With more
+            than one, cells are workload-sharded and affinity-
+            dispatched over single-worker pool slots with work
+            stealing (see :class:`_ShardScheduler`).
         vectorized: Evaluate timing kernels and tuners through the
             batched array paths (bit-identical to scalar).
         store: Persistent cross-process cache — a
@@ -816,8 +1008,7 @@ class SweepRunner:
             baseline); larger values flush every N cells.  Durability
             trade-off only — restored state is bit-identical at every
             cadence, a crash can just lose at most the unflushed tail.
-        prewarm: Campaign-level cold batching (serial passes only —
-            fan-out workers own their contexts).  Before measuring,
+        prewarm: Campaign-level cold batching.  Before measuring,
             every FlexSP cell is asked for the micro-batch shapes its
             solves would plan from scratch
             (:meth:`~repro.core.solver.FlexSPSolver.pending_shapes`);
@@ -831,7 +1022,11 @@ class SweepRunner:
             cell would have solved itself; per-cell
             ``mean_solve_seconds`` then reflects cache replay while
             the batched planning cost is reported as
-            :attr:`SweepResult.prewarm_seconds`.
+            :attr:`SweepResult.prewarm_seconds`.  Fan-out passes
+            prewarm too: the probe runs in the parent
+            (side-effect-free), and the seeded state reaches the
+            shard workers through the store when one is configured,
+            or as a shipped pre-seed snapshot when not.
     """
 
     def __init__(
@@ -875,14 +1070,31 @@ class SweepRunner:
         self.prewarm = prewarm
         self._contexts: dict[tuple, WorkloadContext] = {}
         self._solver_pool: SolverPool | None = None
-        self._pool: ProcessPoolExecutor | None = None
+        #: One single-worker ProcessPoolExecutor per fan-out slot —
+        #: the affinity mechanism: a shard dispatched to slot i always
+        #: lands in the same worker process.
+        self._slots: list[ProcessPoolExecutor | None] = []
+        self._slot_finalizers: list = []
         self._pool_lock = threading.Lock()
-        self._finalizer = None
-        #: Per-worker-pid cumulative store counters (fan-out) and the
+        #: Per-worker-pid cumulative store counters (fan-out), the
+        #: counters of workers already retired by a pool teardown
+        #: (folded so a reused pid can never clobber them), and the
         #: totals already attributed to earlier passes, so each
         #: SweepResult carries this pass's counter deltas.
         self._worker_counters: dict[int, dict[str, int]] = {}
+        self._counters_retired: dict[str, int] = {}
         self._counters_attributed: dict[str, int] = {}
+        #: Per-slot cumulative worker telemetry (latest drain) and the
+        #: amounts already attributed to earlier passes.
+        self._slot_telemetry: dict[int, dict] = {}
+        self._slot_telemetry_attributed: dict[int, dict] = {}
+        #: The serial path's (and prewarm's) parent-side context
+        #: accounting, delta-attributed the same way.
+        self._parent_context_builds = 0
+        self._parent_restore_seconds = 0.0
+        self._parent_attributed = {
+            "context_builds": 0, "restore_seconds": 0.0,
+        }
 
     def _ensure_solver_pool(self) -> SolverPool | None:
         if self.solver_workers <= 1:
@@ -897,6 +1109,7 @@ class SweepRunner:
         key = workload_signature(workload)
         context = self._contexts.get(key)
         if context is None:
+            started = time.perf_counter()
             context = WorkloadContext(
                 workload,
                 self.solver_config,
@@ -904,17 +1117,24 @@ class SweepRunner:
                 store=self.store,
                 solver_pool=self._ensure_solver_pool(),
             )
+            self._parent_context_builds += 1
+            self._parent_restore_seconds += time.perf_counter() - started
             self._contexts[key] = context
         return context
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_slot(self, slot: int) -> ProcessPoolExecutor:
+        """The (lazily started) single-worker pool of fan-out slot
+        ``slot``; each slot is tracked with its own lifecycle guard."""
         with self._pool_lock:
-            if self._pool is None:
+            while len(self._slots) < self.workers:
+                self._slots.append(None)
+                self._slot_finalizers.append(None)
+            if self._slots[slot] is None:
                 store_root = (
                     str(self.store.root) if self.store is not None else None
                 )
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
                     initializer=_sweep_worker_init,
                     initargs=(
                         self.solver_config,
@@ -924,8 +1144,19 @@ class SweepRunner:
                         self.spill_batch,
                     ),
                 )
-                self._finalizer = pools.track_pool(self, self._pool)
-            return self._pool
+                self._slots[slot] = pool
+                self._slot_finalizers[slot] = pools.track_pool(self, pool)
+            return self._slots[slot]
+
+    def _submit_to_slot(self, slot: int, fn, *args) -> Future:
+        """Submit to one slot, normalising a concurrently-closed pool
+        (``RuntimeError`` from ``submit``) to the retryable
+        ``BrokenProcessPool`` signal — a genuine in-worker exception
+        still propagates as itself from the future."""
+        try:
+            return self._ensure_slot(slot).submit(fn, *args)
+        except RuntimeError as exc:
+            raise BrokenProcessPool(str(exc)) from exc
 
     def run(self, cells: Iterable[SweepCell] | None = None) -> SweepResult:
         """Measure every cell (deduplicated) and return aligned metrics.
@@ -945,7 +1176,7 @@ class SweepRunner:
         prewarm_planned = 0
         prewarm_seconds = 0.0
         prewarm_stages: dict[str, float] = {}
-        if self.prewarm and self.workers == 1:
+        if self.prewarm:
             prewarm_planned, prewarm_seconds, prewarm_stages = (
                 self._prewarm_cold_cells(order)
             )
@@ -980,11 +1211,16 @@ class SweepRunner:
             if self.store is not None:
                 for context in touched.values():
                     context.persist()
+            telemetry = (self._serial_telemetry(unique),)
         else:
-            outcomes = self._run_on_pool(order)
+            preseed = (
+                self._export_prewarm_state() if prewarm_planned else {}
+            )
+            outcomes, ran, steals = self._run_on_pool(order, preseed)
             for cell, metrics in zip(order, outcomes):
                 unique[cell] = metrics
             self._drain_workers()
+            telemetry = self._collect_worker_telemetry(ran, steals)
         metrics = tuple(unique[cell] for cell in cells)
         return SweepResult(
             cells=tuple(cells),
@@ -995,6 +1231,7 @@ class SweepRunner:
             prewarm_planned=prewarm_planned,
             prewarm_seconds=prewarm_seconds,
             prewarm_stage_seconds=tuple(prewarm_stages.items()),
+            worker_telemetry=telemetry,
         )
 
     def _prewarm_cold_cells(
@@ -1049,44 +1286,191 @@ class SweepRunner:
             planned += len(shapes)
         return planned, time.perf_counter() - started, stages
 
-    def _drain_workers(self) -> None:
-        """Flush every pool worker's batched spills (best-effort).
+    def _export_prewarm_state(self) -> dict:
+        """Make the parent's prewarm-seeded state visible to workers.
 
-        One flush task per pool slot; the tasks are idempotent, so an
-        uneven distribution (a fast worker running two, another none)
-        costs durability-until-exit at worst, never correctness — the
-        exit flush registered in the worker covers the gap.  Counter
-        reports are cumulative per pid, so collecting a worker twice
-        is harmless.
+        With a store, each prewarmed context is persisted — shard
+        workers restore it on their first cell of the workload (the
+        spill is counted like any other write).  Without a store, the
+        state is exported as :class:`~repro.core.cache_store.
+        WorkloadState` snapshots, returned here for the dispatcher to
+        ship to every slot (``_sweep_worker_preseed``) — stealing
+        means any slot may end up building any workload's context, so
+        every slot gets the full map.
         """
-        if self.store is None:
-            return
+        preseed: dict = {}
+        for signature, context in self._contexts.items():
+            if self.store is not None:
+                context.persist()
+            else:
+                preseed[signature] = context.export_state()
+        return preseed
+
+    def _serial_telemetry(self, unique: dict) -> WorkerTelemetry:
+        """The serial pass's single telemetry row (parent process)."""
+        builds = (
+            self._parent_context_builds
+            - self._parent_attributed["context_builds"]
+        )
+        restore = (
+            self._parent_restore_seconds
+            - self._parent_attributed["restore_seconds"]
+        )
+        self._sync_parent_attributed()
+        stages: dict[str, float] = {}
+        for metrics in unique.values():
+            if metrics is not None:
+                stage_timing.accumulate(stages, metrics.stage_seconds)
+        return WorkerTelemetry(
+            worker=0,
+            pid=os.getpid(),
+            cells=len(unique),
+            steals=0,
+            context_builds=builds,
+            restore_seconds=restore,
+            stage_seconds=tuple(sorted(stages.items())),
+        )
+
+    def _sync_parent_attributed(self) -> None:
+        self._parent_attributed = {
+            "context_builds": self._parent_context_builds,
+            "restore_seconds": self._parent_restore_seconds,
+        }
+
+    def _collect_worker_telemetry(
+        self, ran: dict[int, int], steals: dict[int, int]
+    ) -> tuple[WorkerTelemetry, ...]:
+        """Per-slot telemetry rows for the pass just finished.
+
+        Cells and steals are parent-side ground truth (the dispatcher
+        counted them); context builds, restore seconds and stage
+        breakdowns come from the workers' cumulative drain reports,
+        attributed as deltas against what earlier passes already
+        claimed.  The parent's own prewarm context builds are synced
+        into the attributed baseline so they never leak into a later
+        serial pass's row.
+        """
+        self._sync_parent_attributed()
+        rows = []
+        for slot in range(self.workers):
+            cells = ran.get(slot, 0)
+            stolen = steals.get(slot, 0)
+            cumulative = self._slot_telemetry.get(slot)
+            if cumulative is None:
+                # Drain could not reach this worker (broken pool):
+                # report what the dispatcher knows first-hand.
+                rows.append(
+                    WorkerTelemetry(
+                        worker=slot, pid=0, cells=cells, steals=stolen
+                    )
+                )
+                continue
+            attributed = self._slot_telemetry_attributed.get(slot) or {
+                "context_builds": 0,
+                "restore_seconds": 0.0,
+                "stages": {},
+            }
+            builds = max(
+                cumulative["context_builds"] - attributed["context_builds"], 0
+            )
+            restore = max(
+                cumulative["restore_seconds"] - attributed["restore_seconds"],
+                0.0,
+            )
+            stages = {}
+            for stage, seconds in cumulative["stages"].items():
+                delta = seconds - attributed["stages"].get(stage, 0.0)
+                if delta > 0:
+                    stages[stage] = delta
+            self._slot_telemetry_attributed[slot] = {
+                "context_builds": cumulative["context_builds"],
+                "restore_seconds": cumulative["restore_seconds"],
+                "stages": dict(cumulative["stages"]),
+            }
+            rows.append(
+                WorkerTelemetry(
+                    worker=slot,
+                    pid=cumulative["pid"],
+                    cells=cells,
+                    steals=stolen,
+                    context_builds=builds,
+                    restore_seconds=restore,
+                    stage_seconds=tuple(sorted(stages.items())),
+                )
+            )
+        return tuple(rows)
+
+    def _drain_workers(self) -> None:
+        """Flush every slot worker's batched spills (best-effort).
+
+        One flush task per slot; the tasks are idempotent, so a drain
+        that misses a worker costs durability-until-exit at worst,
+        never correctness — the exit flush registered in the worker
+        covers the gap.  Counter and telemetry reports are cumulative
+        per worker, so collecting one twice is harmless.
+        """
         with self._pool_lock:
-            pool = self._pool
-        if pool is None:
-            return
-        try:
-            futures = [
-                pool.submit(_sweep_worker_flush) for _ in range(self.workers)
-            ]
-            for future in futures:
-                pid, counters = future.result()
+            slots = list(self._slots)
+        for slot, pool in enumerate(slots):
+            if pool is None:
+                continue
+            try:
+                pid, counters, telemetry = pool.submit(
+                    _sweep_worker_flush
+                ).result()
+            except (BrokenProcessPool, RuntimeError):  # pragma: no cover
+                continue  # drain is best-effort; exit flush still runs
+            if counters:
                 self._worker_counters[pid] = counters
-        except (BrokenProcessPool, RuntimeError):  # pragma: no cover
-            pass  # drain is best-effort; exit flush still runs
+            self._slot_telemetry[slot] = {**telemetry, "pid": pid}
+
+    def _counter_totals(self) -> dict[str, int]:
+        """Cumulative store counters across the parent, every live
+        worker's latest report, and workers retired by pool
+        teardowns."""
+        totals = dict(self.store.counters()) if self.store is not None else {}
+        for counters in self._worker_counters.values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        for key, value in self._counters_retired.items():
+            totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _retire_worker_counters(self) -> None:
+        """Fold live per-pid counters into the retired totals.
+
+        Called when pools are torn down: the next pool generation may
+        reuse a pid, and replacing a dead worker's cumulative counters
+        with a fresh worker's would silently drop the old work from
+        every later delta.
+        """
+        for counters in self._worker_counters.values():
+            for key, value in counters.items():
+                self._counters_retired[key] = (
+                    self._counters_retired.get(key, 0) + value
+                )
+        self._worker_counters.clear()
+
+    def _rebaseline_counters(self) -> None:
+        """Attribute everything counted so far to no pass at all.
+
+        The broken-pool retry hook: a first attempt that died mid-pass
+        may have spilled partial state (counted by workers whose
+        reports the teardown collected) which the retry will recompute
+        and recount — without re-baselining, the pass's
+        ``store_stats`` delta would double-count those writes.
+        """
+        self._counters_attributed = self._counter_totals()
 
     def _store_stats_delta(self) -> StoreStats | None:
         """This pass's store accounting: on-disk totals plus the
         counter deltas not yet attributed to an earlier pass."""
         if self.store is None:
             return None
-        totals = dict(self.store.counters())
-        for counters in self._worker_counters.values():
-            for key, value in counters.items():
-                totals[key] = totals.get(key, 0) + value
+        totals = self._counter_totals()
         delta = {
             key: totals.get(key, 0) - self._counters_attributed.get(key, 0)
-            for key in ("hits", "misses", "writes", "evictions")
+            for key in ("hits", "misses", "writes", "evictions", "lock_waits")
         }
         self._counters_attributed = totals
         num_files, num_bytes, num_entries = self.store.scan()
@@ -1094,31 +1478,80 @@ class SweepRunner:
             files=num_files, bytes=num_bytes, entries=num_entries, **delta
         )
 
-    def _run_on_pool(self, cells: list[SweepCell]) -> list[CellMetrics]:
-        """Fan unique cells across the persistent pool (one retry on a
+    def _run_on_pool(
+        self, cells: list[SweepCell], preseed: dict
+    ) -> tuple[list[CellMetrics], dict[int, int], dict[int, int]]:
+        """Fan unique cells across the slot pools (one retry on a
         broken/concurrently-closed pool, mirroring ``SolverService``).
 
-        The ``RuntimeError`` guard covers only the submission phase (a
-        concurrent ``close()`` racing a submit); an exception raised
-        *inside* a worker's cell computation is genuine and propagates
-        without a wasteful retry.
+        ``RuntimeError`` from a submit racing a concurrent ``close()``
+        is normalised to ``BrokenProcessPool`` inside
+        :meth:`_submit_to_slot`; an exception raised *inside* a
+        worker's cell computation is genuine and propagates without a
+        wasteful retry.  Before the retry the counter baseline is
+        re-anchored (:meth:`_rebaseline_counters`) so store writes the
+        failed attempt already performed are not double-counted when
+        the retry recomputes the same cells.
         """
         for attempt in (0, 1):
             try:
-                pool = self._ensure_pool()
-                futures = [pool.submit(_sweep_worker_run, cell) for cell in cells]
-            except (BrokenProcessPool, RuntimeError):
-                if attempt:
-                    raise
-                self.close()
-                continue
-            try:
-                return [f.result() for f in futures]
+                return self._run_sharded(cells, preseed)
             except BrokenProcessPool:
                 if attempt:
                     raise
                 self.close()
+                self._rebaseline_counters()
         raise AssertionError("unreachable: both sweep attempts returned")
+
+    def _run_sharded(
+        self, cells: list[SweepCell], preseed: dict
+    ) -> tuple[list[CellMetrics], dict[int, int], dict[int, int]]:
+        """One work-stealing dispatch pass over the slot pools.
+
+        Keeps exactly one cell in flight per slot (the scheduler's
+        steal decisions must see up-to-date shard sizes, so cells are
+        handed out one completion at a time), counts per-slot cells
+        and steals, and returns metrics in request order.
+        """
+        scheduler = _ShardScheduler(cells, self.workers)
+        if preseed:
+            waits = [
+                self._submit_to_slot(slot, _sweep_worker_preseed, preseed)
+                for slot in range(self.workers)
+            ]
+            for future in waits:
+                future.result()
+        results: dict[SweepCell, CellMetrics] = {}
+        inflight: dict[Future, tuple[int, SweepCell]] = {}
+        ran = dict.fromkeys(range(self.workers), 0)
+        steals = dict.fromkeys(range(self.workers), 0)
+        for slot in range(self.workers):
+            self._dispatch_next(scheduler, slot, inflight, steals)
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                slot, cell = inflight.pop(future)
+                results[cell] = future.result()
+                ran[slot] += 1
+                self._dispatch_next(scheduler, slot, inflight, steals)
+        return [results[cell] for cell in cells], ran, steals
+
+    def _dispatch_next(
+        self,
+        scheduler: _ShardScheduler,
+        slot: int,
+        inflight: dict,
+        steals: dict[int, int],
+    ) -> None:
+        """Hand ``slot`` its next cell (own shard first, else steal)."""
+        nxt = scheduler.next_cell(slot)
+        if nxt is None:
+            return
+        cell, stolen = nxt
+        if stolen:
+            steals[slot] += 1
+        future = self._submit_to_slot(slot, _sweep_worker_run, cell)
+        inflight[future] = (slot, cell)
 
     def close(self) -> None:
         """Shut the worker pools down.
@@ -1126,21 +1559,28 @@ class SweepRunner:
         The serial path's in-process contexts survive; with
         ``workers > 1`` the warm per-workload state lives inside the
         worker processes and is discarded with them — the next
-        :meth:`run` starts a fresh pool whose caches are cold (or
+        :meth:`run` starts fresh slots whose caches are cold (or
         store-restored, when a ``store`` is configured).  Workers are
         drained first so their batched spills land (and are counted)
         before shutdown; the per-worker exit flush remains the
-        backstop for anything a best-effort drain missed.
+        backstop for anything a best-effort drain missed.  Collected
+        counters are retired, not dropped — later passes' deltas stay
+        correct across pool generations.
         """
         self._drain_workers()
         with self._pool_lock:
-            pool, self._pool = self._pool, None
-            finalizer, self._finalizer = self._finalizer, None
+            slots, self._slots = self._slots, []
+            finalizers, self._slot_finalizers = self._slot_finalizers, []
             solver_pool = self._solver_pool
-        if pool is not None:
-            pool.shutdown()
-        if finalizer is not None:
-            finalizer()  # retires the pool from the exit registry too
+        for pool in slots:
+            if pool is not None:
+                pool.shutdown()
+        for finalizer in finalizers:
+            if finalizer is not None:
+                finalizer()  # retires the pool from the exit registry too
+        self._retire_worker_counters()
+        self._slot_telemetry.clear()
+        self._slot_telemetry_attributed.clear()
         if solver_pool is not None:
             # Not discarded: live contexts hold tenant clients of this
             # pool, which restarts lazily if the runner is used again.

@@ -308,7 +308,34 @@ class TestManifestAccounting:
             "misses": 1,
             "writes": 1,
             "evictions": 0,
+            "lock_waits": 0,
         }
+
+    def test_lock_waits_counts_contended_saves(self, tmp_path):
+        import fcntl
+
+        store = CacheStore(tmp_path)
+        state = WorkloadState(signature=repr(SIGNATURE))
+        store.save(SIGNATURE, state)
+        assert store.counters()["lock_waits"] == 0
+        # Hold the per-workload write lock from "another process" and
+        # release it from a timer, so the contended save both waits
+        # and completes.
+        import threading
+
+        lock_path = store._path(SIGNATURE).with_suffix(".lock")
+        held = open(lock_path, "w")
+        fcntl.flock(held.fileno(), fcntl.LOCK_EX)
+        timer = threading.Timer(
+            0.2, lambda: fcntl.flock(held.fileno(), fcntl.LOCK_UN)
+        )
+        timer.start()
+        try:
+            store.save(SIGNATURE, state)
+        finally:
+            timer.join()
+            held.close()
+        assert store.counters()["lock_waits"] == 1
 
     def test_stats_reconcile_disk_and_counters(self, tmp_path):
         store = CacheStore(tmp_path)

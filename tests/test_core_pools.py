@@ -1,0 +1,120 @@
+"""Tests for repro.core.pools under the sharded sweep dispatcher.
+
+The lifecycle guard is exercised indirectly by every fan-out suite;
+these tests pin the contracts the scale-out executor leans on:
+``close()`` racing a ``run()`` resolves through the broken-pool retry,
+the per-worker exit flush lands batched spills that a best-effort
+drain missed, and the pool registry returns to baseline once a
+campaign's runner is closed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import pools
+from repro.core.solver import SolverConfig
+from repro.cluster.topology import standard_cluster
+from repro.data.distributions import GITHUB
+from repro.experiments.sweep import SweepRunner, grid_cells
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+
+SOLVER = SolverConfig(backend="greedy", num_trials=2)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(
+        model=GPT_7B,
+        distribution=GITHUB,
+        max_context=32 * 1024,
+        cluster=standard_cluster(8),
+        global_batch_size=16,
+    )
+
+
+class TestSlotLifecycle:
+    def test_run_survives_a_concurrent_close(self, workload):
+        # A close() that lands between dispatches shuts the slot pools
+        # down under the scheduler's feet; the next submit then raises
+        # the pool's RuntimeError, which the runner normalises to
+        # BrokenProcessPool and retries on fresh slots.  Simulate the
+        # race deterministically: warm the slots, then shut the pools
+        # down directly (without clearing the runner's slot table, as
+        # a concurrent close would have after the dispatch read it).
+        cells = grid_cells(["flexsp", "deepspeed"], [workload])
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2
+        ) as runner:
+            first = runner.run()
+            for pool in runner._slots:
+                pool.shutdown()
+            second = runner.run()
+            for a, b in zip(first.metrics, second.metrics):
+                assert a.deterministic() == b.deterministic()
+            # The retry recreated live slot pools.
+            assert all(pool is not None for pool in runner._slots)
+
+    def test_live_pool_count_returns_to_baseline(self, workload):
+        baseline = pools.live_pool_count()
+        runner = SweepRunner(
+            grid_cells(["deepspeed"], [workload]),
+            solver_config=SOLVER,
+            workers=2,
+        )
+        runner.run()
+        assert pools.live_pool_count() > baseline
+        runner.close()
+        assert pools.live_pool_count() == baseline
+
+    def test_close_is_idempotent(self, workload):
+        baseline = pools.live_pool_count()
+        runner = SweepRunner(
+            grid_cells(["deepspeed"], [workload]),
+            solver_config=SOLVER,
+            workers=2,
+        )
+        runner.run()
+        runner.close()
+        runner.close()
+        assert pools.live_pool_count() == baseline
+
+
+class TestWorkerExitFlush:
+    def test_exit_flush_lands_batched_spills(self, workload, tmp_path):
+        # A spill batch larger than the pass means no mid-run spill
+        # cadence fires in the workers; close() (drain + worker exit)
+        # is the durability point.  A fresh serial runner must restore
+        # everything the workers measured.
+        cells = grid_cells(
+            ["flexsp", "deepspeed"], [workload], num_iterations=2
+        )
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2,
+            store=tmp_path, spill_batch=100,
+        ) as runner:
+            fanned = runner.run()
+        restored = SweepRunner(
+            cells, solver_config=SOLVER, workers=1, store=tmp_path
+        ).run()
+        for a, b in zip(fanned.metrics, restored.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert restored.metric("flexsp", workload.name).plan_cache_hit_rate == 1.0
+        assert restored.store_stats.writes == 0
+
+    def test_register_worker_exit_flush_is_idempotent_per_process(self):
+        calls = []
+
+        def flush():
+            calls.append(1)
+
+        key = (os.getpid(), flush)
+        assert key not in pools._EXIT_FLUSHES
+        pools.register_worker_exit_flush(flush)
+        assert key in pools._EXIT_FLUSHES
+        registered = len(pools._EXIT_FLUSHES)
+        pools.register_worker_exit_flush(flush)
+        assert len(pools._EXIT_FLUSHES) == registered

@@ -13,6 +13,7 @@ from repro.experiments.sweep import (
     SweepCell,
     SweepRunner,
     WorkloadContext,
+    _ShardScheduler,
     grid_cells,
     workload_signature,
 )
@@ -182,10 +183,10 @@ class TestSweepRunner:
         serial = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
         with SweepRunner(cells, solver_config=SOLVER, workers=2) as parallel:
             fanned = parallel.run()
-            assert parallel._pool is not None
-            first_pool = parallel._pool
-            again = parallel.run()  # pool persists across sweeps
-            assert parallel._pool is first_pool
+            assert parallel._slots and parallel._slots[0] is not None
+            first_slots = list(parallel._slots)
+            again = parallel.run()  # slot pools persist across sweeps
+            assert list(parallel._slots) == first_slots
         for a, b in zip(serial.metrics, fanned.metrics):
             assert a.deterministic() == b.deterministic()
         for a, b in zip(serial.metrics, again.metrics):
@@ -369,3 +370,208 @@ class TestSpillBatching:
         ).run()
         assert result.store_stats is None
         assert result.metrics[0].store_writes == 0
+
+
+class TestShardScheduler:
+    """The work-stealing dispatch policy, in isolation."""
+
+    def test_rejects_nonpositive_slots(self, workload):
+        with pytest.raises(ValueError, match="slots"):
+            _ShardScheduler(grid_cells(["flexsp"], [workload]), 0)
+
+    def test_groups_cells_into_one_shard_per_workload(
+        self, workload, other_workload
+    ):
+        cells = grid_cells(
+            ["flexsp", "deepspeed"], [workload, other_workload]
+        )
+        scheduler = _ShardScheduler(cells, slots=2)
+        assert scheduler.shard_count == 2
+        assert scheduler.remaining() == 4
+
+    def test_lpt_assigns_heaviest_shard_to_least_loaded_slot(
+        self, workload, other_workload
+    ):
+        # Shard 0 (workload, 3 cells) outweighs shard 1 (other, 1 cell).
+        cells = grid_cells(["flexsp", "deepspeed", "megatron"], [workload])
+        cells += grid_cells(["flexsp"], [other_workload])
+        scheduler = _ShardScheduler(cells, slots=2)
+        assert scheduler.owners == [[0], [1]]
+
+    def test_own_shard_is_served_in_request_order(self, workload):
+        cells = grid_cells(["flexsp", "deepspeed", "megatron"], [workload])
+        scheduler = _ShardScheduler(cells, slots=1)
+        served = [scheduler.next_cell(0) for _ in cells]
+        assert served == [(cell, False) for cell in cells]
+        assert scheduler.next_cell(0) is None
+
+    def test_idle_slot_steals_from_the_tail_of_the_heaviest_shard(
+        self, workload, other_workload
+    ):
+        cells = grid_cells(["flexsp", "deepspeed", "megatron"], [workload])
+        cells += grid_cells(["flexsp"], [other_workload])
+        scheduler = _ShardScheduler(cells, slots=2)
+        assert scheduler.next_cell(1) == (cells[3], False)  # own shard
+        # Slot 1's shard is dry: it steals the *last* cell of slot 0's
+        # shard — the owner keeps eating from the head.
+        assert scheduler.next_cell(1) == (cells[2], True)
+        assert scheduler.next_cell(0) == (cells[0], False)
+
+    def test_single_workload_forces_steals(self, workload):
+        cells = grid_cells(["flexsp", "deepspeed"], [workload])
+        scheduler = _ShardScheduler(cells, slots=2)
+        assert scheduler.owners == [[0], []]
+        cell, stolen = scheduler.next_cell(1)
+        assert stolen
+        assert cell == cells[-1]
+
+
+class TestSchedulerProperty:
+    """Property: any polling order serves every cell exactly once."""
+
+    def test_property_every_cell_served_exactly_once(
+        self, workload, other_workload
+    ):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        workloads = [workload, other_workload]
+        systems = ["flexsp", "deepspeed", "megatron"]
+
+        @given(
+            picks=st.lists(
+                st.tuples(
+                    st.integers(0, len(workloads) - 1),
+                    st.integers(0, len(systems) - 1),
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            slots=st.integers(1, 4),
+            data=st.data(),
+        )
+        @settings(max_examples=60, deadline=None)
+        def check(picks, slots, data):
+            cells = [
+                SweepCell(system=systems[s], workload=workloads[w])
+                for w, s in picks
+            ]
+            scheduler = _ShardScheduler(cells, slots)
+            served = []
+            while scheduler.remaining():
+                slot = data.draw(st.integers(0, slots - 1))
+                nxt = scheduler.next_cell(slot)
+                if nxt is not None:
+                    served.append(nxt[0])
+            assert len(served) == len(cells)
+            assert sorted(map(id, served)) == sorted(map(id, cells))
+            assert all(
+                scheduler.next_cell(slot) is None for slot in range(slots)
+            )
+
+        check()
+
+
+class TestScaleOut:
+    """The sharded fan-out path: bit-identity, prewarm, telemetry."""
+
+    def test_forced_steal_stays_bit_identical(self, workload):
+        # One workload, two slots: slot 1 owns nothing, so every cell
+        # it runs is a steal — the adversarial case for the identity
+        # contract (a stolen cell runs against a duplicate context).
+        cells = grid_cells(
+            ["flexsp", "deepspeed", "megatron"], [workload],
+            num_iterations=2,
+        )
+        serial = SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2
+        ) as runner:
+            parallel = runner.run()
+        for a, b in zip(serial.metrics, parallel.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert sum(t.steals for t in parallel.worker_telemetry) >= 1
+        assert sum(t.cells for t in parallel.worker_telemetry) == len(cells)
+
+    def test_context_builds_bounded_by_workloads_plus_steals(
+        self, workload, other_workload
+    ):
+        cells = grid_cells(
+            ["flexsp", "deepspeed"], [workload, other_workload]
+        )
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2
+        ) as runner:
+            result = runner.run()
+        telemetry = result.worker_telemetry
+        assert len(telemetry) == 2
+        builds = sum(t.context_builds for t in telemetry)
+        steals = sum(t.steals for t in telemetry)
+        assert builds <= 2 + steals  # unique workloads + duplicates paid
+        assert all(t.pid != 0 for t in telemetry)
+
+    def test_parallel_prewarm_plans_cold_flexsp_cells(self, workload):
+        # The workers>1 prewarm restriction is gone: a cold parallel
+        # pass batch-plans up front and ships the state to the slots,
+        # so the workers' solve phase runs fully warm.
+        cells = grid_cells(["flexsp"], [workload], num_iterations=2)
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2
+        ) as runner:
+            result = runner.run()
+        assert result.prewarm_planned > 0
+        assert result.metrics[0].plan_cache_hit_rate == 1.0
+
+    def test_parallel_prewarm_seeds_through_the_store(
+        self, workload, tmp_path
+    ):
+        cells = grid_cells(["flexsp"], [workload], num_iterations=2)
+        serial = SweepRunner(
+            cells, solver_config=SOLVER, workers=1
+        ).run()
+        with SweepRunner(
+            cells, solver_config=SOLVER, workers=2, store=tmp_path
+        ) as runner:
+            parallel = runner.run()
+        assert parallel.prewarm_planned > 0
+        assert parallel.metrics[0].plan_cache_hit_rate == 1.0
+        for a, b in zip(serial.metrics, parallel.metrics):
+            assert a.deterministic() == b.deterministic()
+
+    def test_serial_pass_reports_one_telemetry_row(self, workload):
+        import os
+
+        runner = SweepRunner(
+            grid_cells(["deepspeed"], [workload]),
+            solver_config=SOLVER,
+            workers=1,
+        )
+        first = runner.run()
+        assert len(first.worker_telemetry) == 1
+        row = first.worker_telemetry[0]
+        assert row.pid == os.getpid()
+        assert row.cells == 1
+        assert row.context_builds == 1
+        assert row.steals == 0
+        # Telemetry is per-pass: a warm rerun builds no new context.
+        again = runner.run()
+        assert again.worker_telemetry[0].context_builds == 0
+
+    def test_rebaseline_prevents_double_counted_retry_writes(
+        self, workload, tmp_path
+    ):
+        # Satellite: the broken-pool retry re-anchors the counter
+        # baseline, so writes the failed attempt already performed are
+        # attributed to no pass — the retry's delta stays honest.
+        runner = SweepRunner(
+            grid_cells(["deepspeed"], [workload]),
+            solver_config=SOLVER,
+            workers=1,
+            store=tmp_path,
+        )
+        first = runner.run()
+        assert first.store_stats.writes > 0
+        runner._rebaseline_counters()
+        assert runner._counters_attributed == runner._counter_totals()
+        # Everything counted so far is attributed: the next delta is 0.
+        assert runner._store_stats_delta().writes == 0
