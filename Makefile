@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
-	bench-prune bench-scaleout bench-calibrate
+	bench-prune bench-scaleout bench-calibrate bench-chaos \
+	bench-chaos-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -50,6 +51,19 @@ bench-prune:
 # fan-out).  Appends to benchmarks/results/BENCH_scaleout.json.
 bench-scaleout:
 	$(PYTHON) -m repro.bench scaleout
+
+# Chaos benchmark: the unified campaign under deterministic fault
+# injection (worker kills, torn spill writes, stale store locks, hung
+# cells, repeated pool death down to serial degradation), every
+# schedule asserted bit-identical to the fault-free serial pass.
+# Appends to benchmarks/results/BENCH_chaos.json.
+bench-chaos:
+	$(PYTHON) -m repro.bench chaos
+
+# Fast CI tier of the chaos matrix: one worker killed mid-cell, full
+# graduated recovery asserted (the `-k smoke` slice).
+bench-chaos-smoke:
+	$(PYTHON) -m repro.bench chaos -k smoke
 
 # Sweep the sweep-workers x solver-workers product on this box and
 # recommend the fastest combination (appends the calibration grid to

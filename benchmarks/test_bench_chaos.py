@@ -1,0 +1,249 @@
+"""Chaos benchmark: the campaign executor under deterministic faults.
+
+The fault-tolerance PR's acceptance bar: for every schedule in the
+chaos matrix — a worker killed mid-cell, a torn spill write, a stale
+store lock, a hung cell, repeated pool death all the way down to
+serial degradation — the unified campaign must
+
+* complete, with every realised injection recovered by the graduated
+  escalation ladder (resubmit → pool restart → shard reassignment →
+  serial execution);
+* produce metrics **bit-identical** to the fault-free serial pass
+  (faults move where and when cells run, never what they measure);
+* leave no worker pool behind (``live_pool_count`` back to baseline);
+* append its recovery accounting and wall-clock overhead to
+  ``results/BENCH_chaos.json``.
+
+Wall-clock overhead is recorded, never gated: recovery cost depends on
+the box (pool restart latency, the deterministic retry backoff), and
+the trajectory file is where regressions are judged.  ``make
+bench-chaos`` runs the matrix; ``make bench-chaos-smoke`` runs only
+the CI smoke slice (``-k smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.core.faults import FaultSchedule
+from repro.core.pools import live_pool_count
+from repro.core.solver import SolverConfig
+from repro.experiments.campaign import unified_campaign
+from repro.experiments.reporting import format_table
+from repro.experiments.sweep import SweepRunner
+
+#: Greedy backend: deterministic planning, so every chaotic pass is
+#: bit-comparable to the fault-free reference.
+CAMPAIGN_SOLVER = SolverConfig(backend="greedy", num_trials=2)
+
+GLOBAL_BATCH = 512 if FULL else 128
+
+#: Hang faults nap this long — survivable only because the watchdog
+#: kills the sleeper first.
+HANG_SECONDS = 30.0
+WATCHDOG_SECONDS = 2.0
+
+
+def _run_campaign(
+    schedule: FaultSchedule | None = None,
+    workers: int = 1,
+    store_root: str | None = None,
+    **runner_kwargs,
+):
+    """One unified-campaign pass; returns (metrics, wall, result)."""
+    campaign = unified_campaign(global_batch_size=GLOBAL_BATCH)
+    with SweepRunner(
+        solver_config=CAMPAIGN_SOLVER,
+        workers=workers,
+        store=store_root,
+        fault_schedule=schedule,
+        **runner_kwargs,
+    ) as runner:
+        started = time.perf_counter()
+        result = campaign.run(runner)
+        wall = time.perf_counter() - started
+    return list(result.sweep.metrics), wall, result
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The fault-free serial pass every chaotic run must reproduce."""
+    metrics, wall, _ = _run_campaign()
+    return [m.deterministic() for m in metrics], wall
+
+
+def _assert_recovered(reference_metrics, metrics, result):
+    assert len(metrics) == len(reference_metrics)
+    for want, metric in zip(reference_metrics, metrics):
+        assert metric.deterministic() == want
+    stats = result.sweep.fault_stats
+    assert stats is not None
+    assert stats.total_injections >= 1, "schedule never fired"
+    return stats
+
+
+def test_smoke_worker_kill_mid_cell(reference, emit, bench_json_history):
+    """The CI smoke slice: one worker killed mid-cell, full recovery.
+
+    Selected by ``make bench-chaos-smoke`` (``-k smoke``) so every CI
+    run proves the first escalation rung — per-cell resubmit after a
+    pool restart — without paying for the whole matrix.
+    """
+    reference_metrics, reference_wall = reference
+    baseline_pools = live_pool_count()
+    schedule = FaultSchedule.parse("worker_kill@cell:0")
+    metrics, wall, result = _run_campaign(schedule, workers=2)
+    stats = _assert_recovered(reference_metrics, metrics, result)
+    assert dict(stats.injections) == {"worker_kill@cell": 1}
+    assert stats.cell_retries >= 1
+    assert stats.pool_restarts >= 1
+    assert live_pool_count() == baseline_pools
+
+    emit(
+        f"Chaos smoke: worker_kill@cell:0 at workers=2 — "
+        f"{stats.cell_retries} cell retries, {stats.pool_restarts} pool "
+        f"restarts, bit-identical in {wall:.2f}s "
+        f"(fault-free serial {reference_wall:.2f}s)"
+    )
+    bench_json_history(
+        "chaos",
+        {
+            "mode": "smoke",
+            "schedule": str(schedule),
+            "workers": 2,
+            "global_batch_size": GLOBAL_BATCH,
+            "cpu_count": os.cpu_count(),
+            "wall_seconds": round(wall, 3),
+            "faultfree_wall_seconds": round(reference_wall, 3),
+            "bit_identical": True,
+            "faults": stats.to_dict(),
+        },
+    )
+
+
+def test_chaos_matrix_recovers_bit_identical(
+    reference, emit, bench_json_history
+):
+    """The full matrix: every fault kind, every escalation rung."""
+    reference_metrics, reference_wall = reference
+    baseline_pools = live_pool_count()
+    rows = []
+    records = []
+
+    def _case(name, schedule, metrics, wall, result, **extra_checks):
+        stats = _assert_recovered(reference_metrics, metrics, result)
+        for attribute, floor in extra_checks.items():
+            assert getattr(stats, attribute) >= floor, (
+                f"{name}: expected {attribute} >= {floor}, "
+                f"got {getattr(stats, attribute)}"
+            )
+        assert live_pool_count() == baseline_pools, f"{name}: leaked a pool"
+        rows.append(
+            (
+                name,
+                f"{wall:.2f}",
+                str(stats.total_injections),
+                str(stats.cell_retries),
+                str(stats.pool_restarts),
+                str(stats.degraded_cells),
+                str(stats.watchdog_kills),
+                str(stats.lock_breaks),
+            )
+        )
+        records.append(
+            {
+                "mode": "matrix",
+                "schedule": str(schedule),
+                "case": name,
+                "global_batch_size": GLOBAL_BATCH,
+                "cpu_count": os.cpu_count(),
+                "wall_seconds": round(wall, 3),
+                "faultfree_wall_seconds": round(reference_wall, 3),
+                "bit_identical": True,
+                "faults": stats.to_dict(),
+            }
+        )
+        return stats
+
+    # 1. Worker killed mid-cell: resubmit + pool restart.
+    schedule = FaultSchedule.parse("worker_kill@cell:0")
+    metrics, wall, result = _run_campaign(schedule, workers=2)
+    _case(
+        "worker_kill@cell:0", schedule, metrics, wall, result,
+        cell_retries=1, pool_restarts=1,
+    )
+
+    # 2. Torn spill write: the store reads the torn file as cold, and
+    #    a second pass over the same (healed) store restores warm
+    #    state that is still bit-identical.
+    with tempfile.TemporaryDirectory() as store_root:
+        schedule = FaultSchedule.parse("torn_write@spill:0")
+        metrics, wall, result = _run_campaign(
+            schedule, workers=2, store_root=store_root
+        )
+        _case("torn_write@spill:0", schedule, metrics, wall, result)
+        restored_metrics, _, _ = _run_campaign(store_root=store_root)
+        for want, metric in zip(reference_metrics, restored_metrics):
+            assert metric.deterministic() == want
+
+    # 3. Stale store lock (dead recorded holder): broken, counted,
+    #    never waited out.
+    with tempfile.TemporaryDirectory() as store_root:
+        schedule = FaultSchedule.parse("stale_lock@lock:0")
+        metrics, wall, result = _run_campaign(
+            schedule, store_root=store_root
+        )
+        _case(
+            "stale_lock@lock:0", schedule, metrics, wall, result,
+            lock_breaks=1,
+        )
+
+    # 4. Hung cell: the watchdog kills the sleeper long before the nap
+    #    ends and the cell takes the normal escalation path.
+    schedule = FaultSchedule.parse(
+        "hang@cell:0", hang_seconds=HANG_SECONDS
+    )
+    metrics, wall, result = _run_campaign(
+        schedule, workers=2, watchdog_seconds=WATCHDOG_SECONDS
+    )
+    _case(
+        "hang@cell:0", schedule, metrics, wall, result, watchdog_kills=1
+    )
+    assert wall < HANG_SECONDS / 2, "watchdog did not cut the hang short"
+
+    # 5. Repeated pool death: every slot retires and the pass degrades
+    #    to serial in-process execution — the ladder's last rung.
+    schedule = FaultSchedule.parse("worker_kill@cell:*")
+    metrics, wall, result = _run_campaign(
+        schedule, workers=2, max_slot_restarts=0
+    )
+    _case(
+        "worker_kill@cell:*", schedule, metrics, wall, result,
+        degraded_cells=1,
+    )
+
+    emit(
+        f"Chaos matrix: unified campaign, batch {GLOBAL_BATCH}, "
+        f"fault-free serial {reference_wall:.2f}s, "
+        f"{os.cpu_count()} CPU(s)\n"
+        + format_table(
+            [
+                "schedule",
+                "wall (s)",
+                "injected",
+                "retries",
+                "restarts",
+                "degraded",
+                "watchdog",
+                "lock breaks",
+            ],
+            rows,
+        )
+    )
+    for record in records:
+        bench_json_history("chaos", record)

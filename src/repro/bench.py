@@ -47,6 +47,9 @@ Campaign / prune / calibrate usage::
     python -m repro.bench --campaign unified --profile   # stage breakdown
     python -m repro.bench --campaign unified --no-prewarm
     python -m repro.bench --campaign unified --workers 0 # 0 = all CPUs
+    python -m repro.bench --campaign smoke --workers 2 \
+        --inject-faults worker_kill@cell:0 --fault-seed 7   # chaos run
+    python -m repro.bench --campaign smoke --fault-seed 7   # random fault
     python -m repro.bench --prune --max-age-days 30      # make bench-prune
     python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
     python -m repro.bench --calibrate-workers            # make bench-calibrate
@@ -71,6 +74,17 @@ unique uncached micro-batch shapes up front.
 *deterministic* work limit (HiGHS branch-and-bound nodes) instead of a
 wall-clock budget, so MILP campaigns satisfy the same bit-identical
 metrics contract as the greedy backend.
+
+``--inject-faults SPEC --fault-seed N`` arms the deterministic chaos
+plane (:mod:`repro.core.faults`): worker kills, torn spill writes,
+stale store locks and hung cells fire at seeded injection points, the
+sweep recovers through graduated escalation (per-cell resubmit → pool
+restart → serial degradation), and the epoch must still produce
+metrics bit-identical to a fault-free pass.  ``--fault-seed`` alone
+draws one random fault from the menu; ``--watchdog-seconds`` bounds
+hung cells.  Each epoch prints a fault report and the ``faults`` block
+rides along in the appended record (``make bench-chaos`` exercises the
+full matrix via ``benchmarks/test_bench_chaos.py``).
 """
 
 from __future__ import annotations
@@ -201,6 +215,12 @@ def run_campaign(args: argparse.Namespace) -> int:
         overrides["global_batch_size"] = args.batch_size
     campaign = build_campaign(args.campaign, **overrides)
 
+    fault_schedule = _build_fault_schedule(args)
+    if fault_schedule is not None:
+        print(
+            f"[{args.campaign}] chaos: injecting {fault_schedule} "
+            f"(seed {fault_schedule.seed})"
+        )
     results_dir = _benchmarks_dir() / "results"
     store = None
     if not args.no_store:
@@ -211,6 +231,8 @@ def run_campaign(args: argparse.Namespace) -> int:
         store=store,
         solver_workers=args.solver_workers,
         prewarm=args.prewarm,
+        fault_schedule=fault_schedule,
+        watchdog_seconds=args.watchdog_seconds,
     )
     records = []
     with runner:
@@ -271,9 +293,25 @@ def run_campaign(args: argparse.Namespace) -> int:
                     f"{stats.entries} entries; hits {stats.hits}, "
                     f"misses {stats.misses}, writes {stats.writes}, "
                     f"evictions {stats.evictions}, lock waits "
-                    f"{stats.lock_waits}; write amplification "
+                    f"{stats.lock_waits}, lock breaks "
+                    f"{stats.lock_breaks}; write amplification "
                     f"{result.store_write_amplification:.3f} "
                     f"writes/cell"
+                )
+            faults = result.sweep.fault_stats
+            if faults is not None:
+                injected = ", ".join(
+                    f"{label} x{count}"
+                    for label, count in faults.injections
+                ) or "none"
+                print(
+                    f"[{campaign.name}] epoch {epoch} faults: "
+                    f"injected {injected}; {faults.cell_retries} cell "
+                    f"retries, {faults.pool_restarts} pool restarts, "
+                    f"{faults.shard_reassignments} shard reassignments, "
+                    f"{faults.watchdog_kills} watchdog kills, "
+                    f"{faults.degraded_cells} cells degraded to serial, "
+                    f"{faults.lock_breaks} locks broken"
                 )
     print()
     print(_campaign_tables(result))
@@ -281,6 +319,25 @@ def run_campaign(args: argparse.Namespace) -> int:
     append_history(path, records)
     print(f"\nappended {len(records)} record(s) to {path}")
     return 0
+
+
+def _build_fault_schedule(args: argparse.Namespace):
+    """Build the chaos schedule from ``--inject-faults`` / ``--fault-seed``.
+
+    An explicit spec wins; a bare ``--fault-seed`` draws one random
+    fault from the menu so CI can chaos-test without hand-picking a
+    failure mode.  Returns ``None`` (faults fully disarmed) when
+    neither flag is given.
+    """
+    from repro.core.faults import FaultSchedule
+
+    if args.inject_faults:
+        return FaultSchedule.parse(
+            args.inject_faults, seed=args.fault_seed or 0
+        )
+    if args.fault_seed is not None:
+        return FaultSchedule.single_random(args.fault_seed)
+    return None
 
 
 def run_prune(args: argparse.Namespace) -> int:
@@ -381,7 +438,42 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
         help="disable campaign-level cold batching (per-cell planning, "
         "the pre-PR5 behaviour)",
     )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos schedule: comma-separated "
+        "kind@site[:N|*] specs, e.g. "
+        "'worker_kill@cell:0,torn_write@spill:1'; kinds are "
+        "worker_kill / torn_write / stale_lock / hang, sites are "
+        "cell / spill / lock / prune / plan / spawn / drain / prewarm",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="chaos seed; with --inject-faults it seeds the schedule, "
+        "alone it draws one random fault from the menu",
+    )
+    parser.add_argument(
+        "--watchdog-seconds",
+        type=float,
+        default=None,
+        help="per-cell hang watchdog: kill and resubmit any cell "
+        "in flight longer than this (default: no watchdog)",
+    )
     args = parser.parse_args(argv)
+    if args.watchdog_seconds is not None and args.watchdog_seconds <= 0:
+        parser.error(
+            f"--watchdog-seconds must be positive, got {args.watchdog_seconds}"
+        )
+    if args.inject_faults:
+        from repro.core.faults import FaultSchedule
+
+        try:
+            FaultSchedule.parse(args.inject_faults)
+        except ValueError as error:
+            parser.error(str(error))
     if args.repeat < 1:
         parser.error(f"--repeat must be at least 1, got {args.repeat}")
     args.workers = _resolve_workers(parser, "--workers", args.workers)

@@ -83,10 +83,19 @@ campaigns:
   recorded mtime/size rather than this process's wall clock, so clock
   skew cannot defeat the guard.
 
-An evicted workload simply loads cold on the next miss; per-workload
-lock files are deliberately left in place (unlinking a lock file
-another process may already hold would let two writers hold "the"
-lock at once and clobber each other's merges).
+An evicted workload simply loads cold on the next miss.  Lock files
+are left in place in normal operation, but acquisition is **bounded**:
+a writer that cannot take the lock immediately polls with a dead-pid
+probe against the recorded holder, safely *breaks* a lock whose
+holder crashed (unlink + fresh acquire, counted as ``lock_breaks``),
+and only falls back to an honest blocking wait when the holder is
+demonstrably alive or unidentifiable.  Because breaking recreates the
+lock file, every acquisition re-verifies that the inode it locked is
+still the inode on disk and retries otherwise — two writers can never
+both hold "the" lock.  The write paths also visit the
+:mod:`repro.core.faults` injection points ``spill`` (torn non-atomic
+data write), ``lock`` and ``prune`` (a lock file stamped with a dead
+holder), so chaos tests can prove all of the above actually fires.
 """
 
 from __future__ import annotations
@@ -107,6 +116,7 @@ try:  # pragma: no cover - import guard
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
+from repro.core import faults
 from repro.core.plan_cache import INFEASIBLE, PlanCache
 from repro.core.planner import PlannerConfig
 from repro.core.serialization import microbatch_from_dict, microbatch_to_dict
@@ -298,6 +308,11 @@ class StoreStats:
     #: behind another process's merge of the same workload file — the
     #: shared-store contention figure at campaign fan-out.
     lock_waits: int = 0
+    #: Stale locks safely broken: contended acquisitions whose
+    #: recorded holder pid turned out to be dead (a crashed writer) —
+    #: the lock file was unlinked and re-acquired instead of blocking
+    #: forever.  The chaos benchmark's stale-lock recovery figure.
+    lock_breaks: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -332,38 +347,201 @@ def _entry_count(state: WorkloadState) -> int:
     )
 
 
+#: How long a contended lock acquisition probes before giving up and
+#: blocking honestly behind a live (or unidentifiable) holder, and how
+#: often it polls.  Module-level so tests can monkeypatch the bound.
+LOCK_TIMEOUT_SECONDS = 10.0
+LOCK_POLL_SECONDS = 0.05
+
+
+def _same_inode(lock, lock_path: pathlib.Path) -> bool:
+    """Is the fd's inode still the lock file on disk?
+
+    Breaking a stale lock unlinks and recreates the path, so a waiter
+    holding an fd on the *old* inode would otherwise "acquire" a lock
+    nobody else can see.  Every successful acquisition re-verifies
+    identity and retries on a fresh open when it fails.
+    """
+    try:
+        return os.fstat(lock.fileno()).st_ino == os.stat(lock_path).st_ino
+    except OSError:
+        return False
+
+
+def _stamp_holder(lock) -> None:
+    """Record our pid in the held lock file (best-effort) so waiters
+    can probe whether the holder is still alive."""
+    with contextlib.suppress(OSError, ValueError):
+        lock.seek(0)
+        lock.truncate()
+        lock.write(str(os.getpid()))
+        lock.flush()
+
+
+def _holder_pid(lock) -> int | None:
+    """The pid recorded in the lock file, or None when absent/garbled
+    (an unidentifiable holder is conservatively treated as alive)."""
+    try:
+        lock.seek(0)
+        text = lock.read(32).strip()
+    except (OSError, ValueError):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Signal-0 probe; EPERM means alive-but-not-ours."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, OverflowError):  # EPERM etc.: assume alive
+        return True
+    return True
+
+
+def _break_lock(lock_path: pathlib.Path):
+    """Break a lock whose recorded holder is dead: unlink the stale
+    file and acquire a fresh one.  Returns the held file object, or
+    None when another waiter won the race (the caller re-loops)."""
+    with contextlib.suppress(OSError):
+        os.unlink(lock_path)
+    try:
+        fresh = open(lock_path, "a+")
+    except OSError:
+        return None
+    try:
+        fcntl.flock(fresh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        fresh.close()
+        return None
+    if not _same_inode(fresh, lock_path):
+        with contextlib.suppress(OSError):
+            fcntl.flock(fresh.fileno(), fcntl.LOCK_UN)
+        fresh.close()
+        return None
+    _stamp_holder(fresh)
+    return fresh
+
+
+def _acquire_lock(
+    lock_path: pathlib.Path, on_wait, on_break, timeout, force_probe
+):
+    """Acquire the advisory lock with bounded waiting; returns the
+    held (and pid-stamped) file object.  See :func:`_locked`."""
+    notified = False
+    while True:
+        lock = open(lock_path, "a+")
+        acquired = False
+        if force_probe:
+            # Injection support: skip the fast path once so the
+            # planted stale-holder file is actually probed.
+            force_probe = False
+        else:
+            with contextlib.suppress(OSError):
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                acquired = True
+        if not acquired:
+            if not notified:
+                notified = True
+                if on_wait is not None:
+                    on_wait()
+            deadline = time.monotonic() + timeout
+            while not acquired:
+                pid = _holder_pid(lock)
+                if (
+                    pid is not None
+                    and pid != os.getpid()
+                    and not _pid_alive(pid)
+                ):
+                    lock.close()
+                    fresh = _break_lock(lock_path)
+                    if fresh is None:
+                        break  # lost the breaking race; reopen and retry
+                    if on_break is not None:
+                        on_break()
+                    return fresh
+                if time.monotonic() >= deadline:
+                    # Live (or unidentifiable) holder past the bound:
+                    # block honestly, exactly as before the bound
+                    # existed.  Never steal from a live writer.
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+                    acquired = True
+                    break
+                time.sleep(LOCK_POLL_SECONDS)
+                with contextlib.suppress(OSError):
+                    fcntl.flock(
+                        lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB
+                    )
+                    acquired = True
+        if acquired:
+            if _same_inode(lock, lock_path):
+                _stamp_holder(lock)
+                return lock
+            # The inode under our flock was broken away (unlinked and
+            # recreated) while we waited: release and retry on the
+            # live file.
+            with contextlib.suppress(OSError):
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+        lock.close()
+
+
 @contextlib.contextmanager
-def _locked(lock_path: pathlib.Path, on_wait=None):
-    """Advisory exclusive flock on ``lock_path``.
+def _locked(
+    lock_path: pathlib.Path,
+    on_wait=None,
+    on_break=None,
+    timeout: float | None = None,
+    force_probe: bool = False,
+):
+    """Advisory exclusive flock on ``lock_path``, with bounded waiting
+    and stale-lock breaking.
 
     The single definition of the store's locking idiom (per-workload
     write locks and the manifest lock both use it).  On platforms
     without ``fcntl`` the lock degrades to a no-op — single-process
-    use is still fully safe.  Lock files are never deleted: unlinking
-    one while another process holds the flock would hand out a second
-    "same" lock on a fresh inode and let two writers clobber each
-    other's merges.
+    use is still fully safe.
 
-    ``on_wait`` is called (once) when the lock is contended — the
-    non-blocking acquisition attempt fails and this writer is about to
-    block behind another process.  The store counts those events as
-    ``lock_waits``: the contention leg of the shared-store accounting
-    that the concurrent-campaigns benchmark watches at fan-out.
+    Acquisition: a non-blocking attempt first; on contention the
+    waiter polls (every :data:`LOCK_POLL_SECONDS`) for up to
+    ``timeout`` seconds (default :data:`LOCK_TIMEOUT_SECONDS`),
+    probing the pid the holder stamped into the lock file.  A dead
+    holder — a writer that crashed between acquiring and releasing —
+    gets its lock *broken*: the stale file is unlinked and a fresh one
+    acquired, so one crash never wedges every future writer.  A live
+    or unidentifiable holder is never stolen from: past the bound the
+    waiter simply blocks, as it always did.  Because breaking swaps
+    the inode under concurrent waiters, every successful acquisition
+    verifies fd-inode identity against the path and retries on a
+    mismatch — mutual exclusion holds through a break.
+
+    ``on_wait`` is called (once) when the lock is contended; the store
+    counts those as ``lock_waits``.  ``on_break`` is called for each
+    stale lock broken (``lock_breaks``).  ``force_probe`` skips the
+    initial fast path once so an injected stale-holder file is
+    actually examined (the ``stale_lock`` fault realisation).
     """
     if fcntl is None:  # pragma: no cover - non-POSIX
         yield
         return
-    with open(lock_path, "w") as lock:
+    lock = _acquire_lock(
+        lock_path,
+        on_wait,
+        on_break,
+        LOCK_TIMEOUT_SECONDS if timeout is None else timeout,
+        force_probe,
+    )
+    try:
+        yield
+    finally:
         try:
-            fcntl.flock(lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            if on_wait is not None:
-                on_wait()
-            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
-        try:
-            yield
+            with contextlib.suppress(OSError):
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
         finally:
-            fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            lock.close()
 
 
 def _atomic_write(path: pathlib.Path, payload: str) -> None:
@@ -408,6 +586,7 @@ class CacheStore:
             "writes": 0,
             "evictions": 0,
             "lock_waits": 0,
+            "lock_breaks": 0,
         }
 
     def _path(self, signature: tuple) -> pathlib.Path:
@@ -470,12 +649,40 @@ class CacheStore:
         Without it, two workers could both read state v0, each merge
         only its own entries, and the second ``os.replace`` would
         discard the first's.  Lock files live beside the data files.
-        Contended acquisitions bump the ``lock_waits`` counter.
+        Contended acquisitions bump the ``lock_waits`` counter; stale
+        locks broken on the way in bump ``lock_breaks``.
+
+        This is the ``lock`` injection point: a ``stale_lock`` fault
+        plants a dead holder pid in the lock file and forces the probe
+        path, proving the breaking machinery end to end.
         """
-        return _locked(path.with_suffix(".lock"), on_wait=self._count_wait)
+        lock_path = path.with_suffix(".lock")
+        force_probe = False
+        if faults.maybe_inject("lock") == "stale_lock":
+            force_probe = self._plant_stale_lock(lock_path)
+        return _locked(
+            lock_path,
+            on_wait=self._count_wait,
+            on_break=self._count_break,
+            force_probe=force_probe,
+        )
+
+    def _plant_stale_lock(self, lock_path: pathlib.Path) -> bool:
+        """Realise a ``stale_lock`` fault: stamp a dead pid into the
+        lock file, exactly what a writer crashing between acquire and
+        release leaves behind (the kernel drops the flock with the
+        process; only the stamped pid persists)."""
+        try:
+            lock_path.write_text(str(faults.dead_pid()))
+        except OSError:  # pragma: no cover - injection best-effort
+            return False
+        return True
 
     def _count_wait(self) -> None:
         self._counters["lock_waits"] += 1
+
+    def _count_break(self) -> None:
+        self._counters["lock_breaks"] += 1
 
     def save(self, signature: tuple, state: WorkloadState) -> None:
         """Persist ``state``, merging with what is already on disk.
@@ -501,6 +708,18 @@ class CacheStore:
             if existing is not None:
                 state = _merged(existing, state)
             payload = json.dumps(_state_to_dict(state), separators=(",", ":"))
+            if faults.maybe_inject("spill") == "torn_write":
+                # Realise a torn write: a truncated payload lands at
+                # the data path *without* the atomic temp+replace, the
+                # write is not counted and the manifest not updated —
+                # what a crash mid-write leaves behind.  The store
+                # contract absorbs it: the next load parses garbage,
+                # returns cold, and the next save atomically replaces
+                # the wreck.
+                with contextlib.suppress(OSError):
+                    path.write_text(payload[: max(1, len(payload) // 2)])
+                    self._touched.add(path.name)
+                return
             _atomic_write(path, payload)
             self._counters["writes"] += 1
             self._touched.add(path.name)
@@ -523,13 +742,20 @@ class CacheStore:
     def _manifest_path(self) -> pathlib.Path:
         return self.root / MANIFEST_NAME
 
-    def _manifest_lock(self):
+    def _manifest_lock(self, force_probe: bool = False):
         """Advisory lock serialising manifest read-modify-write.
 
         Always acquired *after* a per-workload file lock when both are
         held (save, prune), so the two lock levels cannot deadlock.
+        Stale manifest locks are broken like workload locks (and
+        counted); ``force_probe`` serves the ``prune`` injection.
         """
-        return _locked(self.root / "store-manifest.lock")
+        return _locked(
+            self.root / "store-manifest.lock",
+            on_wait=self._count_wait,
+            on_break=self._count_break,
+            force_probe=force_probe,
+        )
 
     def _read_manifest(self) -> dict[str, dict] | None:
         """The manifest's file table, or None when corrupt/missing.
@@ -703,7 +929,15 @@ class CacheStore:
         loads cold on its next miss.
         """
         started = time.time() if now is None else now
-        with self._manifest_lock():
+        force_probe = False
+        if faults.maybe_inject("prune") == "stale_lock":
+            # The ``prune`` injection point: the lifecycle pass finds
+            # the manifest lock orphaned by a crashed writer and must
+            # break it rather than wedge.
+            force_probe = self._plant_stale_lock(
+                self.root / "store-manifest.lock"
+            )
+        with self._manifest_lock(force_probe=force_probe):
             files = self._reconciled_files()
             if not dry_run:
                 self._write_manifest(files)

@@ -39,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from repro.core import pools, stage_timing
+from repro.core import faults, pools, stage_timing
 from repro.core.blaster import (
     DEFAULT_NUM_TRIALS,
     blast_multi,
@@ -136,10 +136,17 @@ _WORKER_STATE: tuple[CostModel, PlannerConfig, str] | None = None
 
 
 def _service_initializer(
-    model: CostModel, planner_config: PlannerConfig, backend: str
+    model: CostModel,
+    planner_config: PlannerConfig,
+    backend: str,
+    fault_schedule=None,
 ) -> None:
     global _WORKER_STATE
     _WORKER_STATE = (model, planner_config, backend)
+    # Chaos testing: arm the parent's fault schedule in this worker
+    # (None outside chaos runs) and visit the spawn injection point.
+    faults.arm(fault_schedule)
+    faults.maybe_inject("spawn")
     # Pre-build the vectorized cost table so every task reuses it.
     cost_table(model)
 
@@ -153,6 +160,7 @@ def _service_plan(
     pooled work too."""
     assert _WORKER_STATE is not None, "service worker used before initialization"
     model, planner_config, backend = _WORKER_STATE
+    faults.maybe_inject("plan")
     with stage_timing.collect() as stages:
         try:
             outcome = _BACKENDS[backend](lengths, model, planner_config)
@@ -161,25 +169,68 @@ def _service_plan(
     return outcome, stages
 
 
-def _collect_planned(futures) -> list[tuple[MicroBatchPlan, float] | None]:
-    """Gather worker outcomes, replaying their stage timings into the
-    caller's open :mod:`~repro.core.stage_timing` frames (the parent
-    thread is the one assembling the solve-level breakdown).
+#: Sentinel for a shape whose outcome has not been collected yet.
+_PENDING = object()
 
-    Timings are held back until every future has resolved: a
-    ``BrokenProcessPool`` raised mid-collection makes the caller retry
-    the whole batch, and eagerly merged timings from the first attempt
-    would then be double-counted in the solve's breakdown.
+
+def _plan_resumable(
+    submit, close, count: int
+) -> list[tuple[MicroBatchPlan, float] | None]:
+    """Collect per-shape planning outcomes, surviving pool death
+    mid-batch without replanning completed shapes.
+
+    ``submit(indices)`` submits planner tasks for the given shape
+    indices on a (lazily rebuilt) pool and returns aligned futures;
+    ``close`` tears a broken pool down so the next ``submit`` rebuilds
+    it.  Completed outcomes are kept across deaths — only
+    still-missing indices are ever resubmitted, so the campaign
+    prewarm resumes from the last completed shape instead of paying
+    the whole batch again.  Each completed future's stage timings
+    merge into the caller's open :mod:`~repro.core.stage_timing`
+    frames exactly once (an index never runs twice, so eager merging
+    cannot double-count the solve-level breakdown).
+
+    ``RuntimeError`` from ``submit`` covers only the submission phase
+    (a concurrently-closed pool); an exception raised *inside* a
+    worker's planner is genuine and propagates immediately.  Two
+    consecutive rounds without a single completed shape raise — the
+    pool is dying faster than it plans, and retrying forever would
+    hang the solve.
     """
-    outcomes: list[tuple[MicroBatchPlan, float] | None] = []
-    stage_dicts: list[dict[str, float]] = []
-    for future in futures:
-        outcome, stages = future.result()
-        stage_dicts.append(stages)
-        outcomes.append(outcome)
-    for stages in stage_dicts:
-        stage_timing.merge(stages)
-    return outcomes
+    outcomes: list = [_PENDING] * count
+    barren_rounds = 0
+    while True:
+        missing = [i for i, o in enumerate(outcomes) if o is _PENDING]
+        if not missing:
+            return outcomes
+        try:
+            futures = submit(missing)
+        except (BrokenProcessPool, RuntimeError):
+            barren_rounds += 1
+            if barren_rounds >= 2:
+                raise
+            close()
+            continue
+        progressed = 0
+        broken = False
+        for index, future in zip(missing, futures):
+            try:
+                outcome, stages = future.result()
+            except BrokenProcessPool:
+                broken = True
+                continue
+            outcomes[index] = outcome
+            stage_timing.merge(stages)
+            progressed += 1
+        if not broken:
+            continue
+        barren_rounds = 0 if progressed else barren_rounds + 1
+        if barren_rounds >= 2:
+            raise BrokenProcessPool(
+                "planner pool died in consecutive rounds without "
+                "completing a single shape"
+            )
+        close()
 
 
 class SolverService:
@@ -218,7 +269,12 @@ class SolverService:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.config.workers,
                     initializer=_service_initializer,
-                    initargs=(pristine, self.config.planner, self.config.backend),
+                    initargs=(
+                        pristine,
+                        self.config.planner,
+                        self.config.backend,
+                        faults.active_schedule(),
+                    ),
                 )
                 # GC/exit fallback for callers that never close(): shut
                 # the workers down when the service is collected or the
@@ -236,30 +292,18 @@ class SolverService:
         (every later submit raises ``BrokenProcessPool``), and a
         concurrent ``close()`` can shut the pool down mid-submit
         (``RuntimeError: cannot schedule new futures``) — in either
-        case the pool is rebuilt and the batch retried once before the
-        error propagates.  The ``RuntimeError`` guard covers only the
-        submission phase: an exception raised *inside* a worker's
-        planner is genuine and propagates without a wasteful retry.
+        case the pool is rebuilt and only the **still-missing** shapes
+        are resubmitted (see :func:`_plan_resumable`): outcomes
+        already collected before the death survive, so a mid-batch
+        crash never replans completed work.  Worker exceptions are
+        genuine and propagate without retry.
         """
-        for attempt in (0, 1):
-            try:
-                futures = self._submit(shapes)
-            except (BrokenProcessPool, RuntimeError):
-                if attempt:
-                    raise
-                self.close()
-                continue
-            try:
-                return _collect_planned(futures)
-            except BrokenProcessPool:
-                if attempt:
-                    raise
-                self.close()
-        raise AssertionError("unreachable: both service attempts returned")
 
-    def _submit(self, shapes: list[tuple[int, ...]]) -> list:
-        pool = self._ensure_pool()
-        return [pool.submit(_service_plan, shape) for shape in shapes]
+        def _submit(indices: list[int]) -> list:
+            pool = self._ensure_pool()
+            return [pool.submit(_service_plan, shapes[i]) for i in indices]
+
+        return _plan_resumable(_submit, self.close, len(shapes))
 
     def close(self) -> None:
         """Shut the pool down (the next use restarts it lazily)."""
@@ -292,6 +336,13 @@ class SolverService:
 _POOL_CONTEXTS: dict[str, tuple[CostModel, PlannerConfig, str]] = {}
 
 
+def _pool_initializer(fault_schedule=None) -> None:
+    """Arm the parent's fault schedule (chaos runs only) in a shared-
+    pool worker and visit the spawn injection point."""
+    faults.arm(fault_schedule)
+    faults.maybe_inject("spawn")
+
+
 def _pool_plan(
     digest: str, blob: bytes, shape: tuple[int, ...]
 ) -> tuple[tuple[MicroBatchPlan, float] | None, dict[str, float]]:
@@ -305,6 +356,7 @@ def _pool_plan(
         # this context reuses it.
         cost_table(state[0])
     model, planner_config, backend = state
+    faults.maybe_inject("plan")
     with stage_timing.collect() as stages:
         try:
             outcome = _BACKENDS[backend](shape, model, planner_config)
@@ -400,37 +452,36 @@ class SolverPool:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                # The initializer arms the parent's fault schedule in
+                # each worker (a no-op outside chaos runs) so the
+                # ``plan`` injection point is live pool-side too.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_initializer,
+                    initargs=(faults.active_schedule(),),
+                )
                 self._finalizer = pools.track_pool(self, self._pool)
             return self._pool
 
     def plan_shapes(
         self, digest: str, blob: bytes, shapes: list[tuple[int, ...]]
     ) -> list[tuple[MicroBatchPlan, float] | None]:
-        """Plan every shape for one tenant (same retry contract as
-        :meth:`SolverService.plan_shapes`: one rebuild on a broken or
-        concurrently-closed pool, worker exceptions propagate)."""
-        for attempt in (0, 1):
-            try:
-                pool = self._ensure_pool()
-                futures = [
-                    pool.submit(_pool_plan, digest, blob, shape)
-                    for shape in shapes
-                ]
-            except (BrokenProcessPool, RuntimeError):
-                if attempt:
-                    raise
-                self.close()
-                continue
+        """Plan every shape for one tenant (same recovery contract as
+        :meth:`SolverService.plan_shapes`: a broken or concurrently-
+        closed pool is rebuilt and only still-missing shapes are
+        resubmitted; worker exceptions propagate)."""
+
+        def _submit(indices: list[int]) -> list:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_pool_plan, digest, blob, shapes[i])
+                for i in indices
+            ]
             with self._lock:
                 self._dispatched += len(futures)
-            try:
-                return _collect_planned(futures)
-            except BrokenProcessPool:
-                if attempt:
-                    raise
-                self.close()
-        raise AssertionError("unreachable: both pool attempts returned")
+            return futures
+
+        return _plan_resumable(_submit, self.close, len(shapes))
 
     def close(self) -> None:
         """Shut the shared pool down (the next use restarts it lazily).

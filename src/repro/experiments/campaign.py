@@ -439,6 +439,10 @@ class CampaignResult:
                     self.store_write_amplification, 4
                 ),
             }
+        if self.sweep.fault_stats is not None:
+            # Chaos accounting: realised injections and the recovery
+            # that absorbed them (absent on fault-free passes).
+            payload["faults"] = self.sweep.fault_stats.to_dict()
         return payload
 
 

@@ -67,6 +67,24 @@ re-samples the same corpus, and re-solves the same FlexSP plans.
   amplification (writes / cells measured) is surfaced per cell as
   :attr:`CellMetrics.store_writes` and per pass as
   :attr:`SweepResult.store_stats`.
+* **Fault injection & graduated recovery.**  The executor visits the
+  :mod:`repro.core.faults` injection points (``cell``, ``spawn``,
+  ``drain``, ``prewarm``; the store and solver layers add ``spill``,
+  ``lock``, ``prune``, ``plan``) and survives what they throw at it
+  with a graduated escalation instead of the old all-or-nothing pass
+  retry: a cell whose slot dies is **resubmitted** with deterministic
+  bounded backoff; the dead slot's pool is **restarted** lazily; a
+  slot that keeps dying is **retired**, its unfinished shards
+  reassigned to surviving slots through the same
+  :class:`_ShardScheduler` stealing machinery; and when no slots
+  survive (or a cell exhausts its retries) the work **degrades to
+  serial in-process execution** — a campaign finishes on the parent
+  alone if it must.  A watchdog kills and resubmits hung flights
+  (``watchdog_seconds``).  Recovery moves only *where and when* a
+  cell runs: results stay bit-identical to the fault-free serial
+  pass, and the whole story is accounted in
+  :attr:`SweepResult.fault_stats` (:class:`~repro.core.faults.
+  FaultStats`).
 
 Results are plain :class:`CellMetrics` (no plans or traces), so they
 are cheap to ship across the pool and serialise into the
@@ -90,7 +108,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core import pools, stage_timing
+from repro.core import faults, pools, stage_timing
 from repro.core.cache_store import (
     CacheStore,
     StoreStats,
@@ -99,6 +117,7 @@ from repro.core.cache_store import (
     entries_from_cache,
     preload_cache,
 )
+from repro.core.faults import FaultSchedule, FaultStats
 from repro.core.planner import PlanInfeasibleError
 from repro.core.solver import SolverConfig, SolverPool
 from repro.core.types import InfeasibleWorkloadError
@@ -412,6 +431,14 @@ class SweepResult:
         worker_telemetry: Per-worker accounting rows for this pass
             (see :class:`WorkerTelemetry`); one row per pool slot, or
             a single parent row for serial passes.
+        fault_stats: Fault-and-recovery accounting for this pass
+            (:class:`~repro.core.faults.FaultStats`): realised
+            injections from the armed schedule's ledger plus the
+            recovery escalations the executor performed (cell
+            retries, pool restarts, shard reassignments, degradations
+            to serial, watchdog kills, store lock breaks).  None when
+            no schedule was armed and no recovery fired — the
+            fault-free common case.
     """
 
     cells: tuple[SweepCell, ...]
@@ -423,6 +450,7 @@ class SweepResult:
     prewarm_seconds: float = 0.0
     prewarm_stage_seconds: tuple[tuple[str, float], ...] = ()
     worker_telemetry: tuple[WorkerTelemetry, ...] = ()
+    fault_stats: FaultStats | None = None
 
     def metric(
         self,
@@ -805,6 +833,7 @@ def _sweep_worker_init(
     store_root: str | None,
     solver_workers: int,
     spill_batch: int,
+    fault_schedule: FaultSchedule | None = None,
 ) -> None:
     global _WORKER_SWEEP, _WORKER_SOLVER_POOL, _WORKER_STORE
     global _WORKER_CELLS_SINCE_SPILL
@@ -818,6 +847,11 @@ def _sweep_worker_init(
     _WORKER_TELEMETRY.update(
         cells=0, context_builds=0, restore_seconds=0.0, stages={}
     )
+    # Chaos testing: arm the parent's fault schedule (None outside
+    # chaos runs) before anything that can fault, then visit the spawn
+    # injection point — a worker_kill here dies during pool startup.
+    faults.arm(fault_schedule)
+    faults.maybe_inject("spawn")
     _WORKER_STORE = CacheStore(store_root) if store_root else None
     if _WORKER_STORE is not None:
         # Batched spills must survive pool shutdown: whatever is still
@@ -852,6 +886,7 @@ def _sweep_worker_flush() -> tuple[int, dict[str, int], dict]:
     process.
     """
     global _WORKER_CELLS_SINCE_SPILL
+    faults.maybe_inject("drain")
     for context in _WORKER_CONTEXTS.values():
         context.persist()
     _WORKER_CELLS_SINCE_SPILL = 0
@@ -863,6 +898,12 @@ def _sweep_worker_flush() -> tuple[int, dict[str, int], dict]:
 def _sweep_worker_run(cell: SweepCell) -> CellMetrics:
     global _WORKER_SOLVER_POOL, _WORKER_CELLS_SINCE_SPILL
     assert _WORKER_SWEEP is not None, "sweep worker used before initialization"
+    # The cell injection point (worker-side only: a cell degraded to
+    # serial in-process execution deliberately bypasses it — the
+    # parent dying is the campaign ending, not a fault to recover
+    # from).  worker_kill dies here; hang sleeps until the parent's
+    # watchdog kills this process.
+    faults.maybe_inject("cell")
     solver_config, vectorized, __, solver_workers, spill_batch = _WORKER_SWEEP
     if solver_workers > 1 and _WORKER_SOLVER_POOL is None:
         _WORKER_SOLVER_POOL = SolverPool(solver_workers)
@@ -948,6 +989,31 @@ class _ShardScheduler:
         """Cells not yet handed out."""
         return sum(len(shard) for shard in self._shards)
 
+    def _load(self, slot: int) -> int:
+        """Cells still queued in ``slot``'s own shards."""
+        return sum(len(self._shards[i]) for i in self.owners[slot])
+
+    def reassign(self, slot: int, survivors: Sequence[int]) -> int:
+        """Move ``slot``'s unfinished shards to the least-loaded
+        survivors (the retired-slot escalation rung: a slot whose pool
+        keeps dying hands its remaining work to slots that still
+        live).  Returns the number of shards moved; with no survivors
+        the shards stay put for the caller to drain serially.  The
+        stealing machinery needs no change — a reassigned shard is
+        simply owned by its new slot from here on."""
+        survivors = [s for s in survivors if s != slot]
+        if not survivors:
+            return 0
+        moved = 0
+        for index in self.owners[slot]:
+            if not self._shards[index]:
+                continue
+            target = min(survivors, key=lambda s: (self._load(s), s))
+            self.owners[target].append(index)
+            moved += 1
+        self.owners[slot] = []
+        return moved
+
     def next_cell(self, slot: int) -> tuple[SweepCell, bool] | None:
         """The next cell for ``slot``, or None when everything is out.
 
@@ -966,6 +1032,47 @@ class _ShardScheduler:
         if victim is None:
             return None
         return self._shards[victim].pop(), True
+
+
+#: Deterministic per-cell resubmit backoff: retry ``n`` (1-based)
+#: sleeps ``RETRY_BACKOFF_SECONDS * 2**(n-1)``, capped at
+#: ``RETRY_BACKOFF_MAX_SECONDS`` — bounded, and identical for every
+#: run of the same schedule.
+RETRY_BACKOFF_SECONDS = 0.05
+RETRY_BACKOFF_MAX_SECONDS = 1.0
+
+
+@dataclass
+class _RecoveryLog:
+    """One pass's mutable recovery counters (parent-side bookkeeping
+    behind :class:`~repro.core.faults.FaultStats`)."""
+
+    cell_retries: int = 0
+    pool_restarts: int = 0
+    shard_reassignments: int = 0
+    degraded_cells: int = 0
+    watchdog_kills: int = 0
+
+    def any(self) -> bool:
+        return bool(
+            self.cell_retries
+            or self.pool_restarts
+            or self.shard_reassignments
+            or self.degraded_cells
+            or self.watchdog_kills
+        )
+
+
+class _Flight:
+    """One in-flight cell: which slot runs it and when the watchdog
+    may presume it hung."""
+
+    __slots__ = ("slot", "cell", "deadline")
+
+    def __init__(self, slot: int, cell, deadline: float | None) -> None:
+        self.slot = slot
+        self.cell = cell
+        self.deadline = deadline
 
 
 class SweepRunner:
@@ -1027,6 +1134,25 @@ class SweepRunner:
             (side-effect-free), and the seeded state reaches the
             shard workers through the store when one is configured,
             or as a shipped pre-seed snapshot when not.
+        fault_schedule: Chaos testing — a
+            :class:`~repro.core.faults.FaultSchedule` armed around
+            every :meth:`run` pass (in the parent and, via the slot
+            pool initializers, in the workers).  None (the default)
+            keeps every injection point a no-op.  Results under any
+            schedule stay bit-identical to the fault-free serial
+            pass; realised injections and the recovery they triggered
+            are reported as :attr:`SweepResult.fault_stats`.
+        watchdog_seconds: Hung-flight watchdog for fan-out passes: a
+            cell in flight longer than this is presumed hung, its
+            slot's worker is killed (SIGKILL) and the cell resubmitted
+            through the normal escalation.  None (default) disables
+            the watchdog — a legitimately long MILP solve must never
+            be shot mid-flight unless the caller opted in.
+        max_cell_retries: Resubmissions a cell may consume across slot
+            failures before degrading to serial in-process execution.
+        max_slot_restarts: Consecutive failures a slot may accumulate
+            (a success resets the count) before it is retired and its
+            shards reassigned to surviving slots.
     """
 
     def __init__(
@@ -1039,6 +1165,10 @@ class SweepRunner:
         solver_workers: int | None = None,
         spill_batch: int = 0,
         prewarm: bool = True,
+        fault_schedule: FaultSchedule | None = None,
+        watchdog_seconds: float | None = None,
+        max_cell_retries: int = 3,
+        max_slot_restarts: int = 2,
     ) -> None:
         self.cells = tuple(cells)
         self.solver_config = solver_config
@@ -1068,6 +1198,27 @@ class SweepRunner:
             )
         self.spill_batch = spill_batch
         self.prewarm = prewarm
+        self.fault_schedule = fault_schedule
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ValueError(
+                f"watchdog_seconds must be positive, got {watchdog_seconds}"
+            )
+        self.watchdog_seconds = watchdog_seconds
+        if max_cell_retries < 0:
+            raise ValueError(
+                f"max_cell_retries must be non-negative, got "
+                f"{max_cell_retries}"
+            )
+        self.max_cell_retries = max_cell_retries
+        if max_slot_restarts < 0:
+            raise ValueError(
+                f"max_slot_restarts must be non-negative, got "
+                f"{max_slot_restarts}"
+            )
+        self.max_slot_restarts = max_slot_restarts
+        #: Ledger lines already attributed to earlier passes, so each
+        #: SweepResult reports only its own realised injections.
+        self._ledger_seen = 0
         self._contexts: dict[tuple, WorkloadContext] = {}
         self._solver_pool: SolverPool | None = None
         #: One single-worker ProcessPoolExecutor per fan-out slot —
@@ -1142,6 +1293,7 @@ class SweepRunner:
                         store_root,
                         self.solver_workers,
                         self.spill_batch,
+                        self.fault_schedule,
                     ),
                 )
                 self._slots[slot] = pool
@@ -1171,12 +1323,20 @@ class SweepRunner:
         if not cells:
             raise ValueError("a sweep needs at least one cell")
         started = time.perf_counter()
+        with faults.armed(self.fault_schedule):
+            return self._run_armed(cells, started)
+
+    def _run_armed(
+        self, cells: tuple[SweepCell, ...], started: float
+    ) -> SweepResult:
+        recovery = _RecoveryLog()
         unique: dict[SweepCell, CellMetrics | None] = dict.fromkeys(cells)
         order = list(unique)
         prewarm_planned = 0
         prewarm_seconds = 0.0
         prewarm_stages: dict[str, float] = {}
         if self.prewarm:
+            faults.maybe_inject("prewarm")
             prewarm_planned, prewarm_seconds, prewarm_stages = (
                 self._prewarm_cold_cells(order)
             )
@@ -1216,22 +1376,26 @@ class SweepRunner:
             preseed = (
                 self._export_prewarm_state() if prewarm_planned else {}
             )
-            outcomes, ran, steals = self._run_on_pool(order, preseed)
+            outcomes, ran, steals = self._run_on_pool(
+                order, preseed, recovery
+            )
             for cell, metrics in zip(order, outcomes):
                 unique[cell] = metrics
             self._drain_workers()
             telemetry = self._collect_worker_telemetry(ran, steals)
         metrics = tuple(unique[cell] for cell in cells)
+        store_stats = self._store_stats_delta()
         return SweepResult(
             cells=tuple(cells),
             metrics=metrics,
             unique_cells=len(unique),
             wall_seconds=time.perf_counter() - started,
-            store_stats=self._store_stats_delta(),
+            store_stats=store_stats,
             prewarm_planned=prewarm_planned,
             prewarm_seconds=prewarm_seconds,
             prewarm_stage_seconds=tuple(prewarm_stages.items()),
             worker_telemetry=telemetry,
+            fault_stats=self._fault_stats(recovery, store_stats),
         )
 
     def _prewarm_cold_cells(
@@ -1470,7 +1634,14 @@ class SweepRunner:
         totals = self._counter_totals()
         delta = {
             key: totals.get(key, 0) - self._counters_attributed.get(key, 0)
-            for key in ("hits", "misses", "writes", "evictions", "lock_waits")
+            for key in (
+                "hits",
+                "misses",
+                "writes",
+                "evictions",
+                "lock_waits",
+                "lock_breaks",
+            )
         }
         self._counters_attributed = totals
         num_files, num_bytes, num_entries = self.store.scan()
@@ -1478,24 +1649,60 @@ class SweepRunner:
             files=num_files, bytes=num_bytes, entries=num_entries, **delta
         )
 
-    def _run_on_pool(
-        self, cells: list[SweepCell], preseed: dict
-    ) -> tuple[list[CellMetrics], dict[int, int], dict[int, int]]:
-        """Fan unique cells across the slot pools (one retry on a
-        broken/concurrently-closed pool, mirroring ``SolverService``).
+    def _fault_stats(
+        self, recovery: _RecoveryLog, store_stats: StoreStats | None
+    ) -> FaultStats | None:
+        """This pass's fault report: the schedule ledger's new lines
+        (injections realised anywhere — including workers that died
+        before they could report) plus the parent's recovery counters
+        and the store's lock-break delta.  None when no schedule was
+        armed and nothing recovered (the common case stays silent)."""
+        injections: dict[str, int] = {}
+        if self.fault_schedule is not None:
+            labels = self.fault_schedule.read_ledger()
+            for label in labels[self._ledger_seen :]:
+                injections[label] = injections.get(label, 0) + 1
+            self._ledger_seen = len(labels)
+        lock_breaks = store_stats.lock_breaks if store_stats else 0
+        if self.fault_schedule is None and not recovery.any() and not lock_breaks:
+            return None
+        return FaultStats(
+            injections=tuple(sorted(injections.items())),
+            cell_retries=recovery.cell_retries,
+            pool_restarts=recovery.pool_restarts,
+            shard_reassignments=recovery.shard_reassignments,
+            degraded_cells=recovery.degraded_cells,
+            watchdog_kills=recovery.watchdog_kills,
+            lock_breaks=lock_breaks,
+        )
 
-        ``RuntimeError`` from a submit racing a concurrent ``close()``
-        is normalised to ``BrokenProcessPool`` inside
-        :meth:`_submit_to_slot`; an exception raised *inside* a
-        worker's cell computation is genuine and propagates without a
-        wasteful retry.  Before the retry the counter baseline is
-        re-anchored (:meth:`_rebaseline_counters`) so store writes the
-        failed attempt already performed are not double-counted when
-        the retry recomputes the same cells.
+    def _run_on_pool(
+        self,
+        cells: list[SweepCell],
+        preseed: dict,
+        recovery: _RecoveryLog,
+    ) -> tuple[list[CellMetrics], dict[int, int], dict[int, int]]:
+        """Fan unique cells across the slot pools.
+
+        Per-cell failures never reach here — :meth:`_run_sharded`
+        absorbs them through the graduated escalation (resubmit →
+        pool restart → shard reassignment → serial degradation).  The
+        outer retry survives only a *catastrophic* pass failure (e.g.
+        every preseed dying), and because ``results`` lives outside
+        the attempt loop, the retry recomputes **only unfinished
+        cells** — work the first attempt completed is kept.  Before
+        the retry the counter baseline is re-anchored
+        (:meth:`_rebaseline_counters`) so store writes the failed
+        attempt already performed are not double-counted.
         """
+        results: dict[SweepCell, CellMetrics] = {}
+        ran = dict.fromkeys(range(self.workers), 0)
+        steals = dict.fromkeys(range(self.workers), 0)
         for attempt in (0, 1):
             try:
-                return self._run_sharded(cells, preseed)
+                return self._run_sharded(
+                    cells, preseed, results, ran, steals, recovery
+                )
             except BrokenProcessPool:
                 if attempt:
                     raise
@@ -1504,54 +1711,259 @@ class SweepRunner:
         raise AssertionError("unreachable: both sweep attempts returned")
 
     def _run_sharded(
-        self, cells: list[SweepCell], preseed: dict
+        self,
+        cells: list[SweepCell],
+        preseed: dict,
+        results: dict,
+        ran: dict[int, int],
+        steals: dict[int, int],
+        recovery: _RecoveryLog,
     ) -> tuple[list[CellMetrics], dict[int, int], dict[int, int]]:
-        """One work-stealing dispatch pass over the slot pools.
+        """One work-stealing dispatch pass with graduated recovery.
 
         Keeps exactly one cell in flight per slot (the scheduler's
-        steal decisions must see up-to-date shard sizes, so cells are
-        handed out one completion at a time), counts per-slot cells
-        and steals, and returns metrics in request order.
+        steal decisions must see up-to-date shard sizes), counts
+        per-slot cells and steals, and returns metrics in request
+        order.  Cells already present in ``results`` (a previous
+        attempt's completions) are not re-run.
+
+        Failure handling is the escalation ladder: a slot whose
+        flight dies gets its pool restarted and the cell goes to the
+        retry queue with deterministic bounded backoff; a slot
+        failing ``max_slot_restarts + 1`` times in a row is retired
+        and its shards reassigned to surviving slots; a cell
+        exhausting ``max_cell_retries`` — or any work left when no
+        slot survives — runs serially in the parent.  A flight
+        outliving ``watchdog_seconds`` is presumed hung: its worker
+        is killed and the death follows the same ladder.  Recovery
+        affects only *where and when* a cell runs, so results remain
+        bit-identical to the fault-free serial pass.  Exceptions
+        raised *inside* a worker's cell computation are genuine and
+        propagate.
         """
-        scheduler = _ShardScheduler(cells, self.workers)
-        if preseed:
-            waits = [
-                self._submit_to_slot(slot, _sweep_worker_preseed, preseed)
-                for slot in range(self.workers)
-            ]
-            for future in waits:
-                future.result()
-        results: dict[SweepCell, CellMetrics] = {}
-        inflight: dict[Future, tuple[int, SweepCell]] = {}
-        ran = dict.fromkeys(range(self.workers), 0)
-        steals = dict.fromkeys(range(self.workers), 0)
-        for slot in range(self.workers):
-            self._dispatch_next(scheduler, slot, inflight, steals)
-        while inflight:
-            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+        todo = [cell for cell in cells if cell not in results]
+        scheduler = (
+            _ShardScheduler(todo, self.workers) if todo else None
+        )
+        active = set(range(self.workers))
+        failures = dict.fromkeys(range(self.workers), 0)
+        retry_counts: dict[SweepCell, int] = {}
+        retry_queue: list[tuple[float, SweepCell]] = []
+        inflight: dict[Future, _Flight] = {}
+
+        def _degrade(cell: SweepCell) -> None:
+            results[cell] = self._run_cell_inprocess(cell)
+            recovery.degraded_cells += 1
+
+        def _retire(slot: int) -> None:
+            active.discard(slot)
+            if scheduler is not None and active:
+                recovery.shard_reassignments += scheduler.reassign(
+                    slot, sorted(active)
+                )
+
+        def _fail(slot: int, cell: SweepCell | None) -> None:
+            """One slot's flight (or submit) died: restart or retire
+            the slot, requeue or degrade the cell."""
+            self._restart_slot(slot)
+            recovery.pool_restarts += 1
+            failures[slot] += 1
+            if failures[slot] > self.max_slot_restarts and slot in active:
+                _retire(slot)
+            if cell is None:
+                return
+            retries = retry_counts.get(cell, 0) + 1
+            retry_counts[cell] = retries
+            if retries > self.max_cell_retries or not active:
+                _degrade(cell)
+                return
+            recovery.cell_retries += 1
+            backoff = min(
+                RETRY_BACKOFF_SECONDS * (2 ** (retries - 1)),
+                RETRY_BACKOFF_MAX_SECONDS,
+            )
+            retry_queue.append((time.monotonic() + backoff, cell))
+
+        if todo and preseed:
+            for slot in sorted(active):
+                while slot in active and not self._preseed_slot(
+                    slot, preseed
+                ):
+                    _fail(slot, None)
+
+        def _next_work(slot: int) -> tuple[SweepCell, bool] | None:
+            now = time.monotonic()
+            for i, (eligible, queued) in enumerate(retry_queue):
+                if eligible <= now:
+                    del retry_queue[i]
+                    return queued, False
+            if scheduler is not None:
+                return scheduler.next_cell(slot)
+            return None
+
+        busy: set[int] = set()
+        while True:
+            for slot in sorted(active - busy):
+                nxt = _next_work(slot)
+                if nxt is None:
+                    continue
+                cell, stolen = nxt
+                if stolen:
+                    steals[slot] += 1
+                try:
+                    future = self._submit_to_slot(
+                        slot, _sweep_worker_run, cell
+                    )
+                except BrokenProcessPool:
+                    _fail(slot, cell)
+                    continue
+                deadline = (
+                    time.monotonic() + self.watchdog_seconds
+                    if self.watchdog_seconds is not None
+                    else None
+                )
+                inflight[future] = _Flight(slot, cell, deadline)
+                busy.add(slot)
+            if not inflight:
+                pending = bool(retry_queue) or (
+                    scheduler is not None and scheduler.remaining() > 0
+                )
+                if not pending:
+                    break
+                if retry_queue and active:
+                    # Only backoff timers stand between us and more
+                    # dispatch: sleep until the earliest is eligible.
+                    soonest = min(e for e, _ in retry_queue)
+                    time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+                # Final escalation rung: no slot can serve the rest.
+                while retry_queue:
+                    __, queued = retry_queue.pop()
+                    _degrade(queued)
+                if scheduler is not None:
+                    while True:
+                        nxt = scheduler.next_cell(0)
+                        if nxt is None:
+                            break
+                        _degrade(nxt[0])
+                break
+            done, __ = wait(
+                inflight,
+                timeout=self._wait_timeout(inflight, retry_queue),
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                now = time.monotonic()
+                for flight in inflight.values():
+                    if flight.deadline is not None and now >= flight.deadline:
+                        # Hung flight: kill the worker; the future
+                        # then fails as BrokenProcessPool and takes
+                        # the normal escalation path.  Deadline
+                        # cleared so the kill happens once.
+                        if self._kill_slot_workers(flight.slot):
+                            recovery.watchdog_kills += 1
+                        flight.deadline = None
+                continue
             for future in done:
-                slot, cell = inflight.pop(future)
-                results[cell] = future.result()
-                ran[slot] += 1
-                self._dispatch_next(scheduler, slot, inflight, steals)
+                flight = inflight.pop(future)
+                busy.discard(flight.slot)
+                try:
+                    metrics = future.result()
+                except BrokenProcessPool:
+                    _fail(flight.slot, flight.cell)
+                    continue
+                results[flight.cell] = metrics
+                ran[flight.slot] += 1
+                failures[flight.slot] = 0
         return [results[cell] for cell in cells], ran, steals
 
-    def _dispatch_next(
-        self,
-        scheduler: _ShardScheduler,
-        slot: int,
-        inflight: dict,
-        steals: dict[int, int],
-    ) -> None:
-        """Hand ``slot`` its next cell (own shard first, else steal)."""
-        nxt = scheduler.next_cell(slot)
-        if nxt is None:
-            return
-        cell, stolen = nxt
-        if stolen:
-            steals[slot] += 1
-        future = self._submit_to_slot(slot, _sweep_worker_run, cell)
-        inflight[future] = (slot, cell)
+    def _wait_timeout(
+        self, inflight: dict, retry_queue: list
+    ) -> float | None:
+        """How long the dispatch loop may block: until the nearest
+        watchdog deadline or retry-eligibility, whichever is sooner
+        (None blocks until a completion when neither applies)."""
+        now = time.monotonic()
+        bounds = [
+            flight.deadline - now
+            for flight in inflight.values()
+            if flight.deadline is not None
+        ]
+        if retry_queue:
+            bounds.append(min(e for e, _ in retry_queue) - now)
+        if not bounds:
+            return None
+        return max(0.01, min(bounds))
+
+    def _preseed_slot(self, slot: int, preseed: dict) -> bool:
+        """Ship the prewarm snapshot map to one slot; False when the
+        slot's pool died trying (the caller escalates)."""
+        try:
+            self._submit_to_slot(slot, _sweep_worker_preseed, preseed).result()
+        except BrokenProcessPool:
+            return False
+        return True
+
+    def _restart_slot(self, slot: int) -> None:
+        """Tear one slot's (broken) pool down; the next submit lazily
+        starts a fresh worker.  The dead worker's last drain report
+        stays in ``_worker_counters`` under its pid — its store writes
+        remain attributed — and the replacement registers under a new
+        pid (same-pid reuse is folded by :meth:`close`)."""
+        with self._pool_lock:
+            pool = self._slots[slot] if slot < len(self._slots) else None
+            finalizer = (
+                self._slot_finalizers[slot]
+                if slot < len(self._slot_finalizers)
+                else None
+            )
+            if pool is not None:
+                self._slots[slot] = None
+                self._slot_finalizers[slot] = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if finalizer is not None:
+            finalizer()
+
+    def _kill_slot_workers(self, slot: int) -> bool:
+        """SIGKILL one slot's worker process(es) — the watchdog's
+        hammer for a hung flight (``shutdown`` alone would wait on the
+        hung task forever).  False when the slot has no live pool."""
+        with self._pool_lock:
+            pool = self._slots[slot] if slot < len(self._slots) else None
+        if pool is None:
+            return False
+        processes = getattr(pool, "_processes", None) or {}
+        killed = False
+        for process in list(processes.values()):
+            if process.is_alive():
+                process.kill()
+                killed = True
+        return killed
+
+    def _run_cell_inprocess(self, cell: SweepCell) -> CellMetrics:
+        """Serial degradation: run one cell in the parent, exactly as
+        the ``workers == 1`` path would (same contexts, same store
+        accounting) — the executor's of-last-resort rung when pools
+        keep dying.  The parent-side cell computation does not visit
+        the ``cell`` injection point: killing the parent is the
+        campaign ending, not a fault to recover from."""
+        context = self.context(cell.workload)
+        writes_before = (
+            self.store.counters()["writes"] if self.store is not None else 0
+        )
+        metrics = context.run(cell)
+        if self.store is not None:
+            # Persist immediately: degraded cells have no worker drain
+            # to flush them, and close() only drains workers.
+            context.persist()
+            metrics = dataclasses.replace(
+                metrics,
+                store_writes=(
+                    self.store.counters()["writes"] - writes_before
+                ),
+            )
+        return metrics
 
     def close(self) -> None:
         """Shut the worker pools down.

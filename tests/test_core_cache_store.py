@@ -309,6 +309,7 @@ class TestManifestAccounting:
             "writes": 1,
             "evictions": 0,
             "lock_waits": 0,
+            "lock_breaks": 0,
         }
 
     def test_lock_waits_counts_contended_saves(self, tmp_path):

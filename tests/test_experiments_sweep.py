@@ -575,3 +575,136 @@ class TestScaleOut:
         assert runner._counters_attributed == runner._counter_totals()
         # Everything counted so far is attributed: the next delta is 0.
         assert runner._store_stats_delta().writes == 0
+
+
+class TestFaultRecovery:
+    """Graduated recovery under the deterministic fault plane: every
+    schedule must yield metrics bit-identical to the fault-free serial
+    pass, with the recovery accounted in ``SweepResult.fault_stats``
+    and no worker pool left behind."""
+
+    def _serial(self, cells):
+        return SweepRunner(cells, solver_config=SOLVER, workers=1).run()
+
+    def test_no_faults_means_no_fault_stats(self, workload):
+        result = self._serial(grid_cells(["deepspeed"], [workload]))
+        assert result.fault_stats is None
+
+    def test_worker_kill_recovers_bit_identical(
+        self, workload, other_workload
+    ):
+        from repro.core.faults import FaultSchedule
+        from repro.core.pools import live_pool_count
+
+        cells = grid_cells(
+            ["flexsp", "deepspeed"], [workload, other_workload]
+        )
+        serial = self._serial(cells)
+        baseline_pools = live_pool_count()
+        schedule = FaultSchedule.parse("worker_kill@cell:0")
+        with SweepRunner(
+            cells,
+            solver_config=SOLVER,
+            workers=2,
+            fault_schedule=schedule,
+        ) as runner:
+            chaotic = runner.run()
+        stats = chaotic.fault_stats
+        assert stats is not None
+        assert dict(stats.injections) == {"worker_kill@cell": 1}
+        assert stats.cell_retries >= 1
+        assert stats.pool_restarts >= 1
+        for a, b in zip(serial.metrics, chaotic.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert live_pool_count() == baseline_pools
+
+    def test_repeated_death_degrades_to_serial_bit_identical(
+        self, workload
+    ):
+        from repro.core.faults import FaultSchedule
+        from repro.core.pools import live_pool_count
+
+        cells = grid_cells(
+            ["flexsp", "deepspeed", "megatron"], [workload]
+        )
+        serial = self._serial(cells)
+        baseline_pools = live_pool_count()
+        schedule = FaultSchedule.parse("worker_kill@cell:*")
+        with SweepRunner(
+            cells,
+            solver_config=SOLVER,
+            workers=2,
+            fault_schedule=schedule,
+            max_slot_restarts=0,
+        ) as runner:
+            chaotic = runner.run()
+        stats = chaotic.fault_stats
+        assert stats is not None
+        assert stats.total_injections >= 1
+        # Every slot retires after its first death; everything left
+        # drains on the final serial rung.
+        assert stats.degraded_cells >= 1
+        for a, b in zip(serial.metrics, chaotic.metrics):
+            assert a.deterministic() == b.deterministic()
+        assert live_pool_count() == baseline_pools
+
+    def test_watchdog_kills_hung_cell_and_recovers(self, workload):
+        import time
+
+        from repro.core.faults import FaultSchedule
+
+        cells = grid_cells(["deepspeed", "megatron"], [workload])
+        serial = self._serial(cells)
+        schedule = FaultSchedule.parse("hang@cell:0", hang_seconds=30.0)
+        started = time.perf_counter()
+        with SweepRunner(
+            cells,
+            solver_config=SOLVER,
+            workers=2,
+            fault_schedule=schedule,
+            watchdog_seconds=1.5,
+        ) as runner:
+            chaotic = runner.run()
+        wall = time.perf_counter() - started
+        assert wall < schedule.hang_seconds / 2  # watchdog, not the nap
+        stats = chaotic.fault_stats
+        assert stats is not None
+        assert stats.watchdog_kills == 1
+        for a, b in zip(serial.metrics, chaotic.metrics):
+            assert a.deterministic() == b.deterministic()
+
+    def test_broken_pass_retry_keeps_completed_cells(
+        self, workload, monkeypatch
+    ):
+        # Satellite: the whole-pass BrokenProcessPool retry used to
+        # recompute every cell; now the retry sees prior completions
+        # in ``results`` and recomputes only what is missing.
+        from concurrent.futures.process import BrokenProcessPool
+
+        cells = grid_cells(
+            ["flexsp", "deepspeed", "megatron"], [workload]
+        )
+        serial = self._serial(cells)
+        runner = SweepRunner(cells, solver_config=SOLVER, workers=2)
+        original = SweepRunner._run_sharded
+        attempts = []
+
+        def flaky(self, cells_arg, preseed, results, ran, steals, recovery):
+            todo = [c for c in cells_arg if c not in results]
+            attempts.append(list(todo))
+            if len(attempts) == 1:
+                # Finish two cells, then die catastrophically.
+                for cell in todo[:2]:
+                    results[cell] = self._run_cell_inprocess(cell)
+                raise BrokenProcessPool("injected pass failure")
+            return original(
+                self, cells_arg, preseed, results, ran, steals, recovery
+            )
+
+        monkeypatch.setattr(SweepRunner, "_run_sharded", flaky)
+        with runner:
+            result = runner.run()
+        assert len(attempts) == 2
+        assert set(attempts[1]) == set(cells) - set(attempts[0][:2])
+        for a, b in zip(serial.metrics, result.metrics):
+            assert a.deterministic() == b.deterministic()

@@ -1,0 +1,104 @@
+"""Property-based chaos: any single fault must be survivable.
+
+The fault plane's whole-system invariant, stated as a Hypothesis
+property: for *any* one fault drawn from the survivable menu (kind,
+site, occurrence), a parallel sweep under that schedule produces
+metrics **bit-identical** to the fault-free serial pass, and leaves no
+worker pool behind (``live_pool_count`` returns to its baseline).
+This is the randomized counterpart of the fixed schedules in
+``benchmarks/test_bench_chaos.py`` — Hypothesis picks the fault, the
+ladder has to hold regardless.
+
+Examples are expensive (each one is a parallel sweep with a real
+worker kill / hang / torn write), so the example budget is small and
+the grid is the suite's standard two-workload 8-GPU shape.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.topology import standard_cluster
+from repro.core.faults import FaultSchedule, FaultSpec
+from repro.core.pools import live_pool_count
+from repro.core.solver import SolverConfig
+from repro.data.distributions import COMMONCRAWL, GITHUB
+from repro.experiments.sweep import SweepRunner, grid_cells
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+
+SOLVER = SolverConfig(backend="greedy", num_trials=2)
+
+#: (kind, site) pairs the property draws from — every member must be
+#: survivable by the graduated recovery ladder at every occurrence.
+SURVIVABLE = (
+    ("worker_kill", "cell"),
+    ("worker_kill", "spawn"),
+    ("worker_kill", "drain"),
+    ("hang", "cell"),
+    ("torn_write", "spill"),
+    ("stale_lock", "lock"),
+)
+
+fault_strategy = st.builds(
+    lambda pair, occurrence: FaultSpec(
+        kind=pair[0], site=pair[1], occurrence=occurrence
+    ),
+    pair=st.sampled_from(SURVIVABLE),
+    occurrence=st.integers(min_value=0, max_value=2),
+)
+
+
+def _cells():
+    workloads = [
+        Workload(
+            model=GPT_7B,
+            distribution=distribution,
+            max_context=32 * 1024,
+            cluster=standard_cluster(8),
+            global_batch_size=16,
+        )
+        for distribution in (GITHUB, COMMONCRAWL)
+    ]
+    return grid_cells(["flexsp", "deepspeed"], workloads)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The fault-free serial pass every chaotic run must reproduce."""
+    result = SweepRunner(_cells(), solver_config=SOLVER, workers=1).run()
+    return [m.deterministic() for m in result.metrics]
+
+
+class TestAnySingleFaultIsSurvivable:
+    @given(spec=fault_strategy)
+    @settings(max_examples=5, deadline=None)
+    def test_bit_identical_and_no_pool_leaks(self, serial_reference, spec):
+        schedule = FaultSchedule(specs=(spec,), hang_seconds=30.0)
+        baseline_pools = live_pool_count()
+        # A store inside the example (not a function fixture: Hypothesis
+        # reuses fixtures across examples) so torn_write / stale_lock
+        # have a spill path to corrupt.
+        with tempfile.TemporaryDirectory() as store_root:
+            with SweepRunner(
+                _cells(),
+                solver_config=SOLVER,
+                workers=2,
+                store=store_root,
+                fault_schedule=schedule,
+                watchdog_seconds=2.0,
+            ) as runner:
+                result = runner.run()
+        assert [
+            m.deterministic() for m in result.metrics
+        ] == serial_reference
+        assert live_pool_count() == baseline_pools
+        # Recovery is accounted whenever the fault actually fired.
+        stats = result.fault_stats
+        assert stats is not None
+        if spec.kind == "hang" and stats.total_injections:
+            assert stats.watchdog_kills >= 1
