@@ -5,7 +5,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
 	bench-prune bench-scaleout bench-calibrate bench-chaos \
-	bench-chaos-smoke
+	bench-chaos-smoke bench-kernels
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -70,6 +70,13 @@ bench-chaos-smoke:
 # benchmarks/results/BENCH_scaleout.json).
 bench-calibrate:
 	$(PYTHON) -m repro.bench --calibrate-workers
+
+# Hot-kernel micro-benchmark: per-kernel plans/sec on the native
+# (numba) tier vs the numpy/scalar fallback, JIT warmup reported
+# separately from steady state, bit-identity asserted between tiers.
+# Appends to benchmarks/results/BENCH_kernels.json.
+bench-kernels:
+	$(PYTHON) -m repro.bench kernels
 
 # Solver-throughput benchmark only; results land in
 # benchmarks/results/BENCH_solver.json for trajectory tracking.

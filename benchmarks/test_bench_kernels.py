@@ -1,0 +1,201 @@
+"""Hot-kernel tier micro-benchmark: native vs fallback, per kernel.
+
+Times each registered kernel (``repro.core.kernels.KERNEL_NAMES``)
+through the *production dispatch path* on both tiers — the numba
+``@njit`` twins when the optional dependency is importable, the
+numpy/scalar fallbacks always — and appends the per-kernel ops/sec,
+the native-vs-fallback speedup and the one-off JIT warmup cost (kept
+separate from steady state) to ``results/BENCH_kernels.json``.
+
+Bit-identity is asserted before anything is timed: every kernel's
+output under ``force("native")`` must equal its output under
+``force("fallback")``.  On hosts without numba the native leg is
+recorded as ``null`` (dispatch degrades to the fallback, so timing it
+again would just duplicate the fallback figure).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import FULL
+from repro.cluster.topology import standard_cluster
+from repro.core import kernels
+from repro.core.blaster import balanced_cut_points_multi
+from repro.core.bucketing import optimal_buckets
+from repro.core.planner_greedy import (
+    _assign_lpt_scalar,
+    _assign_lpt_scalar_native,
+    _assign_lpt_stacked,
+    _assign_lpt_stacked_native,
+    _layout_stack,
+)
+from repro.cost.model import cost_table
+from repro.cost.profiler import fit_cost_model
+from repro.experiments.reporting import format_table
+from repro.model.config import GPT_7B
+
+REPEATS = 30 if FULL else 8
+
+
+def _fit(num_gpus: int):
+    return fit_cost_model(
+        GPT_7B.with_max_context(64 * 1024), standard_cluster(num_gpus)
+    )
+
+
+def _lpt_instance(num_gpus: int, count: int, seed: int):
+    model = _fit(num_gpus)
+    rng = np.random.default_rng(seed)
+    lengths = tuple(
+        int(s) for s in rng.integers(256, 300 * num_gpus, size=count)
+    )
+    ordered = sorted(lengths, reverse=True)
+    table = cost_table(model)
+    stack = _layout_stack(model, max(lengths))
+    rows = stack.surviving(float(sum(lengths)), float(max(lengths)))
+    assert rows.size > 0
+    return ordered, table, stack, rows
+
+
+def _make_ops():
+    """One ``name -> zero-arg callable`` per kernel; each callable runs
+    the production dispatch (tier chosen by the ambient force) and
+    returns a comparable result."""
+    scalar_ordered, scalar_table, scalar_stack, scalar_rows = _lpt_instance(
+        8, 24, seed=23
+    )
+    stacked_ordered, stacked_table, stacked_stack, stacked_rows = (
+        _lpt_instance(64, 32, seed=29)
+    )
+    rng = np.random.default_rng(31)
+    bucket_lengths = [int(s) for s in rng.integers(1, 50_000, size=2_000)]
+    blast_lengths = sorted(
+        int(s) for s in rng.integers(64, 20_000, size=2_000)
+    )
+
+    def lpt_scalar():
+        use_native = kernels.use_native("lpt_scalar")
+        ordered_arr = np.asarray(scalar_ordered, dtype=np.float64)
+        out = []
+        for row in (int(r) for r in scalar_rows):
+            if use_native:
+                assigned = _assign_lpt_scalar_native(
+                    scalar_ordered, ordered_arr, scalar_stack, row,
+                    scalar_table,
+                )
+            else:
+                assigned = _assign_lpt_scalar(
+                    scalar_ordered,
+                    scalar_stack.lane_constants[row],
+                    scalar_table,
+                )
+            out.append(assigned)
+        return out
+
+    def lpt_stacked():
+        if kernels.use_native("lpt_stacked"):
+            got = _assign_lpt_stacked_native(
+                stacked_ordered, stacked_stack, stacked_rows, stacked_table
+            )
+        else:
+            got = _assign_lpt_stacked(
+                stacked_ordered, stacked_stack, stacked_rows, stacked_table
+            )
+        choices, makespans, winner = got
+        return choices.tolist(), makespans.tolist(), int(winner)
+
+    def bucketing_dp():
+        return optimal_buckets(bucket_lengths, 16)
+
+    def blaster_dp():
+        return balanced_cut_points_multi(blast_lengths, (6, 7, 8))
+
+    return {
+        "lpt_scalar": lpt_scalar,
+        "lpt_stacked": lpt_stacked,
+        "bucketing_dp": bucketing_dp,
+        "blaster_dp": blaster_dp,
+    }
+
+
+def _steady_ops_per_sec(op) -> float:
+    op()  # one unmeasured pass (cache warm, JIT already compiled)
+    started = time.perf_counter()
+    for __ in range(REPEATS):
+        op()
+    return REPEATS / (time.perf_counter() - started)
+
+
+def test_kernel_tier_throughput(emit, bench_json_history):
+    ops = _make_ops()
+    assert set(ops) == set(kernels.KERNEL_NAMES)
+    native_available = kernels.native_available()
+
+    # JIT warmup: the one-off compilation cost the steady-state
+    # figures below must not include.
+    with kernels.force("native"):
+        warmup_seconds = kernels.warmup()
+
+    records = {}
+    for name, op in ops.items():
+        with kernels.force("fallback"):
+            reference = op()
+            fallback_ops = _steady_ops_per_sec(op)
+        native_ops = None
+        with kernels.force("native"):
+            assert op() == reference  # bit-identity across tiers
+            if native_available:
+                native_ops = _steady_ops_per_sec(op)
+        records[name] = {
+            "fallback_ops_per_sec": round(fallback_ops, 2),
+            "native_ops_per_sec": (
+                round(native_ops, 2) if native_ops is not None else None
+            ),
+            "native_speedup": (
+                round(native_ops / fallback_ops, 3)
+                if native_ops is not None
+                else None
+            ),
+        }
+
+    rows = [
+        [
+            name,
+            f"{rec['fallback_ops_per_sec']:.1f}",
+            (
+                f"{rec['native_ops_per_sec']:.1f}"
+                if rec["native_ops_per_sec"] is not None
+                else "n/a"
+            ),
+            (
+                f"{rec['native_speedup']:.2f}x"
+                if rec["native_speedup"] is not None
+                else "n/a"
+            ),
+        ]
+        for name, rec in records.items()
+    ]
+    emit(
+        format_table(
+            ["kernel", "fallback/s", "native/s", "speedup"],
+            rows,
+            title=(
+                "Hot-kernel tier: steady-state ops/sec "
+                f"(native={'numba' if native_available else 'unavailable'}, "
+                f"JIT warmup {warmup_seconds:.2f}s)"
+            ),
+        )
+    )
+    bench_json_history(
+        "kernels",
+        {
+            "native_available": native_available,
+            "jit_warmup_seconds": round(warmup_seconds, 4),
+            "repeats": REPEATS,
+            "kernels": records,
+            "tier": kernels.describe_dict(),
+        },
+    )

@@ -3,8 +3,36 @@
 `pip install -e .` requires PEP 660 editable-wheel support; offline
 boxes that lack the `wheel` distribution can fall back to
 ``python setup.py develop`` which this shim enables.
+
+The package has no hard dependencies beyond numpy/scipy; the compiled
+hot-kernel tier (:mod:`repro.core.kernels`) is an *optional* extra::
+
+    pip install -e .[native]   # adds numba; REPRO_NATIVE=0 opts out
+
+Without the extra every kernel dispatches to its numpy/scalar
+fallback — bit-identical results, slower cold path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="flexsp-repro",
+    version="0.8.0",
+    description=(
+        "Reproduction of FlexSP: heterogeneous sequence-parallel "
+        "training planner (ASPLOS'25)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        # The compiled hot-kernel tier; auto-detected at import,
+        # disabled with REPRO_NATIVE=0 / --no-native.
+        "native": ["numba"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -38,10 +38,30 @@ steal/context-build telemetry, recommends the fastest combo, and
 appends the grid to ``benchmarks/results/BENCH_scaleout.json``
 (``make bench-calibrate``).
 
+**Node-limit calibrate mode** (``--calibrate-node-limit``) sweeps the
+deterministic HiGHS work limit (default 50/200/500) over one campaign
+artefact at the MILP backend, printing a wall-clock vs plan-quality
+table and appending a ``mode: "calibrate-node-limit"`` record to
+``BENCH_campaign.json`` — the calibration that picks ``--node-limit``
+for full-protocol MILP passes.
+
+Every mode accepts ``--no-native`` (equivalent to ``REPRO_NATIVE=0``)
+to disable the compiled hot-kernel tier
+(:mod:`repro.core.kernels`; both tiers are bit-identical, so this
+only changes wall-clock).  ``--profile`` additionally prints a
+one-line kernel-tier banner (native available yes/no, tier per
+kernel) so benchmark output is self-describing; the appended campaign
+records carry the same information in their ``kernels`` block.
+
 Campaign / prune / calibrate usage::
 
     python -m repro.bench --campaign unified             # make bench
     python -m repro.bench --campaign smoke --no-store    # make bench-smoke
+    python -m repro.bench --campaign full --profile      # full protocol
+    python -m repro.bench --campaign unified --no-native
+    python -m repro.bench --calibrate-node-limit --campaign full \
+        --artefact fig4 --node-limit-grid 50,200,500
+    python -m repro.bench kernels                        # make bench-kernels
     python -m repro.bench --campaign unified --backend milp --node-limit 500
     python -m repro.bench --campaign unified --repeat 3  # warm trajectory
     python -m repro.bench --campaign unified --profile   # stage breakdown
@@ -199,13 +219,29 @@ def _campaign_tables(result) -> str:
     return "\n\n".join(blocks)
 
 
+def _apply_native_flag(args: argparse.Namespace) -> None:
+    """Honour ``--no-native`` before any planning happens.
+
+    ``set_enabled`` also mirrors into ``REPRO_NATIVE`` so spawned pool
+    workers agree with the parent process.
+    """
+    if getattr(args, "no_native", False):
+        from repro.core import kernels
+
+        kernels.set_enabled(False)
+
+
 def run_campaign(args: argparse.Namespace) -> int:
     """Execute one campaign pass and append the trajectory record."""
+    from repro.core import kernels
     from repro.core.planner import PlannerConfig
     from repro.core.solver import SolverConfig
     from repro.experiments.campaign import build_campaign
     from repro.experiments.sweep import SweepRunner
 
+    _apply_native_flag(args)
+    if args.profile:
+        print(kernels.describe())
     planner = PlannerConfig(node_limit=args.node_limit)
     solver_config = SolverConfig(
         backend=args.backend, num_trials=args.num_trials, planner=planner
@@ -439,6 +475,12 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
         "the pre-PR5 behaviour)",
     )
     parser.add_argument(
+        "--no-native",
+        action="store_true",
+        help="disable the compiled hot-kernel tier (numpy/scalar "
+        "fallbacks; equivalent to REPRO_NATIVE=0)",
+    )
+    parser.add_argument(
         "--inject-faults",
         default=None,
         metavar="SPEC",
@@ -573,12 +615,168 @@ def _parse_calibrate_args(argv: list[str]) -> argparse.Namespace:
     )
     parser.add_argument("--num-trials", type=int, default=2)
     parser.add_argument("--node-limit", type=int, default=None)
+    parser.add_argument("--no-native", action="store_true")
     args = parser.parse_args(argv)
     args.workers_grid = _parse_grid(parser, "--workers-grid", args.workers_grid)
     args.solver_workers_grid = _parse_grid(
         parser, "--solver-workers-grid", args.solver_workers_grid
     )
     return args
+
+
+def _parse_node_limit_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Calibrate the deterministic MILP --node-limit: run "
+        "one campaign artefact at each grid value and compare plan "
+        "quality against solve cost.",
+    )
+    parser.add_argument(
+        "--calibrate-node-limit",
+        action="store_true",
+        required=True,
+        help="node-limit calibration mode",
+    )
+    parser.add_argument(
+        "--campaign",
+        default="full",
+        help="campaign whose shapes to calibrate at (default full — "
+        "the paper's full protocol)",
+    )
+    parser.add_argument(
+        "--artefact",
+        default="fig4",
+        help="restrict to one artefact grid (default fig4); 'all' runs "
+        "the whole campaign per limit",
+    )
+    parser.add_argument(
+        "--node-limit-grid",
+        default="50,200,500",
+        help="comma-separated HiGHS node limits to compare",
+    )
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--num-trials", type=int, default=2)
+    parser.add_argument("--no-native", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        args.node_limit_grid = [
+            int(v) for v in args.node_limit_grid.split(",") if v.strip()
+        ]
+    except ValueError:
+        parser.error(
+            f"--node-limit-grid must be a comma-separated int list, "
+            f"got {args.node_limit_grid!r}"
+        )
+    if not args.node_limit_grid:
+        parser.error("--node-limit-grid is empty")
+    if any(v <= 0 for v in args.node_limit_grid):
+        parser.error("--node-limit-grid values must be positive")
+    return args
+
+
+def run_calibrate_node_limit(args: argparse.Namespace) -> int:
+    """Time the MILP backend at each ``--node-limit-grid`` value.
+
+    Each limit runs the selected artefact grid storeless in a fresh
+    runner, so the limits compare like for like: the table reports
+    wall-clock, the HiGHS share (``milp_solve`` stage seconds) and the
+    plan-quality signal (summed mean iteration seconds over the
+    grid's feasible flexsp cells — lower means the extra nodes bought
+    better plans).  The record appends to ``BENCH_campaign.json`` as
+    ``mode: "calibrate-node-limit"`` alongside the protocol records
+    it calibrates for.
+    """
+    from repro.core import kernels
+    from repro.core.planner import PlannerConfig
+    from repro.core.solver import SolverConfig
+    from repro.experiments.campaign import Campaign, build_campaign
+    from repro.experiments.reporting import format_table
+    from repro.experiments.sweep import SweepRunner
+
+    _apply_native_flag(args)
+    overrides = {}
+    if args.batch_size is not None:
+        overrides["global_batch_size"] = args.batch_size
+    campaign = build_campaign(args.campaign, **overrides)
+    if args.artefact != "all":
+        campaign = Campaign(
+            name=f"{campaign.name}:{args.artefact}",
+            artefacts=(campaign.artefact(args.artefact),),
+        )
+    print(
+        f"calibrating --node-limit over {args.node_limit_grid} on "
+        f"{campaign.name!r} ({len(campaign.cells)} cells, backend milp)"
+    )
+    print(kernels.describe())
+    grid = []
+    for limit in args.node_limit_grid:
+        solver_config = SolverConfig(
+            backend="milp",
+            num_trials=args.num_trials,
+            planner=PlannerConfig(node_limit=limit),
+        )
+        runner = SweepRunner(solver_config=solver_config, workers=1)
+        started = time.perf_counter()
+        with runner:
+            result = campaign.run(runner)
+        wall = time.perf_counter() - started
+        milp_solve = result.stage_seconds.get("milp_solve", 0.0)
+        flexsp = [
+            m
+            for m in result.sweep.metrics
+            if m.system == "FlexSP" and m.status == "ok"
+        ]
+        quality = sum(m.mean_iteration_seconds for m in flexsp)
+        grid.append(
+            {
+                "node_limit": limit,
+                "wall_seconds": round(wall, 3),
+                "milp_solve_seconds": round(milp_solve, 3),
+                "flexsp_cells": len(flexsp),
+                "sum_iteration_seconds": round(quality, 4),
+            }
+        )
+        print(
+            f"  --node-limit {limit}: {wall:.2f}s wall, "
+            f"{milp_solve:.2f}s in HiGHS, plan quality "
+            f"{quality:.2f}s summed iteration time "
+            f"({len(flexsp)} flexsp cells)"
+        )
+    best = min(grid, key=lambda g: (g["sum_iteration_seconds"], g["node_limit"]))
+    rows = [
+        [
+            g["node_limit"],
+            f"{g['wall_seconds']:.2f}",
+            f"{g['milp_solve_seconds']:.2f}",
+            f"{g['sum_iteration_seconds']:.2f}",
+            "<-- best plans" if g is best else "",
+        ]
+        for g in grid
+    ]
+    print()
+    print(
+        format_table(
+            ["node limit", "wall (s)", "milp solve (s)", "sum iter (s)", ""],
+            rows,
+            title=f"--calibrate-node-limit: {campaign.name!r}",
+        )
+    )
+    path = _benchmarks_dir() / "results" / "BENCH_campaign.json"
+    append_history(
+        path,
+        [
+            {
+                "mode": "calibrate-node-limit",
+                "campaign": campaign.name,
+                "backend": "milp",
+                "kernels": kernels.describe_dict(),
+                "grid": grid,
+                "best_node_limit": best["node_limit"],
+            }
+        ],
+    )
+    print(f"\nappended node-limit calibration record to {path}")
+    return 0
 
 
 def _parse_grid(
@@ -615,6 +813,7 @@ def run_calibrate(args: argparse.Namespace) -> int:
     overrides = {}
     if args.batch_size is not None:
         overrides["global_batch_size"] = args.batch_size
+    _apply_native_flag(args)
     campaign = build_campaign(args.campaign, **overrides)
     combos = [
         (workers, solver_workers)
@@ -711,17 +910,29 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if "--prune" in argv:
         return run_prune(_parse_prune_args(argv))
+    if "--calibrate-node-limit" in argv:
+        return run_calibrate_node_limit(_parse_node_limit_args(argv))
     if "--calibrate-workers" in argv:
         return run_calibrate(_parse_calibrate_args(argv))
     if any(a.startswith("--campaign") for a in argv):
         return run_campaign(_parse_campaign_args(argv))
 
+    if "--no-native" in argv:
+        # Pytest-mode opt-out: the suites (and any pool workers they
+        # spawn) read REPRO_NATIVE through repro.core.kernels.
+        argv.remove("--no-native")
+        from repro.core import kernels
+
+        kernels.set_enabled(False)
     if "--profile" in argv:
         # Pytest-mode profiling: the benchmark suites read this flag
         # through the environment (see benchmarks/conftest.py PROFILE)
         # and print/record their per-stage SolveStats breakdowns.
         argv.remove("--profile")
         os.environ["REPRO_BENCH_PROFILE"] = "1"
+        from repro.core import kernels
+
+        print(kernels.describe())
 
     import pytest
 

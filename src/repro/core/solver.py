@@ -39,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from repro.core import faults, pools, stage_timing
+from repro.core import faults, kernels, pools, stage_timing
 from repro.core.blaster import (
     DEFAULT_NUM_TRIALS,
     blast_multi,
@@ -682,46 +682,50 @@ class FlexSPSolver:
         started = time.perf_counter()
         if not isinstance(batch, SequenceBatch):
             batch = SequenceBatch(lengths=tuple(batch))
-        trials, trial_shapes = self._trial_shapes(batch)
-
-        # Resolve shapes.  With the cache enabled, shapes are
-        # canonicalized and deduplicated (within the solve and against
-        # prior solves); with it disabled, every occurrence is planned
-        # from scratch — the faithful pre-cache reference path.  Each
-        # trial keeps a slot per micro-batch: a cache key when caching,
-        # else an index into the planning list.
-        resolved: dict[tuple, object] = {}
-        to_plan: list[tuple[int, ...]] = []
-        trial_slots: list[list[object] | None] = []
-        cache_hits = 0
-        dedup_hits = 0
-        total_microbatches = 0
-        for shapes in trial_shapes:
-            if shapes is None:
-                trial_slots.append(None)
-                continue
-            slots: list[object] = []
-            for shape in shapes:
-                total_microbatches += 1
-                if self.cache is None:
-                    slots.append(len(to_plan))
-                    to_plan.append(shape)
-                    continue
-                key = (canonical_shape(shape), self._context)
-                slots.append(key)
-                if key in resolved:
-                    dedup_hits += 1
-                    continue
-                entry = self.cache.lookup(key)
-                if entry is not None:
-                    resolved[key] = entry
-                    cache_hits += 1
-                    continue
-                resolved[key] = None  # pending
-                to_plan.append(key[0])  # canonical sorted lengths
-            trial_slots.append(slots)
-
+        # The stage frame wraps the blaster DP as well as the planner
+        # calls so kernel-tier attribution covers both (stage *seconds*
+        # themselves only ever come from the planners).
         with stage_timing.collect() as stages:
+            trials, trial_shapes = self._trial_shapes(batch)
+
+            # Resolve shapes.  With the cache enabled, shapes are
+            # canonicalized and deduplicated (within the solve and
+            # against prior solves); with it disabled, every occurrence
+            # is planned from scratch — the faithful pre-cache
+            # reference path.  Each trial keeps a slot per micro-batch:
+            # a cache key when caching, else an index into the planning
+            # list.
+            resolved: dict[tuple, object] = {}
+            to_plan: list[tuple[int, ...]] = []
+            trial_slots: list[list[object] | None] = []
+            cache_hits = 0
+            dedup_hits = 0
+            total_microbatches = 0
+            for shapes in trial_shapes:
+                if shapes is None:
+                    trial_slots.append(None)
+                    continue
+                slots: list[object] = []
+                for shape in shapes:
+                    total_microbatches += 1
+                    if self.cache is None:
+                        slots.append(len(to_plan))
+                        to_plan.append(shape)
+                        continue
+                    key = (canonical_shape(shape), self._context)
+                    slots.append(key)
+                    if key in resolved:
+                        dedup_hits += 1
+                        continue
+                    entry = self.cache.lookup(key)
+                    if entry is not None:
+                        resolved[key] = entry
+                        cache_hits += 1
+                        continue
+                    resolved[key] = None  # pending
+                    to_plan.append(key[0])  # canonical sorted lengths
+                trial_slots.append(slots)
+
             outcomes = self._plan_missing(to_plan)
         entries = [
             INFEASIBLE if outcome is None else outcome for outcome in outcomes
@@ -772,6 +776,7 @@ class FlexSPSolver:
                 f"{stage}_seconds": stages.get(stage, 0.0)
                 for stage in stage_timing.STAGES
             },
+            kernel_tiers=kernels.tiers_from_stages(stages),
         )
         return IterationPlan(
             microbatches=tuple(plans),

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.topology import standard_cluster
-from repro.core import stage_timing
+from repro.core import kernels, stage_timing
 from repro.data.distributions import (
     COMMONCRAWL,
     GITHUB,
@@ -51,7 +51,7 @@ from repro.experiments.sweep import (
     grid_cells,
 )
 from repro.experiments.workloads import Workload
-from repro.model.config import GPT_7B, ModelConfig
+from repro.model.config import GPT_7B, GPT_13B, GPT_30B, ModelConfig
 
 __all__ = [
     "ARTEFACT_BUILDERS",
@@ -400,6 +400,11 @@ class CampaignResult:
             "unique_cells": self.sweep.unique_cells,
             "wall_seconds": round(self.sweep.wall_seconds, 3),
             "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 4),
+            # Which hot-kernel tier this process would dispatch to —
+            # makes every trajectory record self-describing (native
+            # and fallback passes are bit-identical but not
+            # comparable on wall-clock).
+            "kernels": kernels.describe_dict(),
             "stage_seconds": {
                 stage: round(seconds, 4)
                 for stage, seconds in self.stage_seconds.items()
@@ -751,11 +756,65 @@ def smoke_campaign(
     )
 
 
+def full_campaign(
+    *,
+    global_batch_size: int = 512,
+    num_iterations: int = 1,
+    num_gpus: int = 64,
+) -> Campaign:
+    """The paper's **full protocol**: GPT-13B/GPT-30B at 384K
+    contexts, global batch 512, on the 64-GPU cluster.
+
+    Same artefact structure as :func:`unified_campaign` but at the
+    shapes the paper actually reports: Fig. 4 sweeps the larger
+    models on the 384K grid, Fig. 6's context scaling reaches 384K,
+    Fig. 7 ablates at 384K, and Fig. 8's weak scaling grows the batch
+    to 8 sequences/GPU.  Table 1's capacity frontier is already
+    full-shape.  First recorded by the PR 8 kernel-tier pass (see
+    ``BENCH_campaign.json``); expect minutes, not seconds, of
+    planning per pass on the fallback tier.
+    """
+    context = 384 * 1024
+    return Campaign(
+        name="full",
+        artefacts=(
+            fig4_artefact(
+                global_batch_size=global_batch_size,
+                num_iterations=num_iterations,
+                num_gpus=num_gpus,
+                models=(GPT_13B, GPT_30B),
+                contexts=(context,),
+            ),
+            fig6_artefact(
+                global_batch_size=global_batch_size,
+                num_iterations=num_iterations,
+                gpu_scaling_context=192 * 1024,
+                context_points=(192 * 1024, context),
+                context_scaling_gpus=num_gpus,
+            ),
+            table1_artefact(num_gpus=num_gpus),
+            fig7_artefact(
+                global_batch_size=global_batch_size,
+                num_iterations=num_iterations,
+                num_gpus=num_gpus,
+                contexts=(context,),
+            ),
+            fig8_artefact(
+                sequences_per_gpu=max(global_batch_size // num_gpus, 1),
+                num_iterations=num_iterations,
+                gpu_counts=(16, 32, num_gpus),
+                max_context=192 * 1024,
+            ),
+        ),
+    )
+
+
 #: Campaign-name -> builder for the CLI (`python -m repro.bench
 #: --campaign <name>`).
 CAMPAIGNS = {
     "unified": unified_campaign,
     "smoke": smoke_campaign,
+    "full": full_campaign,
 }
 
 

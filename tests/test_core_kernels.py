@@ -1,0 +1,316 @@
+"""The compiled hot-kernel tier (:mod:`repro.core.kernels`).
+
+Three layers of coverage:
+
+* **Registry semantics** — env parsing, the runtime switch, the test
+  override, unknown-name rejection, the attribution channel and the
+  banner, all independent of whether numba is installed.
+* **Bit-identity of the kernel bodies** — the plain-Python jit targets
+  are run *un-jitted* against the numpy/scalar fallbacks over
+  randomized instances, so the compiled algorithm is validated on
+  hosts without the optional dependency; CI's native leg runs the
+  same dispatch through the actual jitted twins.
+* **Dispatch-path identity** — the production dispatch sites
+  (planner, bucketing, blaster) driven with the un-jitted bodies
+  installed as the "native" tier must reproduce the fallback's plans,
+  buckets and cut points bit for bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import kernels, stage_timing
+from repro.core.blaster import balanced_cut_points_multi
+from repro.core.bucketing import optimal_buckets
+from repro.core.planner_greedy import (
+    _assign_lpt_scalar,
+    _assign_lpt_stacked,
+    _layout_stack,
+    plan_microbatch_greedy,
+)
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.core.types import SolveStats
+from repro.cost.model import cost_table
+
+
+@pytest.fixture
+def unjitted_native(monkeypatch):
+    """Route dispatch through the un-jitted kernel bodies.
+
+    Patches the registry so every dispatch site takes its native
+    branch with the plain-Python body standing in for the jitted twin
+    — the production call path, minus numba.  ``force("fallback")``
+    still wins, so tests can produce fallback references inside the
+    fixture.
+    """
+    monkeypatch.setattr(
+        kernels, "use_native", lambda name: kernels._FORCED != "fallback"
+    )
+    monkeypatch.setattr(
+        kernels, "native", lambda name: kernels.KERNEL_BODIES[name]
+    )
+
+
+class TestRegistry:
+    def test_env_parsing_only_zero_opts_out(self):
+        assert kernels._env_enabled(None) is True
+        assert kernels._env_enabled("") is True
+        assert kernels._env_enabled("1") is True
+        assert kernels._env_enabled("yes") is True
+        assert kernels._env_enabled("0") is False
+        assert kernels._env_enabled(" 0 ") is False
+
+    def test_set_enabled_mirrors_into_environment(self):
+        import os
+
+        previous = kernels.enabled()
+        previous_env = os.environ.get("REPRO_NATIVE")
+        try:
+            kernels.set_enabled(False)
+            assert not kernels.enabled()
+            assert os.environ["REPRO_NATIVE"] == "0"
+            assert not kernels.use_native("lpt_scalar")
+            kernels.set_enabled(True)
+            assert kernels.enabled()
+            assert os.environ["REPRO_NATIVE"] == "1"
+        finally:
+            kernels.set_enabled(previous)
+            if previous_env is None:
+                os.environ.pop("REPRO_NATIVE", None)
+            else:
+                os.environ["REPRO_NATIVE"] = previous_env
+
+    def test_unknown_kernel_name_rejected(self):
+        with pytest.raises(KeyError):
+            kernels.use_native("nonexistent_kernel")
+
+    def test_force_validates_tier(self):
+        with pytest.raises(ValueError):
+            with kernels.force("turbo"):
+                pass
+
+    def test_force_fallback_wins_and_nests(self):
+        with kernels.force("fallback"):
+            assert not kernels.use_native("lpt_stacked")
+            assert kernels.active_tier() == "fallback"
+            with kernels.force(None):
+                # Inner override restores auto behaviour...
+                assert kernels.active_tier() in ("native", "fallback")
+            # ...and unwinding restores the outer force.
+            assert not kernels.use_native("lpt_stacked")
+        assert kernels._FORCED is None
+
+    def test_force_native_still_degrades_without_numba(self):
+        # Must never raise: on hosts without numba the dispatch keeps
+        # the fallback; with numba it genuinely compiles.
+        with kernels.force("native"):
+            decision = kernels.use_native("lpt_scalar")
+        assert decision == kernels.native_available()
+
+    def test_warmup_is_noop_when_forced_off(self):
+        with kernels.force("fallback"):
+            assert kernels.warmup() == 0.0
+
+    def test_kernel_names_match_bodies(self):
+        assert set(kernels.KERNEL_NAMES) == set(kernels.KERNEL_BODIES)
+
+    def test_describe_banner_and_dict(self):
+        info = kernels.describe_dict()
+        assert info["tier"] in ("native", "fallback")
+        assert info["kernels"] == list(kernels.KERNEL_NAMES)
+        banner = kernels.describe()
+        assert banner.startswith("kernel tier:")
+        for name in kernels.KERNEL_NAMES:
+            assert name in banner
+
+
+class TestAttribution:
+    def test_note_rides_stage_timing_frames(self):
+        with stage_timing.collect() as frame:
+            kernels.note("lpt_scalar", "fallback")
+            kernels.note("lpt_scalar", "fallback")
+            kernels.note("bucketing_dp", "native")
+        assert frame["kernel:lpt_scalar:fallback"] == 2.0
+        assert frame["kernel:bucketing_dp:native"] == 1.0
+
+    def test_tiers_from_stages_extracts_and_marks_mixed(self):
+        stages = {
+            "lpt": 0.5,
+            "kernel:lpt_scalar:fallback": 3.0,
+            "kernel:blaster_dp:native": 1.0,
+            "kernel:blaster_dp:fallback": 1.0,
+        }
+        assert kernels.tiers_from_stages(stages) == (
+            ("blaster_dp", "mixed"),
+            ("lpt_scalar", "fallback"),
+        )
+
+    def test_strip_kernel_stages_keeps_real_stages(self):
+        stages = {
+            "lpt": 0.5,
+            "enumerate": 0.1,
+            "kernel:lpt_scalar:fallback": 3.0,
+        }
+        assert kernels.strip_kernel_stages(stages) == {
+            "lpt": 0.5,
+            "enumerate": 0.1,
+        }
+
+    def test_solver_records_kernel_tiers(self, cost_model8):
+        solver = FlexSPSolver(
+            cost_model8, SolverConfig(num_trials=2, backend="greedy")
+        )
+        result = solver.solve((4096, 2048, 2048, 1024))
+        assert result.stats is not None
+        tiers = dict(result.stats.kernel_tiers)
+        assert tiers  # at least the LPT dispatch is attributed
+        for name, tier in tiers.items():
+            assert name in kernels.KERNEL_NAMES
+            assert tier in ("native", "fallback", "mixed")
+
+
+class TestSolveStatsKernelTiers:
+    def test_merged_unions_and_marks_conflicts_mixed(self):
+        first = SolveStats(kernel_tiers=(("lpt_scalar", "native"),))
+        second = SolveStats(
+            kernel_tiers=(("lpt_scalar", "fallback"), ("blaster_dp", "native"))
+        )
+        merged = first.merged(second)
+        assert merged.kernel_tiers == (
+            ("blaster_dp", "native"),
+            ("lpt_scalar", "mixed"),
+        )
+        # Same-tier union stays un-mixed.
+        again = second.merged(second)
+        assert dict(again.kernel_tiers)["lpt_scalar"] == "fallback"
+
+    def test_json_round_trip_normalises_lists(self):
+        stats = SolveStats(
+            cache_misses=3, kernel_tiers=(("lpt_stacked", "native"),)
+        )
+        revived = SolveStats(**json.loads(json.dumps(vars(stats))))
+        assert revived == stats
+        assert revived.kernel_tiers == (("lpt_stacked", "native"),)
+
+    def test_stage_seconds_excludes_attribution(self):
+        stats = SolveStats(kernel_tiers=(("lpt_scalar", "fallback"),))
+        assert "kernel:lpt_scalar:fallback" not in stats.stage_seconds()
+        assert set(stats.stage_seconds()) == {
+            "enumerate", "lpt", "milp_build", "milp_solve",
+        }
+
+
+class TestBodyBitIdentity:
+    """The un-jitted bodies against the fallbacks, randomized."""
+
+    def test_lpt_bodies_match_fallbacks(self, cost_model8):
+        table = cost_table(cost_model8)
+        rng = np.random.default_rng(11)
+        for __ in range(20):
+            count = int(rng.integers(1, 24))
+            lengths = tuple(
+                int(s) for s in rng.integers(128, 12_000, size=count)
+            )
+            ordered = sorted(lengths, reverse=True)
+            stack = _layout_stack(cost_model8, max(lengths))
+            rows = stack.surviving(float(sum(lengths)), float(max(lengths)))
+            if rows.size == 0:
+                continue
+            ordered_arr = np.asarray(ordered, dtype=np.float64)
+
+            for row in (int(r) for r in rows):
+                lanes = int(stack.lanes[row])
+                feasible, choices, makespan = kernels.KERNEL_BODIES[
+                    "lpt_scalar"
+                ](
+                    ordered_arr,
+                    stack.degrees[row, :lanes],
+                    stack.comm_per_token[row, :lanes],
+                    stack.comm_beta[row, :lanes],
+                    stack.caps[row, :lanes],
+                    table.alpha1, table.alpha2, table.beta1,
+                    table.gather, table.exposed_gather,
+                )
+                ref = _assign_lpt_scalar(
+                    ordered, stack.lane_constants[row], table
+                )
+                if ref is None:
+                    assert not feasible
+                    continue
+                assert feasible
+                assert makespan == ref[1]
+
+            feasible, choices, makespans, winner = kernels.KERNEL_BODIES[
+                "lpt_stacked"
+            ](
+                ordered_arr,
+                stack.caps[rows],
+                stack.degrees[rows],
+                stack.comm_per_token[rows],
+                stack.comm_beta[rows],
+                table.alpha1, table.alpha2, table.beta1,
+                table.gather, table.exposed_gather,
+            )
+            ref = _assign_lpt_stacked(ordered, stack, rows, table)
+            if ref is None:
+                assert not feasible
+                continue
+            assert feasible
+            ref_choices, ref_makespans, ref_winner = ref
+            assert int(winner) == ref_winner
+            assert choices.tolist() == ref_choices.tolist()
+            assert makespans.tolist() == ref_makespans.tolist()
+
+    def test_bucketing_dispatch_matches_fallback(self, unjitted_native):
+        rng = np.random.default_rng(13)
+        for __ in range(15):
+            count = int(rng.integers(2, 120))
+            lengths = [int(s) for s in rng.integers(1, 5_000, size=count)]
+            num_buckets = int(rng.integers(1, 20))
+            with kernels.force("fallback"):
+                ref = optimal_buckets(lengths, num_buckets)
+            native = optimal_buckets(lengths, num_buckets)
+            assert native == ref
+
+    def test_blaster_dispatch_matches_fallback(self, unjitted_native):
+        rng = np.random.default_rng(17)
+        for __ in range(15):
+            count = int(rng.integers(2, 120))
+            lengths = sorted(
+                int(s) for s in rng.integers(1, 5_000, size=count)
+            )
+            top = int(rng.integers(1, count + 1))
+            counts = tuple(range(max(1, top - 2), top + 1))
+            with kernels.force("fallback"):
+                ref = balanced_cut_points_multi(lengths, counts)
+            native = balanced_cut_points_multi(lengths, counts)
+            assert native == ref
+
+    def test_planner_dispatch_matches_fallback(
+        self, cost_model8, unjitted_native, monkeypatch
+    ):
+        from repro.core import planner_greedy
+
+        rng = np.random.default_rng(19)
+        for threshold in (0, 10_000):  # stacked and scalar routes
+            monkeypatch.setattr(
+                planner_greedy, "_VECTOR_THRESHOLD", threshold
+            )
+            for __ in range(5):
+                count = int(rng.integers(1, 16))
+                lengths = tuple(
+                    int(s) for s in rng.integers(256, 8_000, size=count)
+                )
+                if sum(lengths) > cost_model8.cluster_token_capacity():
+                    continue
+                with kernels.force("fallback"):
+                    ref_plan, ref_time = plan_microbatch_greedy(
+                        lengths, cost_model8
+                    )
+                plan, predicted = plan_microbatch_greedy(
+                    lengths, cost_model8
+                )
+                assert plan == ref_plan
+                assert predicted == ref_time
