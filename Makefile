@@ -5,7 +5,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
 	bench-prune bench-scaleout bench-calibrate bench-chaos \
-	bench-chaos-smoke bench-kernels
+	bench-chaos-smoke bench-kernels bench-service bench-service-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -77,6 +77,20 @@ bench-calibrate:
 # Appends to benchmarks/results/BENCH_kernels.json.
 bench-kernels:
 	$(PYTHON) -m repro.bench kernels
+
+# Planning-as-a-service trace benchmark: a resident PlanService replays
+# a seeded Gamma-arrival trace over three heterogeneous tenants twice
+# (burst-cold, then warm churn), with in-flight coalescing, per-tenant
+# admission shedding and every unique served plan verified bit-identical
+# to a cold solve.  Appends to benchmarks/results/BENCH_service.json.
+bench-service:
+	$(PYTHON) -m repro.bench --service --duration 20 --rate 1.5 \
+		--step-window 4 --max-context 32768 --batch-size 16
+
+# Fast CI tier of the service trace: 16K contexts, batch 8, seconds of
+# simulated arrivals at the duplicate-heavy step window.
+bench-service-smoke:
+	$(PYTHON) -m repro.bench --service
 
 # Solver-throughput benchmark only; results land in
 # benchmarks/results/BENCH_solver.json for trajectory tracking.

@@ -38,6 +38,17 @@ steal/context-build telemetry, recommends the fastest combo, and
 appends the grid to ``benchmarks/results/BENCH_scaleout.json``
 (``make bench-calibrate``).
 
+**Service mode** (``--service``) boots the resident
+planning-as-a-service front-end (:class:`repro.service.PlanService`),
+replays a seeded Gamma-arrival trace over three heterogeneous tenants
+twice (burst-cold, then warm churn — see
+:mod:`repro.service.benchmark`), verifies every unique served plan
+bit-identical to a cold solve, prints the latency table and appends
+the record to ``benchmarks/results/BENCH_service.json``.  The default
+shape is the CI smoke tier (``make bench-service-smoke``: 16K
+contexts, batch 8, seconds of trace); ``make bench-service`` passes
+the longer 32K/batch-16 trace for nightly runs.
+
 **Node-limit calibrate mode** (``--calibrate-node-limit``) sweeps the
 deterministic HiGHS work limit (default 50/200/500) over one campaign
 artefact at the MILP backend, printing a wall-clock vs plan-quality
@@ -48,7 +59,10 @@ for full-protocol MILP passes.
 Every mode accepts ``--no-native`` (equivalent to ``REPRO_NATIVE=0``)
 to disable the compiled hot-kernel tier
 (:mod:`repro.core.kernels`; both tiers are bit-identical, so this
-only changes wall-clock).  ``--profile`` additionally prints a
+only changes wall-clock).  The switch is *scoped to the run*: the
+runtime flag and the ``REPRO_NATIVE`` env var are restored when the
+mode returns, so invoking a ``--no-native`` run from a long-lived
+process leaves later runs untouched.  ``--profile`` additionally prints a
 one-line kernel-tier banner (native available yes/no, tier per
 kernel) so benchmark output is self-describing; the appended campaign
 records carry the same information in their ``kernels`` block.
@@ -70,6 +84,9 @@ Campaign / prune / calibrate usage::
     python -m repro.bench --campaign smoke --workers 2 \
         --inject-faults worker_kill@cell:0 --fault-seed 7   # chaos run
     python -m repro.bench --campaign smoke --fault-seed 7   # random fault
+    python -m repro.bench --service                      # make bench-service-smoke
+    python -m repro.bench --service --duration 20 --rate 1.5 \
+        --step-window 4 --max-context 32768 --batch-size 16  # make bench-service
     python -m repro.bench --prune --max-age-days 30      # make bench-prune
     python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
     python -m repro.bench --calibrate-workers            # make bench-calibrate
@@ -77,10 +94,10 @@ Campaign / prune / calibrate usage::
         --workers-grid 1,2,4 --solver-workers-grid 1,2
 
 ``--workers`` / ``--solver-workers`` accept ``0`` as "use every CPU"
-(``os.cpu_count()``); negative values are an argparse error.  Note the
-default asymmetry: the CLI defaults to ``--workers 1`` (predictable on
-shared boxes), while constructing ``SweepRunner(workers=None)``
-directly defaults to the CPU count.
+(``os.cpu_count()``); negative values are an argparse error.  The
+library matches the CLI: ``SweepRunner(workers=None)`` runs serially
+(like the CLI's ``--workers 1`` default) and ``workers=0`` means every
+CPU — fan-out is always an explicit opt-in.
 
 ``--profile`` prints the per-stage SolveStats timing breakdown
 (enumerate / lpt / milp_build / milp_solve) — in campaign mode per
@@ -110,6 +127,7 @@ full matrix via ``benchmarks/test_bench_chaos.py``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import pathlib
@@ -219,27 +237,36 @@ def _campaign_tables(result) -> str:
     return "\n\n".join(blocks)
 
 
-def _apply_native_flag(args: argparse.Namespace) -> None:
-    """Honour ``--no-native`` before any planning happens.
+def _native_scope(args: argparse.Namespace):
+    """Scoped ``--no-native``: off for the run, restored on return.
 
-    ``set_enabled`` also mirrors into ``REPRO_NATIVE`` so spawned pool
-    workers agree with the parent process.
+    :func:`repro.core.kernels.enabled_scope` mirrors the switch into
+    ``REPRO_NATIVE`` (so spawned pool workers agree with the parent)
+    and restores both the flag and the env var — including prior
+    absence — when the mode finishes, so a ``--no-native`` run inside
+    a long-lived process (pytest, a resident service) cannot poison
+    later runs.
     """
     if getattr(args, "no_native", False):
         from repro.core import kernels
 
-        kernels.set_enabled(False)
+        return kernels.enabled_scope(False)
+    return contextlib.nullcontext()
 
 
 def run_campaign(args: argparse.Namespace) -> int:
     """Execute one campaign pass and append the trajectory record."""
+    with _native_scope(args):
+        return _run_campaign(args)
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
     from repro.core import kernels
     from repro.core.planner import PlannerConfig
     from repro.core.solver import SolverConfig
     from repro.experiments.campaign import build_campaign
     from repro.experiments.sweep import SweepRunner
 
-    _apply_native_flag(args)
     if args.profile:
         print(kernels.describe())
     planner = PlannerConfig(node_limit=args.node_limit)
@@ -433,9 +460,8 @@ def _parse_campaign_args(argv: list[str]) -> argparse.Namespace:
         "--workers",
         type=int,
         default=1,
-        help="sweep fan-out width; 0 = all CPUs (default 1 — note "
-        "SweepRunner(workers=None) defaults to the CPU count, the CLI "
-        "deliberately does not)",
+        help="sweep fan-out width; 0 = all CPUs (default 1, matching "
+        "SweepRunner's serial default)",
     )
     parser.add_argument(
         "--solver-workers",
@@ -537,6 +563,179 @@ def _resolve_workers(
             f"{flag} must be non-negative (0 = all CPUs), got {value}"
         )
     return value if value else (os.cpu_count() or 1)
+
+
+def _parse_service_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the resident planning service against a "
+        "seeded Gamma-arrival trace (burst-cold, then warm churn).",
+    )
+    parser.add_argument(
+        "--service", action="store_true", required=True, help="service mode"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="trace duration in seconds of simulated arrivals (default 5)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.8,
+        help="per-tenant mean arrival rate, requests/second (default 0.8)",
+    )
+    parser.add_argument(
+        "--cv",
+        type=float,
+        default=2.0,
+        help="coefficient of variation of the Gamma inter-arrival "
+        "process; 1.0 is Poisson, higher is burstier (default 2.0)",
+    )
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--step-window",
+        type=int,
+        default=2,
+        help="training steps each tenant draws batches from; small "
+        "windows make the trace duplicate-heavy (default 2)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1,
+        help="per-tenant admission bound on queued cold requests "
+        "(default 1 — tight, so shedding is exercised)",
+    )
+    parser.add_argument(
+        "--worker-threads",
+        type=int,
+        default=2,
+        help="service solve threads (default 2)",
+    )
+    parser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=1,
+        help="width of the shared SolverPool behind the service; "
+        "0 = all CPUs (default 1: in-process planning)",
+    )
+    parser.add_argument(
+        "--max-context",
+        type=int,
+        default=16 * 1024,
+        help="tenant context length in tokens (default 16384; the "
+        "nightly tier passes 32768)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="tenant global batch size (default 8; nightly passes 16)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="optional CacheStore directory so the service restarts warm",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip re-solving every unique served plan on a cold engine "
+        "(the bit-identity check)",
+    )
+    parser.add_argument("--no-native", action="store_true")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error(f"--duration must be positive, got {args.duration}")
+    if args.rate <= 0:
+        parser.error(f"--rate must be positive, got {args.rate}")
+    if args.max_pending < 1:
+        parser.error(f"--max-pending must be at least 1, got {args.max_pending}")
+    if args.worker_threads < 1:
+        parser.error(
+            f"--worker-threads must be at least 1, got {args.worker_threads}"
+        )
+    args.solver_workers = _resolve_workers(
+        parser, "--solver-workers", args.solver_workers
+    )
+    return args
+
+
+def run_service(args: argparse.Namespace) -> int:
+    with _native_scope(args):
+        return _run_service(args)
+
+
+def _run_service(args: argparse.Namespace) -> int:
+    """Replay the seeded trace through a resident PlanService."""
+    from repro.experiments.reporting import format_table
+    from repro.service.benchmark import run_service_benchmark
+    from repro.service.traffic import service_jobs
+
+    jobs = service_jobs(
+        max_context=args.max_context, global_batch_size=args.batch_size
+    )
+    print(
+        f"[service] {len(jobs)} tenants "
+        f"({args.max_context // 1024}K contexts, batch {args.batch_size}), "
+        f"Gamma trace: {args.duration:.0f}s at {args.rate}/s per tenant, "
+        f"cv {args.cv}, step window {args.step_window}, seed {args.seed}"
+    )
+    record = run_service_benchmark(
+        jobs=jobs,
+        duration=args.duration,
+        rate=args.rate,
+        cv=args.cv,
+        seed=args.seed,
+        step_window=args.step_window,
+        max_pending_per_tenant=args.max_pending,
+        worker_threads=args.worker_threads,
+        solver_workers=args.solver_workers,
+        store=args.store,
+        verify=not args.no_verify,
+    )
+    rows = [
+        (
+            phase,
+            str(record[key]["served"]),
+            f"{record[key]['plans_per_second']:.1f}",
+            f"{record[key]['p50_ms']:.2f}",
+            f"{record[key]['p99_ms']:.2f}",
+        )
+        for phase, key in (
+            ("burst (cold)", "cold_phase"),
+            ("churn (warm)", "warm_phase"),
+        )
+        if record[key]["served"]
+    ]
+    print()
+    print(
+        format_table(
+            ["phase", "served", "plans/s", "p50 (ms)", "p99 (ms)"],
+            rows,
+            title="PlanService trace replay",
+        )
+    )
+    verified = record["bit_identical_verified"]
+    print(
+        f"\n[service] {record['submitted']} submitted: "
+        f"{record['solved']} solved, {record['warm_hits']} warm, "
+        f"{record['coalesced']} coalesced, {record['shed']} shed "
+        f"(rate {record['shed_rate']:.0%}); plan-cache hit rate "
+        f"{record['plan_cache_hit_rate']:.0%}"
+        + (
+            f"; {verified}/{record['unique_shapes']} unique plans "
+            "bit-identical to cold solves"
+            if verified is not None
+            else ""
+        )
+    )
+    path = _benchmarks_dir() / "results" / "BENCH_service.json"
+    append_history(path, [{"invocation": "cli", **record}])
+    print(f"appended service record to {path}")
+    return 0
 
 
 def _parse_prune_args(argv: list[str]) -> argparse.Namespace:
@@ -675,6 +874,11 @@ def _parse_node_limit_args(argv: list[str]) -> argparse.Namespace:
 
 
 def run_calibrate_node_limit(args: argparse.Namespace) -> int:
+    with _native_scope(args):
+        return _run_calibrate_node_limit(args)
+
+
+def _run_calibrate_node_limit(args: argparse.Namespace) -> int:
     """Time the MILP backend at each ``--node-limit-grid`` value.
 
     Each limit runs the selected artefact grid storeless in a fresh
@@ -693,7 +897,6 @@ def run_calibrate_node_limit(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
     from repro.experiments.sweep import SweepRunner
 
-    _apply_native_flag(args)
     overrides = {}
     if args.batch_size is not None:
         overrides["global_batch_size"] = args.batch_size
@@ -792,6 +995,11 @@ def _parse_grid(
 
 
 def run_calibrate(args: argparse.Namespace) -> int:
+    with _native_scope(args):
+        return _run_calibrate(args)
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
     """Time every (workers, solver_workers) combination on one campaign.
 
     Each combination runs storeless in its own runner, so every combo
@@ -813,7 +1021,6 @@ def run_calibrate(args: argparse.Namespace) -> int:
     overrides = {}
     if args.batch_size is not None:
         overrides["global_batch_size"] = args.batch_size
-    _apply_native_flag(args)
     campaign = build_campaign(args.campaign, **overrides)
     combos = [
         (workers, solver_workers)
@@ -914,16 +1121,20 @@ def main(argv: list[str] | None = None) -> int:
         return run_calibrate_node_limit(_parse_node_limit_args(argv))
     if "--calibrate-workers" in argv:
         return run_calibrate(_parse_calibrate_args(argv))
+    if "--service" in argv:
+        return run_service(_parse_service_args(argv))
     if any(a.startswith("--campaign") for a in argv):
         return run_campaign(_parse_campaign_args(argv))
 
+    native_scope = contextlib.nullcontext()
     if "--no-native" in argv:
         # Pytest-mode opt-out: the suites (and any pool workers they
-        # spawn) read REPRO_NATIVE through repro.core.kernels.
+        # spawn) read REPRO_NATIVE through repro.core.kernels.  The
+        # scope restores flag and env var once pytest returns.
         argv.remove("--no-native")
         from repro.core import kernels
 
-        kernels.set_enabled(False)
+        native_scope = kernels.enabled_scope(False)
     if "--profile" in argv:
         # Pytest-mode profiling: the benchmark suites read this flag
         # through the environment (see benchmarks/conftest.py PROFILE)
@@ -951,7 +1162,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"no benchmark matches {selector!r}; options: all, {options}"
             )
         targets = [str(p) for p in matches]
-    return pytest.main(["-q", *targets, *argv[1:]])
+    with native_scope:
+        return pytest.main(["-q", *targets, *argv[1:]])
 
 
 if __name__ == "__main__":

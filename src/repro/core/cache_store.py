@@ -107,6 +107,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -588,13 +589,25 @@ class CacheStore:
             "lock_waits": 0,
             "lock_breaks": 0,
         }
+        # Counter increments are read-modify-write; the plan service's
+        # request threads share one store instance (read-mostly:
+        # concurrent load() is safe — atomic os.replace keeps every
+        # observable file a complete document — and save() serialises
+        # on the per-workload file lock), so the accounting needs its
+        # own guard to stay exact under threads.
+        self._counters_lock = threading.Lock()
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += delta
 
     def _path(self, signature: tuple) -> pathlib.Path:
         return self.root / f"workload-{signature_digest(signature)}.json"
 
     def counters(self) -> dict[str, int]:
         """Copy of this instance's hit/miss/write/eviction counters."""
-        return dict(self._counters)
+        with self._counters_lock:
+            return dict(self._counters)
 
     def load(self, signature: tuple) -> WorkloadState | None:
         """The spilled state for ``signature``, or None.
@@ -614,9 +627,9 @@ class CacheStore:
         path = self._path(signature)
         state = self._load_state(path, signature)
         if state is None:
-            self._counters["misses"] += 1
+            self._count("misses")
             return None
-        self._counters["hits"] += 1
+        self._count("hits")
         self._touched.add(path.name)
         with contextlib.suppress(OSError):
             os.utime(path)
@@ -679,10 +692,10 @@ class CacheStore:
         return True
 
     def _count_wait(self) -> None:
-        self._counters["lock_waits"] += 1
+        self._count("lock_waits")
 
     def _count_break(self) -> None:
-        self._counters["lock_breaks"] += 1
+        self._count("lock_breaks")
 
     def save(self, signature: tuple, state: WorkloadState) -> None:
         """Persist ``state``, merging with what is already on disk.
@@ -721,7 +734,7 @@ class CacheStore:
                     self._touched.add(path.name)
                 return
             _atomic_write(path, payload)
-            self._counters["writes"] += 1
+            self._count("writes")
             self._touched.add(path.name)
             self._update_manifest(
                 path.name,
@@ -896,7 +909,7 @@ class CacheStore:
             files=num_files,
             bytes=num_bytes,
             entries=num_entries,
-            **self._counters,
+            **self.counters(),
         )
 
     def prune(
@@ -1001,7 +1014,7 @@ class CacheStore:
                         del recorded[name]
                         self._write_manifest(recorded)
             if removed:
-                self._counters["evictions"] += 1
+                self._count("evictions")
                 evicted.append(name)
             elif st is None:
                 # Vanished before we acted (another pruner won the

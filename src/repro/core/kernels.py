@@ -340,10 +340,41 @@ def set_enabled(value: bool) -> None:
 
     Also mirrors into ``REPRO_NATIVE`` so spawned pool workers — which
     re-import this module rather than inheriting its globals — agree.
+
+    The mutation is process-global and permanent; callers that only
+    need the switch for the duration of a run (the bench CLI, the plan
+    service, tests) should prefer :func:`enabled_scope`, which restores
+    both the module flag and the environment variable on exit.
     """
     global _ENABLED
     _ENABLED = bool(value)
     os.environ[_ENV] = "1" if value else "0"
+
+
+@contextlib.contextmanager
+def enabled_scope(value: bool) -> Iterator[None]:
+    """Scoped :func:`set_enabled`: restore flag *and* env var on exit.
+
+    ``set_enabled`` writes ``REPRO_NATIVE`` into ``os.environ`` so
+    spawned pool workers agree with the parent; without a restore that
+    write outlives the run and poisons every later run in the same
+    process (e.g. a ``--no-native`` campaign inside pytest disabling
+    the tier for all subsequent tests).  This scope saves the previous
+    ``_ENABLED`` and the previous env state — including *absence* of
+    the variable — and reinstates both when the block exits.
+    """
+    global _ENABLED
+    previous_enabled = _ENABLED
+    previous_env = os.environ.get(_ENV)
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous_enabled
+        if previous_env is None:
+            os.environ.pop(_ENV, None)
+        else:
+            os.environ[_ENV] = previous_env
 
 
 def _compile() -> dict | None:
@@ -367,12 +398,19 @@ def _compile() -> dict | None:
 
 
 def use_native(name: str) -> bool:
-    """Dispatch decision for one kernel (and compile on first use)."""
+    """Dispatch decision for one kernel (and compile on first use).
+
+    ``_FORCED`` is sampled exactly once per call: a concurrent
+    :func:`force` flip (which only the single-threaded test harness
+    should perform — see :func:`force`) can change the answer *between*
+    dispatches but can never split one dispatch decision across tiers.
+    """
     if name not in KERNEL_BODIES:
         raise KeyError(f"unknown kernel: {name!r}")
-    if _FORCED == "fallback":
+    forced = _FORCED
+    if forced == "fallback":
         return False
-    if _FORCED != "native" and not _ENABLED:
+    if forced != "native" and not _ENABLED:
         return False
     return native_available() and _compile() is not None
 
@@ -395,6 +433,15 @@ def force(tier: str | None) -> Iterator[None]:
     Forcing ``"native"`` only takes effect when numba is importable —
     dispatch still degrades to the fallback otherwise, so suites that
     force both tiers stay runnable on hosts without the extra.
+
+    **Single-thread contract.**  The override flips the module-global
+    ``_FORCED`` with no lock; enter and exit it only from one thread
+    (the test harness), never concurrently with another ``force``.
+    Reader threads are safe regardless: :func:`use_native` samples
+    ``_FORCED`` once per dispatch, so a solve racing a flip lands
+    wholly on one tier or the other — and either tier produces
+    bit-identical plans, so concurrent *readers* (e.g. the plan
+    service's request threads) never observe a torn result.
     """
     if tier not in (None, "native", "fallback"):
         raise ValueError(f"unknown tier: {tier!r}")

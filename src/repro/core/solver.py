@@ -510,7 +510,11 @@ class FlexSPSolver:
     The solver owns a cross-call plan cache and (when ``workers > 1``)
     a persistent :class:`SolverService`; both live as long as the
     solver object, so a long-running deployment amortises process
-    startup and re-planning across every batch it serves.
+    startup and re-planning across every batch it serves.  A resident
+    front-end (:class:`repro.service.PlanService`) keeps one such
+    solver per tenant, all planning on one shared :class:`SolverPool`,
+    and classifies requests warm/cold with the :meth:`is_warm` /
+    :meth:`pending_shapes` probes.
 
     Args:
         model: Fitted cost model for the target (model, cluster).
@@ -646,6 +650,20 @@ class FlexSPSolver:
                 if self.cache.peek((canonical, self._context)) is None:
                     missing.add(canonical)
         return sorted(missing, key=lambda s: (len(s), s))
+
+    def is_warm(self, batch: SequenceBatch | tuple[int, ...]) -> bool:
+        """Whether a :meth:`solve` of ``batch`` would be answered
+        entirely from the plan cache (no planner calls).
+
+        Pure probe, like :meth:`pending_shapes` — no counters move, no
+        LRU order changes — so a resident front-end (the plan service)
+        can classify a request as warm/cold at admission time without
+        perturbing the statistics the eventual solve will report.
+        Always False without a plan cache: every solve plans afresh.
+        """
+        if self.cache is None:
+            return False
+        return not self.pending_shapes(batch)
 
     def plan_shapes_cold(
         self, shapes: list[tuple[int, ...]]

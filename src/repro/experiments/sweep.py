@@ -1090,11 +1090,13 @@ class SweepRunner:
     Args:
         cells: Default cell list for :meth:`run`.
         solver_config: FlexSP solver knobs shared by all cells.
-        workers: Fan-out width; 1 (the default on single-core hosts)
-            runs in-process.  ``None`` uses the CPU count.  With more
-            than one, cells are workload-sharded and affinity-
-            dispatched over single-worker pool slots with work
-            stealing (see :class:`_ShardScheduler`).
+        workers: Fan-out width.  ``None`` (the default) and 1 run
+            serially in-process; ``0`` uses every CPU — the same
+            convention as the bench CLI's ``--workers``, so library
+            callers (like the plan service) can never fan out by
+            accident.  With more than one, cells are workload-sharded
+            and affinity-dispatched over single-worker pool slots with
+            work stealing (see :class:`_ShardScheduler`).
         vectorized: Evaluate timing kernels and tuners through the
             batched array paths (bit-identical to scalar).
         store: Persistent cross-process cache — a
@@ -1105,7 +1107,7 @@ class SweepRunner:
             :class:`~repro.core.solver.SolverPool` injected into every
             FlexSP solver.  ``None`` adopts ``solver_config.workers``
             when that is > 1 (so sweeps never nest per-workload
-            pools); 1 plans in-process.
+            pools); ``0`` uses every CPU; 1 plans in-process.
         spill_batch: Cells a worker (or the serial loop) measures
             before spilling dirty store state.  ``0`` (default)
             batches the whole drain: one merge-save per dirty workload
@@ -1173,9 +1175,11 @@ class SweepRunner:
         self.cells = tuple(cells)
         self.solver_config = solver_config
         if workers is None:
+            workers = 1
+        elif workers == 0:
             workers = os.cpu_count() or 1
-        if workers <= 0:
-            raise ValueError(f"workers must be positive, got {workers}")
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
         self.workers = workers
         self.vectorized = vectorized
         if store is not None and not isinstance(store, CacheStore):
@@ -1187,9 +1191,11 @@ class SweepRunner:
                 if solver_config is not None and solver_config.workers > 1
                 else 1
             )
-        if solver_workers <= 0:
+        elif solver_workers == 0:
+            solver_workers = os.cpu_count() or 1
+        if solver_workers < 0:
             raise ValueError(
-                f"solver_workers must be positive, got {solver_workers}"
+                f"solver_workers must be non-negative, got {solver_workers}"
             )
         self.solver_workers = solver_workers
         if spill_batch < 0:

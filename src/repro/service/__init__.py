@@ -1,0 +1,34 @@
+"""Planning-as-a-service front-end (see :mod:`repro.service.service`).
+
+The resident multi-tenant :class:`PlanService` plus the seeded
+trace-style load generation (:mod:`repro.service.traffic`) that the
+service benchmark drives it with.
+"""
+
+from repro.service.service import (
+    PlanService,
+    PlanTicket,
+    RequestShed,
+    ServedPlan,
+    ServiceClosed,
+)
+from repro.service.traffic import (
+    GammaProcess,
+    TraceRequest,
+    poisson_process,
+    service_jobs,
+    synthesize_trace,
+)
+
+__all__ = [
+    "PlanService",
+    "PlanTicket",
+    "RequestShed",
+    "ServedPlan",
+    "ServiceClosed",
+    "GammaProcess",
+    "TraceRequest",
+    "poisson_process",
+    "service_jobs",
+    "synthesize_trace",
+]

@@ -1,0 +1,202 @@
+"""The service latency benchmark routine.
+
+One measurement shared by ``benchmarks/test_bench_service.py`` and the
+``python -m repro.bench --service`` CLI verb, so the pytest tier and
+the Makefile verbs append records of identical shape to
+``BENCH_service.json``.
+
+The measurement replays one seeded Gamma-arrival trace twice:
+
+1. **Burst (cold) phase** — the whole trace is submitted against a
+   *paused* service, so in-flight coalescing and per-tenant admission
+   shedding are pure functions of submission order (deterministic for
+   a given trace), then the service starts and the backlog drains.
+   This yields cold p50/p99 latency (queueing included — it is a
+   burst), sustained plans/sec, the coalesced count and the shed rate.
+2. **Warm (churn) phase** — the same trace replayed against the now
+   live service: previously solved shapes answer from the plan cache
+   at submit time, shapes shed in phase 1 now solve, giving the warm
+   hit rate and warm-path latencies under churn.
+
+Optionally every unique served plan is then re-solved on a cold
+:class:`~repro.core.solver.FlexSPSolver` (fresh fit, fresh cache, no
+service) and asserted bit-identical — the service contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.cost.profiler import fit_cost_model
+from repro.service.service import PlanService, RequestShed
+from repro.service.traffic import service_jobs, synthesize_trace
+
+#: Generous per-ticket wait; a solve that exceeds this is a hang.
+RESULT_TIMEOUT = 600.0
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    if not latencies:
+        return {"p50_ms": None, "p99_ms": None, "mean_ms": None}
+    array = np.asarray(latencies) * 1000.0
+    return {
+        "p50_ms": round(float(np.percentile(array, 50)), 3),
+        "p99_ms": round(float(np.percentile(array, 99)), 3),
+        "mean_ms": round(float(array.mean()), 3),
+    }
+
+
+def _gather(tickets) -> tuple[list, int]:
+    """Resolve every ticket; returns (served plans, shed count)."""
+    served, shed = [], 0
+    for ticket in tickets:
+        try:
+            served.append(ticket.result(timeout=RESULT_TIMEOUT))
+        except RequestShed:
+            shed += 1
+    return served, shed
+
+
+def run_service_benchmark(
+    *,
+    jobs=None,
+    duration: float = 5.0,
+    rate: float = 0.8,
+    cv: float = 2.0,
+    seed: int = 23,
+    step_window: int = 2,
+    max_pending_per_tenant: int = 1,
+    worker_threads: int = 2,
+    solver_workers: int = 1,
+    solver_config: SolverConfig | None = None,
+    store=None,
+    verify: bool = True,
+) -> dict:
+    """Run the two-phase trace benchmark; returns the record dict.
+
+    The defaults are the CI smoke shape: three heterogeneous tenants,
+    a duplicate-heavy trace (``step_window=2``) and a tight pending
+    bound, so coalescing *and* shedding are both observed in seconds.
+    """
+    jobs = jobs if jobs is not None else service_jobs()
+    trace = synthesize_trace(
+        jobs,
+        duration=duration,
+        rate=rate,
+        cv=cv,
+        seed=seed,
+        step_window=step_window,
+    )
+    service = PlanService(
+        solver_config=solver_config,
+        store=store,
+        solver_workers=solver_workers,
+        worker_threads=worker_threads,
+        max_pending_per_tenant=max_pending_per_tenant,
+        autostart=False,
+    )
+    with service:
+        for workload in jobs.values():
+            service.register(workload)
+
+        # Phase 1: burst the whole trace at the paused service, then
+        # drain.  Coalescing/shed accounting is deterministic here.
+        burst_started = time.perf_counter()
+        cold_tickets = service.replay(trace)
+        service.start()
+        cold_served, cold_shed = _gather(cold_tickets)
+        cold_wall = time.perf_counter() - burst_started
+
+        # Phase 2: same trace against the live service — churn.
+        warm_started = time.perf_counter()
+        warm_served, warm_shed = _gather(service.replay(trace))
+        warm_wall = time.perf_counter() - warm_started
+        stats = service.stats()
+
+        served = cold_served + warm_served
+        # Plan-cache effectiveness across every actual solve (warm
+        # serves replay the cache; solved flights fill it).
+        hits = misses = 0
+        for plan in served:
+            if plan.source == "coalesced":
+                continue
+            hits += plan.plan.stats.cache_hits + plan.plan.stats.dedup_hits
+            misses += plan.plan.stats.cache_misses
+        unique = {(p.tenant, p.lengths): p.plan for p in served}
+
+        verified = 0
+        if verify:
+            models = {
+                name: fit_cost_model(
+                    w.model_at_context, w.cluster, w.checkpointing
+                )
+                for name, w in jobs.items()
+            }
+            config = solver_config or SolverConfig()
+            for (tenant, lengths), plan in sorted(unique.items()):
+                cold = FlexSPSolver(models[tenant], config)
+                reference = cold.solve(lengths)
+                if (
+                    reference.microbatches != plan.microbatches
+                    or reference.predicted_time != plan.predicted_time
+                ):
+                    raise AssertionError(
+                        f"served plan for {tenant} diverged from the "
+                        f"cold solve of the same {len(lengths)}-sequence "
+                        "batch"
+                    )
+                cold.close()
+                verified += 1
+
+    submitted = stats["submitted"]
+    return {
+        "mode": "service",
+        "jobs": sorted(jobs),
+        "trace": {
+            "duration_seconds": duration,
+            "rate_per_tenant": rate,
+            "cv": cv,
+            "seed": seed,
+            "step_window": step_window,
+            "requests": len(trace),
+        },
+        "service": {
+            "worker_threads": worker_threads,
+            "solver_workers": solver_workers,
+            "max_pending_per_tenant": max_pending_per_tenant,
+            "store": store is not None,
+        },
+        "submitted": submitted,
+        "served": stats["served"],
+        "solved": stats["solved"],
+        "warm_hits": stats["warm_hits"],
+        "coalesced": stats["coalesced"],
+        "shed": stats["shed"],
+        "shed_rate": round(stats["shed"] / submitted, 4) if submitted else 0.0,
+        "plan_cache_hit_rate": (
+            round(hits / (hits + misses), 4) if hits + misses else None
+        ),
+        "cold_phase": {
+            "wall_seconds": round(cold_wall, 3),
+            "served": len(cold_served),
+            "shed": cold_shed,
+            "plans_per_second": (
+                round(len(cold_served) / cold_wall, 3) if cold_wall else None
+            ),
+            **_percentiles([p.latency_seconds for p in cold_served]),
+        },
+        "warm_phase": {
+            "wall_seconds": round(warm_wall, 3),
+            "served": len(warm_served),
+            "shed": warm_shed,
+            "plans_per_second": (
+                round(len(warm_served) / warm_wall, 3) if warm_wall else None
+            ),
+            **_percentiles([p.latency_seconds for p in warm_served]),
+        },
+        "unique_shapes": len(unique),
+        "bit_identical_verified": verified if verify else None,
+    }

@@ -82,6 +82,111 @@ class TestRegistry:
             else:
                 os.environ["REPRO_NATIVE"] = previous_env
 
+    def test_enabled_scope_restores_env_including_absence(self):
+        import os
+
+        previous = kernels.enabled()
+        previous_env = os.environ.get("REPRO_NATIVE")
+        try:
+            os.environ.pop("REPRO_NATIVE", None)
+            with kernels.enabled_scope(False):
+                assert not kernels.enabled()
+                assert os.environ["REPRO_NATIVE"] == "0"
+            # The variable was absent before the scope; it must be
+            # absent after — not left behind as "0".
+            assert "REPRO_NATIVE" not in os.environ
+            assert kernels.enabled() == previous
+
+            os.environ["REPRO_NATIVE"] = "1"
+            with kernels.enabled_scope(False):
+                assert os.environ["REPRO_NATIVE"] == "0"
+            assert os.environ["REPRO_NATIVE"] == "1"
+        finally:
+            kernels.set_enabled(previous)
+            if previous_env is None:
+                os.environ.pop("REPRO_NATIVE", None)
+            else:
+                os.environ["REPRO_NATIVE"] = previous_env
+
+    def test_enabled_scope_restores_on_error(self):
+        import os
+
+        previous = kernels.enabled()
+        previous_env = os.environ.get("REPRO_NATIVE")
+        try:
+            os.environ.pop("REPRO_NATIVE", None)
+            with pytest.raises(RuntimeError):
+                with kernels.enabled_scope(False):
+                    raise RuntimeError("boom")
+            assert "REPRO_NATIVE" not in os.environ
+            assert kernels.enabled() == previous
+        finally:
+            kernels.set_enabled(previous)
+            if previous_env is None:
+                os.environ.pop("REPRO_NATIVE", None)
+            else:
+                os.environ["REPRO_NATIVE"] = previous_env
+
+    def test_run_campaign_no_native_leaves_env_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a ``--no-native`` campaign used to write
+        ``REPRO_NATIVE=0`` into ``os.environ`` permanently, poisoning
+        every later run in the same process.  Two back-to-back
+        campaign invocations — with and then without ``--no-native`` —
+        must leave both the env var and the runtime switch exactly as
+        they were."""
+        import os
+
+        from repro import bench
+
+        (tmp_path / "results").mkdir()
+        monkeypatch.setattr(bench, "_benchmarks_dir", lambda: tmp_path)
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        enabled_before = kernels.enabled()
+        args = ["--campaign", "smoke", "--no-store", "--batch-size", "4"]
+        assert bench.main([*args, "--no-native"]) == 0
+        assert "REPRO_NATIVE" not in os.environ
+        assert kernels.enabled() == enabled_before
+        assert bench.main(args) == 0
+        assert "REPRO_NATIVE" not in os.environ
+        assert kernels.enabled() == enabled_before
+
+    def test_concurrent_force_flips_never_tear_a_dispatch(self):
+        """``use_native`` samples ``_FORCED`` once per call, so a
+        reader racing a flip sees a coherent decision (never a raise,
+        always a bool) on every dispatch."""
+        import threading
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def flipper():
+            while not stop.is_set():
+                with kernels.force("fallback"):
+                    pass
+
+        def reader():
+            try:
+                for _ in range(2000):
+                    decision = kernels.use_native("lpt_scalar")
+                    assert isinstance(decision, bool)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [
+            threading.Thread(target=flipper),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert kernels._FORCED is None
+
     def test_unknown_kernel_name_rejected(self):
         with pytest.raises(KeyError):
             kernels.use_native("nonexistent_kernel")

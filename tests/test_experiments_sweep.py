@@ -708,3 +708,35 @@ class TestFaultRecovery:
         assert set(attempts[1]) == set(cells) - set(attempts[0][:2])
         for a, b in zip(serial.metrics, result.metrics):
             assert a.deterministic() == b.deterministic()
+
+
+class TestWorkersDefaults:
+    """Regression: ``SweepRunner(workers=None)`` used to mean
+    ``os.cpu_count()`` while the CLI's ``--workers`` defaulted to 1 —
+    a library caller could fan out by accident.  The library now
+    matches the CLI: None = serial, 0 = every CPU."""
+
+    def test_workers_none_means_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert SweepRunner().workers == 1
+        assert SweepRunner(workers=None).workers == 1
+
+    def test_workers_zero_means_all_cpus(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert SweepRunner(workers=0).workers == 8
+        assert SweepRunner(workers=0, solver_workers=0).solver_workers == 8
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SweepRunner(workers=-1)
+        with pytest.raises(ValueError, match="solver_workers"):
+            SweepRunner(solver_workers=-2)
+
+    def test_solver_workers_none_still_adopts_config(self):
+        config = SolverConfig(workers=3)
+        assert SweepRunner(solver_config=config).solver_workers == 3
+        assert SweepRunner().solver_workers == 1

@@ -1,0 +1,235 @@
+"""Planning-as-a-service front-end (:mod:`repro.service`).
+
+Covers the tentpole's concurrency edges: in-flight coalescing (one
+solve, N bit-equal answers), the warm fast path, deterministic
+per-tenant admission shedding, clean shutdown with requests still
+queued (no leaked pool workers), store-backed warm restarts, and the
+seeded trace generator the service benchmark drives load with.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import standard_cluster
+from repro.core.pools import live_pool_count
+from repro.core.solver import FlexSPSolver, SolverConfig
+from repro.data.distributions import COMMONCRAWL, GITHUB
+from repro.experiments.workloads import Workload
+from repro.model.config import GPT_7B
+from repro.service import (
+    GammaProcess,
+    PlanService,
+    RequestShed,
+    ServiceClosed,
+    service_jobs,
+    synthesize_trace,
+)
+
+MAX_CONTEXT = 16 * 1024
+RESULT_TIMEOUT = 300.0
+
+
+def small_workload(distribution=COMMONCRAWL, seed: int = 0) -> Workload:
+    return Workload(
+        model=GPT_7B,
+        distribution=distribution,
+        max_context=MAX_CONTEXT,
+        cluster=standard_cluster(8),
+        global_batch_size=8,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    """Module-shared store: the first fit spills, later tests restore."""
+    return tmp_path_factory.mktemp("service_store")
+
+
+def batch_lengths(workload: Workload, step: int) -> tuple[int, ...]:
+    return workload.corpus().batch(step).lengths
+
+
+def assert_bit_equal(a, b) -> None:
+    assert a.microbatches == b.microbatches
+    assert a.predicted_time == b.predicted_time
+
+
+class TestCoalescing:
+    def test_waiters_receive_bit_equal_plans(self, store_dir):
+        workload = small_workload()
+        with PlanService(autostart=False, store=store_dir) as service:
+            tenant = service.register(workload)
+            lengths = batch_lengths(workload, 0)
+            tickets = [service.submit(tenant, lengths) for _ in range(4)]
+            # Paused service: the three duplicates attached to the
+            # first submission's flight deterministically.
+            assert service.stats()["coalesced"] == 3
+            service.start()
+            served = [t.result(timeout=RESULT_TIMEOUT) for t in tickets]
+        assert sorted(p.source for p in served) == [
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "solved",
+        ]
+        for plan in served[1:]:
+            assert_bit_equal(served[0].plan, plan.plan)
+        # One solve served all four answers, bit-identical to a cold
+        # solve of the same shape on a fresh engine.
+        stats = service.stats()
+        assert stats["solved"] == 1
+        assert stats["served"] == 4
+        cold = FlexSPSolver(_cold_model(workload), SolverConfig())
+        assert_bit_equal(cold.solve(lengths), served[0].plan)
+
+    def test_warm_requests_answered_from_plan_cache(self, store_dir):
+        workload = small_workload()
+        with PlanService(store=store_dir) as service:
+            tenant = service.register(workload)
+            lengths = batch_lengths(workload, 0)
+            first = service.submit(tenant, lengths).result(
+                timeout=RESULT_TIMEOUT
+            )
+            warm_ticket = service.submit(tenant, lengths)
+            # Warm requests resolve synchronously in the submitting
+            # thread — no queue round-trip.
+            assert warm_ticket.done()
+            warm = warm_ticket.result()
+        assert warm.source == "warm"
+        assert_bit_equal(first.plan, warm.plan)
+        # The first request may itself have been warm (module store
+        # restored from an earlier test's spill); the repeat must be.
+        assert service.stats()["warm_hits"] >= 1
+
+
+class TestAdmissionControl:
+    def shed_pattern(self, *, seed: int) -> list[bool]:
+        workload = small_workload(GITHUB, seed=seed)
+        with PlanService(
+            autostart=False, max_pending_per_tenant=2
+        ) as service:
+            tenant = service.register(workload)
+            tickets = [
+                service.submit(tenant, batch_lengths(workload, step))
+                for step in range(5)
+            ]
+            pattern = [t.shed for t in tickets]
+            stats = service.stats()
+            assert stats["shed"] == sum(pattern)
+            assert stats["shed_by_tenant"][tenant] == sum(pattern)
+            for ticket in tickets:
+                if ticket.shed:
+                    with pytest.raises(RequestShed):
+                        ticket.result()
+        return pattern
+
+    def test_shed_is_deterministic_over_the_pending_bound(self):
+        # Five distinct cold shapes against a bound of two: the first
+        # two admit, the rest shed — identically on every run.
+        first = self.shed_pattern(seed=3)
+        assert first == [False, False, True, True, True]
+        assert self.shed_pattern(seed=3) == first
+
+    def test_unknown_tenant_rejected(self):
+        with PlanService(autostart=False) as service:
+            with pytest.raises(ValueError, match="unknown tenant"):
+                service.submit("nobody", (128, 256))
+
+    def test_duplicate_registration_rejected(self):
+        workload = small_workload()
+        with PlanService(autostart=False) as service:
+            service.register(workload)
+            with pytest.raises(ValueError, match="already registered"):
+                service.register(workload)
+
+
+class TestShutdown:
+    def test_close_cancels_queued_requests_and_releases_pools(self):
+        baseline = live_pool_count()
+        # Fresh corpus seed: nothing warm, every submit really queues.
+        workload = small_workload(seed=7)
+        service = PlanService(autostart=False, solver_workers=2)
+        tenant = service.register(workload)
+        tickets = [
+            service.submit(tenant, batch_lengths(workload, step))
+            for step in range(3)
+        ]
+        service.close()
+        for ticket in tickets:
+            with pytest.raises(ServiceClosed):
+                ticket.result(timeout=RESULT_TIMEOUT)
+        assert service.stats()["cancelled"] == 3
+        # No leaked pool workers: the shared SolverPool (and any
+        # solver-owned pools) are gone.
+        assert live_pool_count() == baseline
+        with pytest.raises(ServiceClosed):
+            service.submit(tenant, batch_lengths(workload, 0))
+        # Idempotent.
+        service.close()
+
+    def test_store_round_trip_serves_restart_warm(self, tmp_path):
+        workload = small_workload()
+        lengths = batch_lengths(workload, 0)
+        with PlanService(store=tmp_path) as service:
+            tenant = service.register(workload)
+            first = service.submit(tenant, lengths).result(
+                timeout=RESULT_TIMEOUT
+            )
+        # A fresh service over the same store restores the cost model
+        # and plan cache: the same request is warm at submit.
+        with PlanService(store=tmp_path) as restarted:
+            tenant = restarted.register(workload)
+            ticket = restarted.submit(tenant, lengths)
+            assert ticket.done()
+            warm = ticket.result()
+        assert warm.source == "warm"
+        assert_bit_equal(first.plan, warm.plan)
+
+
+class TestTraffic:
+    def test_trace_is_a_pure_function_of_its_seed(self):
+        jobs = service_jobs(max_context=MAX_CONTEXT, global_batch_size=8)
+        kwargs = dict(duration=5.0, rate=1.5, cv=2.0, step_window=3)
+        a = synthesize_trace(jobs, seed=11, **kwargs)
+        b = synthesize_trace(jobs, seed=11, **kwargs)
+        assert a == b
+        assert a != synthesize_trace(jobs, seed=12, **kwargs)
+
+    def test_trace_is_time_sorted_and_within_duration(self):
+        jobs = service_jobs(max_context=MAX_CONTEXT, global_batch_size=8)
+        trace = synthesize_trace(jobs, duration=5.0, rate=2.0, seed=0)
+        assert trace
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 5.0 for t in times)
+        assert {r.tenant for r in trace} <= set(jobs)
+
+    def test_trace_batches_match_the_corpus(self):
+        jobs = service_jobs(max_context=MAX_CONTEXT, global_batch_size=8)
+        trace = synthesize_trace(
+            jobs, duration=4.0, rate=1.0, seed=5, step_window=2
+        )
+        for request in trace[:4]:
+            expected = jobs[request.tenant].corpus().batch(request.step)
+            assert request.lengths == expected.lengths
+
+    def test_gamma_process_validates_parameters(self):
+        with pytest.raises(ValueError, match="rate"):
+            GammaProcess(0.0)
+        with pytest.raises(ValueError, match="cv"):
+            GammaProcess(1.0, cv=-1.0)
+        jobs = service_jobs(max_context=MAX_CONTEXT, global_batch_size=8)
+        with pytest.raises(ValueError, match="duration"):
+            synthesize_trace(jobs, duration=0.0, rate=1.0)
+        with pytest.raises(ValueError, match="step_window"):
+            synthesize_trace(jobs, duration=1.0, rate=1.0, step_window=0)
+
+
+def _cold_model(workload: Workload):
+    from repro.cost.profiler import fit_cost_model
+
+    return fit_cost_model(
+        workload.model_at_context, workload.cluster, workload.checkpointing
+    )
