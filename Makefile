@@ -5,7 +5,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench bench-smoke bench-all bench-solver bench-e2e \
 	bench-prune bench-scaleout bench-calibrate bench-chaos \
-	bench-chaos-smoke bench-kernels bench-service bench-service-smoke
+	bench-chaos-smoke bench-kernels bench-service bench-service-smoke \
+	bench-service-net bench-service-net-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -91,6 +92,22 @@ bench-service:
 # simulated arrivals at the duplicate-heavy step window.
 bench-service-smoke:
 	$(PYTHON) -m repro.bench --service
+
+# Network chaos tier: the same seeded trace replayed through the TCP
+# transport (PlanServer/PlanClient over loopback) while deterministic
+# network faults fire at the accept/handshake/recv/send sites —
+# connection resets, torn frames, slow peers, dropped responses, plus
+# a server crash mid-trace degrading to in-process planning.  Every
+# served plan asserted bit-identical to a cold solve, retries never
+# double-solve, accounting deterministic, sockets/threads/pools
+# released.  Appends to benchmarks/results/BENCH_service.json.
+bench-service-net:
+	$(PYTHON) -m repro.bench service_net
+
+# Fast CI tier of the network chaos matrix: one injected conn_reset
+# recovered over loopback (the `-k smoke` slice).
+bench-service-net-smoke:
+	$(PYTHON) -m repro.bench service_net -k smoke
 
 # Solver-throughput benchmark only; results land in
 # benchmarks/results/BENCH_solver.json for trajectory tracking.

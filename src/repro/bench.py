@@ -47,7 +47,23 @@ bit-identical to a cold solve, prints the latency table and appends
 the record to ``benchmarks/results/BENCH_service.json``.  The default
 shape is the CI smoke tier (``make bench-service-smoke``: 16K
 contexts, batch 8, seconds of trace); ``make bench-service`` passes
-the longer 32K/batch-16 trace for nightly runs.
+the longer 32K/batch-16 trace for nightly runs.  With ``--connect
+HOST:PORT`` the same trace is instead replayed through the hardened
+TCP transport (:mod:`repro.service.transport`) against a remote
+``--serve`` process and the appended record carries a ``transport``
+block (p50/p99 over TCP, retries, reconnects, degraded count).
+
+**Serve mode** (``--serve``) runs the planning service as a TCP
+server (:class:`repro.service.transport.PlanServer`) until
+interrupted: ``--listen HOST:PORT`` binds (port 0 = ephemeral,
+printed once bound), tenants come from the same
+:func:`~repro.service.traffic.service_jobs` shape flags as service
+mode (``--max-context`` / ``--batch-size`` must match the connecting
+clients — the handshake verifies workload signatures), and Ctrl-C
+(or ``--serve-seconds``) drains gracefully: in-flight requests are
+answered, new connections refused, then the service and its pools
+shut down.  The loopback chaos tier (``make bench-service-net``)
+sweeps the network fault menu over this transport in-process.
 
 **Node-limit calibrate mode** (``--calibrate-node-limit``) sweeps the
 deterministic HiGHS work limit (default 50/200/500) over one campaign
@@ -87,6 +103,8 @@ Campaign / prune / calibrate usage::
     python -m repro.bench --service                      # make bench-service-smoke
     python -m repro.bench --service --duration 20 --rate 1.5 \
         --step-window 4 --max-context 32768 --batch-size 16  # make bench-service
+    python -m repro.bench --serve --listen 0.0.0.0:8471  # TCP plan server
+    python -m repro.bench --service --connect host:8471  # remote trace replay
     python -m repro.bench --prune --max-age-days 30      # make bench-prune
     python -m repro.bench --prune --max-store-bytes 268435456 --dry-run
     python -m repro.bench --calibrate-workers            # make bench-calibrate
@@ -565,6 +583,175 @@ def _resolve_workers(
     return value if value else (os.cpu_count() or 1)
 
 
+def _parse_endpoint(
+    parser: argparse.ArgumentParser,
+    flag: str,
+    text: str,
+    *,
+    allow_ephemeral: bool = False,
+) -> tuple[str, int]:
+    """Validate a ``HOST:PORT`` flag value into ``(host, port)``.
+
+    Bad CLI input fails fast with an argparse error (PR 9 convention),
+    never half-runs: a missing colon, an empty host, a non-integer or
+    out-of-range port are all rejected here.  ``allow_ephemeral``
+    admits port 0 (bind an ephemeral port and print it) — valid for
+    ``--listen``, meaningless for ``--connect``.
+    """
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        parser.error(f"{flag} must be HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"{flag} port must be an integer, got {port_text!r}")
+    minimum = 0 if allow_ephemeral else 1
+    if not minimum <= port <= 65535:
+        suffix = " (0 binds an ephemeral port)" if allow_ephemeral else ""
+        parser.error(
+            f"{flag} port must be in [{minimum}, 65535]{suffix}, got {port}"
+        )
+    return host, port
+
+
+def _parse_serve_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the planning service as a TCP server "
+        "(repro.service.transport.PlanServer) until interrupted; "
+        "point remote trainers at it with --service --connect.",
+    )
+    parser.add_argument(
+        "--serve", action="store_true", required=True, help="serve mode"
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0 — an ephemeral port, "
+        "printed once bound; use 0.0.0.0:PORT to serve other hosts)",
+    )
+    parser.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="exit (with a graceful drain) after this many seconds "
+        "(default: serve until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--max-context",
+        type=int,
+        default=16 * 1024,
+        help="tenant context length in tokens (default 16384) — must "
+        "match the connecting clients",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="tenant global batch size (default 8) — must match the "
+        "connecting clients",
+    )
+    parser.add_argument(
+        "--worker-threads",
+        type=int,
+        default=2,
+        help="service solve threads (default 2)",
+    )
+    parser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=1,
+        help="width of the shared SolverPool; 0 = all CPUs (default 1)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="per-tenant admission bound on queued cold requests "
+        "(default 8)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="optional CacheStore directory so the server restarts warm",
+    )
+    parser.add_argument("--no-native", action="store_true")
+    args = parser.parse_args(argv)
+    args.listen = _parse_endpoint(
+        parser, "--listen", args.listen, allow_ephemeral=True
+    )
+    if args.serve_seconds is not None and args.serve_seconds <= 0:
+        parser.error(
+            f"--serve-seconds must be positive, got {args.serve_seconds}"
+        )
+    if args.max_pending < 1:
+        parser.error(f"--max-pending must be at least 1, got {args.max_pending}")
+    if args.worker_threads < 1:
+        parser.error(
+            f"--worker-threads must be at least 1, got {args.worker_threads}"
+        )
+    args.solver_workers = _resolve_workers(
+        parser, "--solver-workers", args.solver_workers
+    )
+    return args
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    with _native_scope(args):
+        return _run_serve(args)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve plans over TCP until interrupted (or --serve-seconds)."""
+    from repro.service.service import PlanService
+    from repro.service.traffic import service_jobs
+    from repro.service.transport import PlanServer
+
+    jobs = service_jobs(
+        max_context=args.max_context, global_batch_size=args.batch_size
+    )
+    host, port = args.listen
+    service = PlanService(
+        store=args.store,
+        solver_workers=args.solver_workers,
+        worker_threads=args.worker_threads,
+        max_pending_per_tenant=args.max_pending,
+    )
+    for workload in jobs.values():
+        service.register(workload)
+    server = PlanServer(service, host, port, owns_service=True)
+    bound_host, bound_port = server.address
+    print(
+        f"[serve] {len(jobs)} tenants "
+        f"({args.max_context // 1024}K contexts, batch {args.batch_size}) "
+        f"listening on {bound_host}:{bound_port}"
+    )
+    print(
+        f"[serve] connect with: python -m repro.bench --service "
+        f"--connect {bound_host}:{bound_port} "
+        f"--max-context {args.max_context} --batch-size {args.batch_size}"
+    )
+    try:
+        if args.serve_seconds is not None:
+            time.sleep(args.serve_seconds)
+        else:
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("\n[serve] interrupted")
+    finally:
+        print("[serve] draining (in-flight requests are answered) ...")
+        server.close()
+        stats = server.stats()
+        print(
+            f"[serve] done: {stats['accepted']} connections, "
+            f"{stats['requests']} requests, {stats['replayed']} idempotent "
+            f"replays, {stats['refused']} refused"
+        )
+    return 0
+
+
 def _parse_service_args(argv: list[str]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -640,6 +827,28 @@ def _parse_service_args(argv: list[str]) -> argparse.Namespace:
         help="optional CacheStore directory so the service restarts warm",
     )
     parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay the trace through the TCP transport against a "
+        "remote --serve process instead of an in-process service "
+        "(the multi-host benchmark; appends a transport record)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="with --connect: per-request wall-clock budget in seconds "
+        "before the client degrades to in-process planning (default 60)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="with --connect: transport-failure retry budget per "
+        "request (default 3)",
+    )
+    parser.add_argument(
         "--no-verify",
         action="store_true",
         help="skip re-solving every unique served plan on a cold engine "
@@ -647,6 +856,12 @@ def _parse_service_args(argv: list[str]) -> argparse.Namespace:
     )
     parser.add_argument("--no-native", action="store_true")
     args = parser.parse_args(argv)
+    if args.connect is not None:
+        args.connect = _parse_endpoint(parser, "--connect", args.connect)
+    if args.deadline <= 0:
+        parser.error(f"--deadline must be positive, got {args.deadline}")
+    if args.retries < 0:
+        parser.error(f"--retries must be non-negative, got {args.retries}")
     if args.duration <= 0:
         parser.error(f"--duration must be positive, got {args.duration}")
     if args.rate <= 0:
@@ -677,6 +892,8 @@ def _run_service(args: argparse.Namespace) -> int:
     jobs = service_jobs(
         max_context=args.max_context, global_batch_size=args.batch_size
     )
+    if args.connect is not None:
+        return _run_service_transport(args, jobs)
     print(
         f"[service] {len(jobs)} tenants "
         f"({args.max_context // 1024}K contexts, batch {args.batch_size}), "
@@ -735,6 +952,52 @@ def _run_service(args: argparse.Namespace) -> int:
     path = _benchmarks_dir() / "results" / "BENCH_service.json"
     append_history(path, [{"invocation": "cli", **record}])
     print(f"appended service record to {path}")
+    return 0
+
+
+def _run_service_transport(args: argparse.Namespace, jobs) -> int:
+    """Replay the seeded trace through the TCP transport against a
+    remote ``--serve`` process (the multi-host half of service mode)."""
+    from repro.service.benchmark import run_transport_benchmark
+
+    host, port = args.connect
+    print(
+        f"[service] replaying over TCP against {host}:{port}: "
+        f"{len(jobs)} tenants ({args.max_context // 1024}K contexts, "
+        f"batch {args.batch_size}), {args.duration:.0f}s of trace at "
+        f"{args.rate}/s per tenant, seed {args.seed}"
+    )
+    record = run_transport_benchmark(
+        jobs=jobs,
+        duration=args.duration,
+        rate=args.rate,
+        cv=args.cv,
+        seed=args.seed,
+        step_window=args.step_window,
+        connect=args.connect,
+        client_deadline=args.deadline,
+        client_retries=args.retries,
+        verify=not args.no_verify,
+    )
+    transport = record["transport"]
+    print(
+        f"\n[service] transport: {transport['served']} served / "
+        f"{transport['shed']} shed of {transport['requests']} requests in "
+        f"{transport['wall_seconds']}s "
+        f"(p50 {transport['p50_ms']} ms, p99 {transport['p99_ms']} ms); "
+        f"{transport['retries']} retries, {transport['reconnects']} "
+        f"reconnects, {transport['degraded']} degraded"
+        + (
+            f"; {record['bit_identical_verified']}/"
+            f"{record['unique_shapes']} unique plans bit-identical to "
+            "cold solves"
+            if record["bit_identical_verified"] is not None
+            else ""
+        )
+    )
+    path = _benchmarks_dir() / "results" / "BENCH_service.json"
+    append_history(path, [{"invocation": "cli", **record}])
+    print(f"appended transport record to {path}")
     return 0
 
 
@@ -1121,6 +1384,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_calibrate_node_limit(_parse_node_limit_args(argv))
     if "--calibrate-workers" in argv:
         return run_calibrate(_parse_calibrate_args(argv))
+    if "--serve" in argv:
+        return run_serve(_parse_serve_args(argv))
     if "--service" in argv:
         return run_service(_parse_service_args(argv))
     if any(a.startswith("--campaign") for a in argv):

@@ -17,8 +17,13 @@ Model:
   acquisition), ``prune`` (store lifecycle pass), ``plan`` (solver
   pool/service worker task), ``spawn`` (sweep worker initialisation),
   ``drain`` (sweep worker flush), ``prewarm`` (the runner's cold-
-  batching pass).  When no schedule is armed, a visit is one module-
-  global read and a ``None`` check — zero overhead on the hot path.
+  batching pass), plus the plan-transport network sites ``accept``
+  (the TCP listener admitting a connection), ``handshake`` (the
+  version/signature exchange), ``recv`` (reading a request frame) and
+  ``send`` (writing a response frame) — all visited server-side by
+  :mod:`repro.service.transport`.  When no schedule is armed, a visit
+  is one module-global read and a ``None`` check — zero overhead on
+  the hot path.
 * A **fault spec** is ``kind@site[:occurrence]``: ``worker_kill@cell``
   (die on the first cell), ``torn_write@spill:2`` (tear the third
   save), ``hang@cell:1``, ``stale_lock@prune``, or
@@ -28,7 +33,13 @@ Model:
   ``hang`` (sleep :attr:`FaultSchedule.hang_seconds`, for the
   watchdog to kill), ``torn_write`` and ``stale_lock`` (realised by
   the cache store itself — a truncated non-atomic data write, a lock
-  file stamped with a dead holder pid).
+  file stamped with a dead holder pid), and the network kinds
+  realised by the plan transport: ``conn_reset`` (the connection is
+  aborted with an RST at the site), ``torn_frame`` (half a
+  length-prefixed frame is written, then the connection reset),
+  ``delay`` (the site stalls :attr:`FaultSchedule.delay_seconds` — a
+  slow peer), ``drop_response`` (the response is solved, recorded,
+  and silently never sent — the client must retry and re-attach).
 * A :class:`FaultSchedule` groups specs with a seed and a **record
   ledger** — an append-only file, shared by every process the
   schedule reaches (pool initializers ship it to workers).  Each
@@ -69,6 +80,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 __all__ = [
     "FAULT_KINDS",
     "INJECTION_SITES",
+    "NETWORK_FAULT_MENU",
     "RANDOM_FAULT_MENU",
     "FaultSchedule",
     "FaultSpec",
@@ -82,7 +94,16 @@ __all__ = [
 ]
 
 #: Fault kinds a spec may request.
-FAULT_KINDS = ("worker_kill", "torn_write", "stale_lock", "hang")
+FAULT_KINDS = (
+    "worker_kill",
+    "torn_write",
+    "stale_lock",
+    "hang",
+    "conn_reset",
+    "torn_frame",
+    "delay",
+    "drop_response",
+)
 
 #: Registered injection-point names (see the module docstring).
 INJECTION_SITES = (
@@ -94,6 +115,10 @@ INJECTION_SITES = (
     "spawn",
     "drain",
     "prewarm",
+    "accept",
+    "handshake",
+    "recv",
+    "send",
 )
 
 #: The (kind, site) pairs a seeded random schedule draws from — every
@@ -110,6 +135,26 @@ RANDOM_FAULT_MENU = (
     ("torn_write", "spill"),
     ("stale_lock", "lock"),
     ("stale_lock", "prune"),
+)
+
+#: The network (kind, site) pairs the plan-transport chaos benchmark
+#: sweeps — every combination is survivable by the
+#: :class:`~repro.service.transport.PlanClient` deadline/retry/backoff
+#: ladder (with degradation to an in-process service as the last
+#: rung).  Kept separate from :data:`RANDOM_FAULT_MENU`: the sweep's
+#: graduated recovery never visits these sites, so drawing them there
+#: would produce schedules that cannot fire.
+NETWORK_FAULT_MENU = (
+    ("conn_reset", "accept"),
+    ("conn_reset", "handshake"),
+    ("conn_reset", "recv"),
+    ("conn_reset", "send"),
+    ("torn_frame", "handshake"),
+    ("torn_frame", "send"),
+    ("delay", "accept"),
+    ("delay", "recv"),
+    ("delay", "send"),
+    ("drop_response", "send"),
 )
 
 #: Exit status of a worker killed by ``worker_kill`` (diagnostic only;
@@ -204,18 +249,26 @@ class FaultSchedule:
         hang_seconds: How long a ``hang`` fault sleeps.  Deliberately
             longer than any sane watchdog timeout — a hang is only
             survivable because the watchdog kills the sleeper.
+        delay_seconds: How long a ``delay`` network fault stalls its
+            site.  Deliberately *shorter* than any sane transport
+            I/O timeout — a slow peer is absorbed, not retried.
     """
 
     specs: tuple[FaultSpec, ...]
     seed: int = 0
     record_path: str = ""
     hang_seconds: float = 120.0
+    delay_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
         if self.hang_seconds <= 0:
             raise ValueError(
                 f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+        if self.delay_seconds <= 0:
+            raise ValueError(
+                f"delay_seconds must be positive, got {self.delay_seconds}"
             )
         if not self.record_path:
             fd, path = tempfile.mkstemp(
@@ -345,9 +398,11 @@ class _FaultPlane:
         a kill records its ledger line first and never returns; a hang
         sleeps and then continues (the watchdog is expected to kill
         the sleeper long before the nap ends).  Data faults
-        (``torn_write``, ``stale_lock``) are returned as the fired
-        kind for the *caller* to realise — only the cache store knows
-        what a torn write or a stale lock means.
+        (``torn_write``, ``stale_lock``) and the network kinds
+        (``conn_reset``, ``torn_frame``, ``delay``, ``drop_response``)
+        are returned as the fired kind for the *caller* to realise —
+        only the cache store knows what a torn write means, and only
+        the plan transport knows what resetting a connection means.
         """
         fired_kind: str | None = None
         for index, spec in enumerate(self.schedule.specs):
@@ -457,10 +512,11 @@ def armed(schedule: FaultSchedule | None):
 def maybe_inject(site: str) -> str | None:
     """Visit injection point ``site``.
 
-    Returns the kind of a fired *data* fault (``torn_write`` /
-    ``stale_lock``) for the caller to realise, or None.  Process
-    faults are realised inline (``worker_kill`` does not return).
-    Disarmed, this is one global read and a None check.
+    Returns the kind of a fired *data or network* fault
+    (``torn_write`` / ``stale_lock`` / ``conn_reset`` / ``torn_frame``
+    / ``delay`` / ``drop_response``) for the caller to realise, or
+    None.  Process faults are realised inline (``worker_kill`` does
+    not return).  Disarmed, this is one global read and a None check.
     """
     plane = _ACTIVE
     if plane is None:

@@ -1,8 +1,10 @@
 """Planning-as-a-service front-end (see :mod:`repro.service.service`).
 
-The resident multi-tenant :class:`PlanService` plus the seeded
-trace-style load generation (:mod:`repro.service.traffic`) that the
-service benchmark drives it with.
+The resident multi-tenant :class:`PlanService`, the hardened TCP
+transport that puts it on the network
+(:mod:`repro.service.transport`), plus the seeded trace-style load
+generation (:mod:`repro.service.traffic`) that the service benchmarks
+drive it with.
 """
 
 from repro.service.service import (
@@ -19,6 +21,13 @@ from repro.service.traffic import (
     service_jobs,
     synthesize_trace,
 )
+from repro.service.transport import (
+    HandshakeError,
+    PlanClient,
+    PlanDeadlineExceeded,
+    PlanServer,
+    TransportError,
+)
 
 __all__ = [
     "PlanService",
@@ -31,4 +40,9 @@ __all__ = [
     "poisson_process",
     "service_jobs",
     "synthesize_trace",
+    "HandshakeError",
+    "PlanClient",
+    "PlanDeadlineExceeded",
+    "PlanServer",
+    "TransportError",
 ]

@@ -1,9 +1,19 @@
-"""The service latency benchmark routine.
+"""The service latency benchmark routines.
 
-One measurement shared by ``benchmarks/test_bench_service.py`` and the
-``python -m repro.bench --service`` CLI verb, so the pytest tier and
-the Makefile verbs append records of identical shape to
-``BENCH_service.json``.
+Two measurements, each shared by a pytest benchmark suite and a
+``python -m repro.bench`` CLI verb so both append records of identical
+shape to ``BENCH_service.json``:
+
+* :func:`run_service_benchmark` — the in-process two-phase trace
+  replay (``benchmarks/test_bench_service.py`` / ``--service``).
+* :func:`run_transport_benchmark` — the same trace replayed through
+  the TCP transport (:mod:`repro.service.transport`), loopback by
+  default with optional deterministic network-fault injection, or
+  against a remote ``--serve`` process via ``--service --connect``
+  (``benchmarks/test_bench_service_net.py`` / ``make
+  bench-service-net``).  Its record carries a ``transport`` block:
+  p50/p99 over TCP, retries, reconnects, degraded count and the
+  server-side frame counters.
 
 The measurement replays one seeded Gamma-arrival trace twice:
 
@@ -25,14 +35,17 @@ service) and asserted bit-identical — the service contract.
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.solver import FlexSPSolver, SolverConfig
 from repro.cost.profiler import fit_cost_model
 from repro.service.service import PlanService, RequestShed
 from repro.service.traffic import service_jobs, synthesize_trace
+from repro.service.transport import PlanClient, PlanServer
 
 #: Generous per-ticket wait; a solve that exceeds this is a hang.
 RESULT_TIMEOUT = 600.0
@@ -47,6 +60,32 @@ def _percentiles(latencies: list[float]) -> dict:
         "p99_ms": round(float(np.percentile(array, 99)), 3),
         "mean_ms": round(float(array.mean()), 3),
     }
+
+
+def _verify_unique_plans(jobs, solver_config, unique) -> int:
+    """Re-solve every unique served shape on a cold engine (fresh fit,
+    fresh cache, no service, no network) and assert bit-identity —
+    the contract every front-end must preserve.  Returns the count."""
+    models = {
+        name: fit_cost_model(w.model_at_context, w.cluster, w.checkpointing)
+        for name, w in jobs.items()
+    }
+    config = solver_config or SolverConfig()
+    verified = 0
+    for (tenant, lengths), plan in sorted(unique.items()):
+        cold = FlexSPSolver(models[tenant], config)
+        reference = cold.solve(lengths)
+        if (
+            reference.microbatches != plan.microbatches
+            or reference.predicted_time != plan.predicted_time
+        ):
+            raise AssertionError(
+                f"served plan for {tenant} diverged from the cold solve "
+                f"of the same {len(lengths)}-sequence batch"
+            )
+        cold.close()
+        verified += 1
+    return verified
 
 
 def _gather(tickets) -> tuple[list, int]:
@@ -129,27 +168,7 @@ def run_service_benchmark(
 
         verified = 0
         if verify:
-            models = {
-                name: fit_cost_model(
-                    w.model_at_context, w.cluster, w.checkpointing
-                )
-                for name, w in jobs.items()
-            }
-            config = solver_config or SolverConfig()
-            for (tenant, lengths), plan in sorted(unique.items()):
-                cold = FlexSPSolver(models[tenant], config)
-                reference = cold.solve(lengths)
-                if (
-                    reference.microbatches != plan.microbatches
-                    or reference.predicted_time != plan.predicted_time
-                ):
-                    raise AssertionError(
-                        f"served plan for {tenant} diverged from the "
-                        f"cold solve of the same {len(lengths)}-sequence "
-                        "batch"
-                    )
-                cold.close()
-                verified += 1
+            verified = _verify_unique_plans(jobs, solver_config, unique)
 
     submitted = stats["submitted"]
     return {
@@ -200,3 +219,192 @@ def run_service_benchmark(
         "unique_shapes": len(unique),
         "bit_identical_verified": verified if verify else None,
     }
+
+
+def run_transport_benchmark(
+    *,
+    jobs=None,
+    duration: float = 3.0,
+    rate: float = 0.8,
+    cv: float = 2.0,
+    seed: int = 23,
+    step_window: int = 2,
+    max_pending_per_tenant: int = 8,
+    worker_threads: int = 2,
+    solver_workers: int = 1,
+    solver_config: SolverConfig | None = None,
+    store=None,
+    connect: tuple[str, int] | None = None,
+    fault_specs: str | None = None,
+    fault_seed: int = 0,
+    crash_after: int | None = None,
+    client_deadline: float = 60.0,
+    client_io_timeout: float = 2.0,
+    client_retries: int = 3,
+    client_backoff_base: float = 0.02,
+    verify: bool = True,
+) -> dict:
+    """Replay one seeded trace through the TCP transport.
+
+    With ``connect=None`` (the default) a loopback
+    :class:`~repro.service.transport.PlanServer` is booted on an
+    ephemeral port, optionally chaos-tested: ``fault_specs`` arms a
+    deterministic :class:`~repro.core.faults.FaultSchedule` over the
+    network sites for the duration of the replay, and
+    ``crash_after=N`` aborts the server (no drain) after the Nth
+    request so the remaining requests exercise the client's
+    degradation to an in-process service.  With ``connect=(host,
+    port)`` the trace is replayed against a remote ``--serve``
+    process instead (no injection, no crash — the remote owns its own
+    fault plane).
+
+    The client replays the trace closed-loop (one request at a time),
+    so the transport — not queueing — dominates the measured
+    latencies, and every retry/degradation decision is a deterministic
+    function of the trace, the schedule and the client seed.
+    """
+    if connect is not None and (fault_specs or crash_after is not None):
+        raise ValueError(
+            "fault injection and crash simulation are loopback-only "
+            "(a remote server owns its own fault plane)"
+        )
+    jobs = jobs if jobs is not None else service_jobs()
+    trace = synthesize_trace(
+        jobs,
+        duration=duration,
+        rate=rate,
+        cv=cv,
+        seed=seed,
+        step_window=step_window,
+    )
+    schedule = None
+    if fault_specs:
+        schedule = faults.FaultSchedule.parse(fault_specs, seed=fault_seed)
+
+    server = None
+    service = None
+    if connect is None:
+        service = PlanService(
+            solver_config=solver_config,
+            store=store,
+            solver_workers=solver_workers,
+            worker_threads=worker_threads,
+            max_pending_per_tenant=max_pending_per_tenant,
+        )
+        for workload in jobs.values():
+            service.register(workload)
+        server = PlanServer(
+            service, owns_service=True, result_timeout=RESULT_TIMEOUT
+        )
+        host, port = server.address
+    else:
+        host, port = connect
+
+    client = PlanClient(
+        host,
+        port,
+        jobs=jobs,
+        solver_config=solver_config,
+        deadline=client_deadline,
+        io_timeout=client_io_timeout,
+        retries=client_retries,
+        backoff_base=client_backoff_base,
+        seed=seed,
+    )
+    served, shed = [], 0
+    crashed = False
+    try:
+        with faults.armed(schedule) if schedule else contextlib.nullcontext():
+            replay_started = time.perf_counter()
+            for index, request in enumerate(trace):
+                if (
+                    crash_after is not None
+                    and index == crash_after
+                    and server is not None
+                    and not crashed
+                ):
+                    server.close(drain=False)
+                    crashed = True
+                try:
+                    served.append(client.plan(request.tenant, request.lengths))
+                except RequestShed:
+                    shed += 1
+            wall = time.perf_counter() - replay_started
+        client_stats = client.stats()
+        server_stats = server.stats() if server is not None else None
+        service_stats = service.stats() if service is not None else None
+    finally:
+        client.close()
+        if server is not None:
+            server.close()
+
+    unique = {(p.tenant, p.lengths): p.plan for p in served}
+    verified = _verify_unique_plans(jobs, solver_config, unique) if verify else None
+
+    latencies = [p.latency_seconds for p in served]
+    record = {
+        "mode": "service-transport",
+        "jobs": sorted(jobs),
+        "trace": {
+            "duration_seconds": duration,
+            "rate_per_tenant": rate,
+            "cv": cv,
+            "seed": seed,
+            "step_window": step_window,
+            "requests": len(trace),
+        },
+        "loopback": connect is None,
+        "endpoint": f"{host}:{port}",
+        "service": (
+            {
+                "worker_threads": worker_threads,
+                "solver_workers": solver_workers,
+                "max_pending_per_tenant": max_pending_per_tenant,
+                "store": store is not None,
+            }
+            if connect is None
+            else None
+        ),
+        "faults": (
+            {
+                "schedule": str(schedule),
+                "seed": schedule.seed,
+                "injections": schedule.injection_counts(),
+            }
+            if schedule is not None
+            else None
+        ),
+        "crash_after": crash_after,
+        "transport": {
+            "requests": client_stats["requests"],
+            "served": len(served),
+            "shed": shed,
+            "retries": client_stats["retries"],
+            "reconnects": client_stats["reconnects"],
+            "degraded": client_stats["degraded"],
+            "wall_seconds": round(wall, 3),
+            "plans_per_second": (
+                round(len(served) / wall, 3) if wall and served else None
+            ),
+            **_percentiles(latencies),
+            "server": server_stats,
+        },
+        "service_stats": (
+            {
+                key: service_stats[key]
+                for key in (
+                    "submitted",
+                    "served",
+                    "solved",
+                    "warm_hits",
+                    "coalesced",
+                    "shed",
+                )
+            }
+            if service_stats is not None
+            else None
+        ),
+        "unique_shapes": len(unique),
+        "bit_identical_verified": verified,
+    }
+    return record

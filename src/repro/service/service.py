@@ -327,6 +327,27 @@ class PlanService:
         with self._lock:
             return sorted(self._contexts)
 
+    def workload_signatures(self) -> dict[str, str]:
+        """Per-tenant workload-signature digests.
+
+        The handshake currency of the TCP transport
+        (:mod:`repro.service.transport`): a remote client planning for
+        the same :class:`Workload` derives the same digest, so a
+        client pointed at a server configured for *different*
+        workloads fails fast at connect instead of planning against
+        the wrong cost model.  Digests match the
+        :class:`~repro.core.cache_store.CacheStore` file-naming
+        digests for the same workload.
+        """
+        from repro.core.cache_store import signature_digest
+        from repro.experiments.sweep import workload_signature
+
+        with self._lock:
+            return {
+                name: signature_digest(workload_signature(ctx.workload))
+                for name, ctx in self._contexts.items()
+            }
+
     # -- requests -----------------------------------------------------
 
     def submit(
@@ -389,15 +410,23 @@ class PlanService:
         With ``realtime`` the submission honours each request's arrival
         offset (an open-loop load generator); without it the trace is
         submitted back-to-back (a closed-loop throughput probe).
+
+        If the service closes mid-trace, the replay stops cleanly and
+        returns the tickets submitted so far (every one of them still
+        resolves — answered, shed, or cancelled) instead of raising
+        with earlier tickets unawaited.
         """
         started = time.perf_counter()
-        tickets = []
+        tickets: list[PlanTicket] = []
         for request in trace:
             if realtime:
                 delay = request.time - (time.perf_counter() - started)
                 if delay > 0:
                     time.sleep(delay)
-            tickets.append(self.submit(request.tenant, request.lengths))
+            try:
+                tickets.append(self.submit(request.tenant, request.lengths))
+            except ServiceClosed:
+                break
         return tickets
 
     def stats(self) -> dict:

@@ -1,0 +1,1062 @@
+"""Hardened TCP transport for the planning service.
+
+:class:`PlanServer` puts a registered :class:`PlanService` on the
+network; :class:`PlanClient` is the trainer-side stub.  Together they
+extend the planning-as-a-service front-end of PR 9 across a machine
+boundary without weakening any of its contracts — every plan served
+over a socket is still bit-identical to a cold
+:class:`~repro.core.solver.FlexSPSolver` solve, and shed/coalesce
+accounting stays deterministic even when the network misbehaves.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`):
+
+* **Frames** are a 4-byte big-endian length prefix followed by one
+  UTF-8 JSON object, at most :data:`MAX_FRAME_BYTES` long.  A frame
+  that decodes but is not valid JSON gets a typed ``bad-frame`` error
+  response and the connection survives; a frame whose *length prefix*
+  is garbage is unrecoverable (the stream has lost sync) and the
+  connection is closed after a final ``bad-frame`` error.
+* **Handshake**: the client opens with ``{"type": "hello",
+  "protocol": 1}``; the server answers ``{"type": "welcome",
+  "protocol": 1, "tenants": {name: digest}}`` where each digest is
+  the tenant's workload-signature digest
+  (:meth:`PlanService.workload_signatures`).  A protocol or signature
+  mismatch raises :class:`HandshakeError` client-side — fail fast,
+  never plan against the wrong cost model.
+* **Requests**: ``{"type": "plan", "id": rid, "tenant": t,
+  "lengths": [...], "deadline_ms": n}``.  Responses are either
+  ``{"type": "plan", "id": rid, "source": ..., "plan": ...}`` (the
+  plan serialised via :mod:`repro.core.serialization`) or
+  ``{"type": "error", "id": rid, "error": code, "message": ...}``
+  with codes ``shed`` / ``unknown-tenant`` / ``bad-request`` /
+  ``bad-frame`` / ``protocol`` / ``deadline`` / ``closed`` /
+  ``closing``.  ``{"type": "ping"}`` / ``{"type": "pong"}`` are the
+  heartbeat.
+
+Failure semantics — the reason this module exists:
+
+* **Idempotent retries.**  Every request carries a client-unique id.
+  The server records each completed response *before* sending it;  a
+  retry after a lost response (``drop_response``, torn frame, reset)
+  replays the recorded answer — one solve, never a double-solve, and
+  a shed verdict replayed, never double-counted.  A retry that lands
+  while the original flight is still solving coalesces onto it via
+  the service's in-flight map.  Server-side ``deadline`` expiries are
+  deliberately *not* recorded: the flight may still finish, and the
+  retry then answers warm from the plan cache.
+* **Deadline / retry / backoff ladder.**  Each client request has an
+  absolute deadline; transport failures are retried under a bounded
+  budget with seeded exponential backoff (deterministic jitter — a
+  seeded client backs off identically on every run).  A client that
+  exhausts its budget (or is told the server is closing) *degrades*:
+  it builds an in-process :class:`PlanService` from its configured
+  jobs and answers locally, counting the degradation — the PR 7
+  recovery-ladder philosophy applied to the network.
+* **Graceful drain.**  :meth:`PlanServer.close` stops accepting, lets
+  every in-flight request finish and be answered, tells idle
+  connections ``closing``, then releases the service, its pools and
+  every socket and thread (``live_pool_count`` returns to baseline).
+* **Chaos.**  The server visits the :mod:`repro.core.faults` network
+  sites (``accept`` / ``handshake`` / ``recv`` / ``send``) and
+  realises the fired kinds — ``conn_reset`` aborts the socket with an
+  RST, ``torn_frame`` writes half a frame then aborts, ``delay``
+  stalls the site, ``drop_response`` solves and records but never
+  sends.  ``make bench-service-net`` sweeps the menu and asserts the
+  bit-identity contract under every survivable fault.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+import threading
+import time
+import uuid
+from collections import OrderedDict
+
+from repro.core import faults
+from repro.core.serialization import plan_from_dict, plan_to_dict
+from repro.core.solver import SolverConfig
+from repro.service.service import (
+    PlanService,
+    RequestShed,
+    ServedPlan,
+    ServiceClosed,
+)
+
+__all__ = [
+    "HandshakeError",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "PlanClient",
+    "PlanDeadlineExceeded",
+    "PlanServer",
+    "TransportError",
+    "encode_frame",
+]
+
+#: Wire-protocol version; bumped on any incompatible frame change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's JSON payload (a plan for a 512-sequence
+#: batch serialises to a few hundred KiB; 16 MiB is generous).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Poll granularity for interruptible socket reads — how quickly a
+#: blocked handler notices a drain.
+_POLL_SECONDS = 0.2
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure (reset, torn frame, timeout, refused
+    connection) — retryable by the client's backoff ladder."""
+
+
+class HandshakeError(RuntimeError):
+    """Protocol-version or workload-signature mismatch — *not*
+    retryable; the client and server disagree about the world."""
+
+
+class PlanDeadlineExceeded(RuntimeError):
+    """The request's deadline/retry budget ran out and no fallback
+    jobs were configured for in-process degradation."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one frame: 4-byte big-endian length + UTF-8 JSON."""
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(data) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return struct.pack(">I", len(data)) + data
+
+
+def _error(rid, code: str, message: str) -> dict:
+    return {"type": "error", "id": rid, "error": code, "message": message}
+
+
+def _abort_socket(sock: socket.socket) -> None:
+    """Close with an RST (SO_LINGER 0) — how ``conn_reset`` is felt."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _injected_delay_seconds() -> float:
+    schedule = faults.active_schedule()
+    return schedule.delay_seconds if schedule is not None else 0.25
+
+
+class PlanServer:
+    """A TCP front-end over one :class:`PlanService`.
+
+    Args:
+        service: The (already registered) service to expose.
+        host / port: Bind address; port 0 binds an ephemeral port
+            (read it back from :attr:`address`).
+        backlog: Listen backlog — the bounded accept queue.
+        max_connections: Concurrent connections admitted; excess
+            connects are refused (aborted) rather than queued forever.
+        io_timeout: Per-connection budget for finishing one read or
+            write once started (mid-frame reads, response sends).
+        idle_timeout: How long a connection may sit idle between
+            requests before the server hangs up.
+        result_timeout: Upper bound on waiting for one solve (each
+            request's own ``deadline_ms`` can only shorten it).
+        max_remembered: Idempotency window — completed responses
+            remembered (LRU) for replay to retrying clients.
+        owns_service: Close the service when the server closes.
+        autostart: Start the accept loop immediately.
+    """
+
+    def __init__(
+        self,
+        service: PlanService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 16,
+        max_connections: int = 32,
+        io_timeout: float = 30.0,
+        idle_timeout: float = 300.0,
+        result_timeout: float = 600.0,
+        max_remembered: int = 1024,
+        owns_service: bool = False,
+        autostart: bool = True,
+    ) -> None:
+        for label, value in (
+            ("backlog", backlog),
+            ("max_connections", max_connections),
+            ("io_timeout", io_timeout),
+            ("idle_timeout", idle_timeout),
+            ("result_timeout", result_timeout),
+            ("max_remembered", max_remembered),
+        ):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        self.service = service
+        self.io_timeout = io_timeout
+        self.idle_timeout = idle_timeout
+        self.result_timeout = result_timeout
+        self.max_connections = max_connections
+        self.max_remembered = max_remembered
+        self._owns_service = owns_service
+        self._listener = socket.create_server((host, port), backlog=backlog)
+        self._listener.settimeout(_POLL_SECONDS)
+        self._host, self._port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._conns: dict[int, socket.socket] = {}
+        self._handlers: dict[int, threading.Thread] = {}
+        self._completed: OrderedDict[str, dict] = OrderedDict()
+        self._next_token = 0
+        self._accept_thread: threading.Thread | None = None
+        self._draining = False
+        self._closed = False
+        self._stats = {
+            "accepted": 0,
+            "refused": 0,
+            "handshakes": 0,
+            "requests": 0,
+            "replayed": 0,
+            "dropped_responses": 0,
+            "aborted": 0,
+        }
+        if autostart:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — what clients connect to."""
+        return (self._host, self._port)
+
+    def start(self) -> None:
+        """Start the accept loop (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("plan server is closed")
+            if self._accept_thread is None:
+                self._accept_thread = threading.Thread(
+                    target=self._accept_loop,
+                    name="plan-server-accept",
+                    daemon=True,
+                )
+                self._accept_thread.start()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut down the listener, the handlers and (when owned) the
+        service.
+
+        With ``drain`` (the default) in-flight requests are answered
+        before their connections close and idle connections get a
+        ``closing`` error; with ``drain=False`` every connection is
+        aborted on the spot — the crash the chaos benchmark simulates.
+        Idempotent; joins every thread it started.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+            handlers = list(self._handlers.values())
+            conns = list(self._conns.values())
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if not drain:
+            for conn in conns:
+                _abort_socket(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+        if not drain and self._owns_service:
+            # Crash-style: kill the engine first so handlers blocked
+            # on tickets fail fast instead of finishing politely.
+            self.service.close()
+        for thread in handlers:
+            thread.join()
+        if drain and self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def live_connections(self) -> int:
+        """Connections currently admitted (leak probe for tests)."""
+        with self._lock:
+            return len(self._conns)
+
+    def stats(self) -> dict:
+        """Copy of the transport counters."""
+        with self._lock:
+            return dict(self._stats)
+
+    # -- accept loop --------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._draining:
+                    return
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            fired = faults.maybe_inject("accept")
+            if fired == "delay":
+                time.sleep(_injected_delay_seconds())
+                fired = None
+            if fired is not None:
+                # conn_reset (and any other kind at this site)
+                # degenerates to aborting the fresh connection.
+                with self._lock:
+                    self._stats["aborted"] += 1
+                _abort_socket(conn)
+                continue
+            with self._lock:
+                if self._draining or len(self._conns) >= self.max_connections:
+                    self._stats["refused"] += 1
+                    admitted = False
+                else:
+                    admitted = True
+                    self._stats["accepted"] += 1
+                    token = self._next_token
+                    self._next_token += 1
+                    thread = threading.Thread(
+                        target=self._handle_connection,
+                        args=(conn, token),
+                        name=f"plan-server-conn-{token}",
+                        daemon=True,
+                    )
+                    self._conns[token] = conn
+                    self._handlers[token] = thread
+            if not admitted:
+                _abort_socket(conn)
+                continue
+            thread.start()
+
+    # -- per-connection handler ---------------------------------------
+
+    def _handle_connection(self, conn: socket.socket, token: int) -> None:
+        try:
+            conn.settimeout(_POLL_SECONDS)
+            if not self._do_handshake(conn):
+                return
+            while True:
+                fired = faults.maybe_inject("recv")
+                if fired == "delay":
+                    time.sleep(_injected_delay_seconds())
+                    fired = None
+                if fired is not None:
+                    with self._lock:
+                        self._stats["aborted"] += 1
+                    _abort_socket(conn)
+                    return
+                status, value = self._recv_payload(
+                    conn, timeout=self.idle_timeout, drain_exits=True
+                )
+                if status == "eof":
+                    return
+                if status == "drain":
+                    self._send_frame(
+                        conn,
+                        _error(None, "closing", "server is draining"),
+                        inject=False,
+                    )
+                    return
+                if status == "fatal-frame":
+                    self._send_frame(
+                        conn, _error(None, "bad-frame", value), inject=False
+                    )
+                    return
+                if status == "soft-frame":
+                    if not self._send_frame(
+                        conn, _error(None, "bad-frame", value), inject=False
+                    ):
+                        return
+                    continue
+                if not self._dispatch(conn, value):
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._conns.pop(token, None)
+                self._handlers.pop(token, None)
+
+    def _do_handshake(self, conn: socket.socket) -> bool:
+        status, hello = self._recv_payload(
+            conn, timeout=self.io_timeout, drain_exits=True
+        )
+        if status != "ok":
+            if status in ("fatal-frame", "soft-frame"):
+                self._send_frame(
+                    conn, _error(None, "bad-frame", hello), inject=False
+                )
+            return False
+        fired = faults.maybe_inject("handshake")
+        if fired == "delay":
+            time.sleep(_injected_delay_seconds())
+            fired = None
+        if fired == "conn_reset":
+            with self._lock:
+                self._stats["aborted"] += 1
+            _abort_socket(conn)
+            return False
+        if (
+            hello.get("type") != "hello"
+            or hello.get("protocol") != PROTOCOL_VERSION
+        ):
+            self._send_frame(
+                conn,
+                _error(
+                    None,
+                    "protocol",
+                    f"expected hello with protocol {PROTOCOL_VERSION}, "
+                    f"got {hello!r}",
+                ),
+                inject=False,
+            )
+            return False
+        welcome = {
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "tenants": self.service.workload_signatures(),
+        }
+        if fired == "drop_response":
+            with self._lock:
+                self._stats["dropped_responses"] += 1
+            return False
+        try:
+            data = encode_frame(welcome)
+            conn.settimeout(self.io_timeout)
+            if fired == "torn_frame":
+                conn.sendall(data[: max(1, len(data) // 2)])
+                with self._lock:
+                    self._stats["aborted"] += 1
+                _abort_socket(conn)
+                return False
+            conn.sendall(data)
+            conn.settimeout(_POLL_SECONDS)
+        except OSError:
+            return False
+        with self._lock:
+            self._stats["handshakes"] += 1
+        return True
+
+    def _dispatch(self, conn: socket.socket, msg: dict) -> bool:
+        mtype = msg.get("type")
+        if mtype == "ping":
+            return self._send_frame(conn, {"type": "pong", "id": msg.get("id")})
+        if mtype == "plan":
+            return self._handle_plan(conn, msg)
+        return self._send_frame(
+            conn,
+            _error(
+                msg.get("id"), "bad-request", f"unknown frame type {mtype!r}"
+            ),
+        )
+
+    def _handle_plan(self, conn: socket.socket, msg: dict) -> bool:
+        rid = msg.get("id")
+        tenant = msg.get("tenant")
+        lengths = msg.get("lengths")
+        if (
+            not isinstance(rid, str)
+            or not isinstance(tenant, str)
+            or not isinstance(lengths, list)
+            or not lengths
+            or not all(
+                isinstance(v, int) and not isinstance(v, bool) and v > 0
+                for v in lengths
+            )
+        ):
+            return self._send_frame(
+                conn,
+                _error(
+                    rid if isinstance(rid, str) else None,
+                    "bad-request",
+                    "plan frame needs a string id, a string tenant and a "
+                    "non-empty list of positive integer lengths",
+                ),
+            )
+        with self._lock:
+            cached = self._completed.get(rid)
+            if cached is not None:
+                self._completed.move_to_end(rid)
+                self._stats["replayed"] += 1
+        if cached is not None:
+            return self._send_frame(conn, cached)
+        deadline_ms = msg.get("deadline_ms")
+        timeout = self.result_timeout
+        if (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+            and deadline_ms > 0
+        ):
+            timeout = min(timeout, deadline_ms / 1000.0)
+        try:
+            ticket = self.service.submit(tenant, tuple(lengths))
+        except ServiceClosed:
+            return self._send_frame(
+                conn, _error(rid, "closed", "plan service is closed")
+            )
+        except ValueError as error:
+            code = (
+                "unknown-tenant"
+                if "unknown tenant" in str(error)
+                else "bad-request"
+            )
+            return self._send_frame(conn, _error(rid, code, str(error)))
+        with self._lock:
+            self._stats["requests"] += 1
+        try:
+            served = ticket.result(timeout=timeout)
+            response = {
+                "type": "plan",
+                "id": rid,
+                "source": served.source,
+                "plan": plan_to_dict(served.plan),
+            }
+            self._remember(rid, response)
+        except RequestShed as error:
+            # A shed verdict is final for this request id: remember it
+            # so a retry after a lost response replays the verdict
+            # instead of re-submitting (which could double-count or,
+            # worse, flip the deterministic shed accounting).
+            response = _error(rid, "shed", str(error))
+            self._remember(rid, response)
+        except ServiceClosed as error:
+            response = _error(rid, "closed", str(error))
+        except TimeoutError:
+            # NOT remembered: the flight may still finish, and a retry
+            # then answers warm from the plan cache.
+            response = _error(
+                rid, "deadline", f"plan not ready within {timeout:.3f}s"
+            )
+        return self._send_frame(conn, response)
+
+    def _remember(self, rid: str, response: dict) -> None:
+        with self._lock:
+            self._completed[rid] = response
+            self._completed.move_to_end(rid)
+            while len(self._completed) > self.max_remembered:
+                self._completed.popitem(last=False)
+
+    # -- framed I/O ---------------------------------------------------
+
+    def _send_frame(
+        self, conn: socket.socket, payload: dict, *, inject: bool = True
+    ) -> bool:
+        """Write one response frame, realising any ``send``-site fault;
+        returns whether the connection is still usable."""
+        fired = faults.maybe_inject("send") if inject else None
+        if fired == "delay":
+            time.sleep(_injected_delay_seconds())
+            fired = None
+        if fired == "drop_response":
+            with self._lock:
+                self._stats["dropped_responses"] += 1
+            return True
+        if fired == "conn_reset":
+            with self._lock:
+                self._stats["aborted"] += 1
+            _abort_socket(conn)
+            return False
+        try:
+            data = encode_frame(payload)
+            conn.settimeout(self.io_timeout)
+            if fired == "torn_frame":
+                conn.sendall(data[: max(1, len(data) // 2)])
+                with self._lock:
+                    self._stats["aborted"] += 1
+                _abort_socket(conn)
+                return False
+            conn.sendall(data)
+            conn.settimeout(_POLL_SECONDS)
+        except OSError:
+            return False
+        return True
+
+    def _recv_payload(
+        self, conn: socket.socket, *, timeout: float, drain_exits: bool
+    ):
+        """Read one frame.  Returns ``(status, value)`` where status is
+        ``ok`` (value: payload dict), ``eof`` (peer gone / timed out),
+        ``drain`` (server draining while the connection was idle),
+        ``fatal-frame`` (framing lost sync; value: message) or
+        ``soft-frame`` (intact framing, bad JSON; value: message)."""
+        header = self._read_exact(
+            conn, 4, timeout=timeout, drain_exits=drain_exits
+        )
+        if header is None:
+            with self._lock:
+                draining = self._draining
+            return ("drain" if drain_exits and draining else "eof", None)
+        (size,) = struct.unpack(">I", header)
+        if size == 0 or size > MAX_FRAME_BYTES:
+            return (
+                "fatal-frame",
+                f"frame length {size} outside (0, {MAX_FRAME_BYTES}]",
+            )
+        body = self._read_exact(
+            conn, size, timeout=self.io_timeout, drain_exits=False
+        )
+        if body is None:
+            return ("eof", None)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return ("soft-frame", "frame payload is not valid JSON")
+        if not isinstance(payload, dict):
+            return ("soft-frame", "frame payload is not a JSON object")
+        return ("ok", payload)
+
+    def _read_exact(
+        self,
+        conn: socket.socket,
+        size: int,
+        *,
+        timeout: float,
+        drain_exits: bool,
+    ) -> bytes | None:
+        """Read exactly ``size`` bytes in ``_POLL_SECONDS`` slices so a
+        blocked handler notices drains; None means stop serving this
+        connection (EOF, reset, or the read budget ran out)."""
+        buffer = bytearray()
+        deadline = time.monotonic() + timeout
+        while len(buffer) < size:
+            if drain_exits and not buffer:
+                with self._lock:
+                    if self._draining:
+                        return None
+            try:
+                chunk = conn.recv(min(65536, size - len(buffer)))
+            except socket.timeout:
+                if time.monotonic() >= deadline:
+                    return None
+                continue
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            buffer.extend(chunk)
+        return bytes(buffer)
+
+
+class PlanClient:
+    """Trainer-side stub for a remote :class:`PlanServer`.
+
+    Not thread-safe: one client per requesting thread (clients are
+    cheap; the expensive state is server-side).
+
+    Args:
+        host / port: The server's address.
+        jobs: Optional ``{name: Workload}`` map.  Enables (a) the
+            handshake signature check — the client derives each
+            workload's digest and refuses a server whose registered
+            tenant differs — and (b) graceful degradation: when the
+            deadline/retry budget is exhausted, a private in-process
+            :class:`PlanService` is built lazily from these jobs and
+            the request is answered locally (counted in
+            ``stats()["degraded"]``).
+        solver_config: Solver knobs for the degraded service.
+        store: Optional cache-store path for the degraded service.
+        deadline: Default per-request wall-clock budget (seconds).
+        io_timeout: Budget for one socket operation / response wait.
+        retries: Transport-failure retry budget per request.
+        backoff_base / backoff_cap: Exponential backoff envelope.
+        seed: Seeds the backoff jitter — a seeded client backs off
+            identically on every run.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        jobs: dict | None = None,
+        solver_config: SolverConfig | None = None,
+        store=None,
+        deadline: float = 30.0,
+        io_timeout: float = 10.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        seed: int = 0,
+        fallback_timeout: float = 600.0,
+    ) -> None:
+        if deadline <= 0 or io_timeout <= 0 or fallback_timeout <= 0:
+            raise ValueError("deadline and timeouts must be positive")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError(
+                "need 0 < backoff_base <= backoff_cap, got "
+                f"base={backoff_base}, cap={backoff_cap}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.deadline = deadline
+        self.io_timeout = io_timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fallback_timeout = fallback_timeout
+        self.solver_config = solver_config
+        self._jobs = dict(jobs) if jobs else {}
+        self._store = store
+        self._rng = random.Random(seed)
+        self._session = uuid.uuid4().hex[:8]
+        self._request_counter = 0
+        self._sock: socket.socket | None = None
+        self._fallback: PlanService | None = None
+        self._stats = {
+            "requests": 0,
+            "served": 0,
+            "retries": 0,
+            "connects": 0,
+            "shed": 0,
+            "degraded": 0,
+            "failed": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the connection and close the fallback service
+        (idempotent)."""
+        self._drop_connection()
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
+
+    def stats(self) -> dict:
+        """Copy of the client counters (``reconnects`` derived)."""
+        stats = dict(self._stats)
+        stats["reconnects"] = max(0, stats["connects"] - 1)
+        return stats
+
+    # -- requests -----------------------------------------------------
+
+    def plan(
+        self,
+        tenant: str,
+        lengths,
+        *,
+        deadline: float | None = None,
+    ) -> ServedPlan:
+        """Request one plan; blocks until answered, shed, or failed.
+
+        Raises :class:`RequestShed` on an admission-control shed,
+        ``ValueError`` on an unknown tenant, :class:`HandshakeError`
+        on a protocol/signature mismatch, :class:`TransportError` if
+        the server rejected the request as malformed, and
+        :class:`PlanDeadlineExceeded` when the deadline/retry budget
+        is exhausted with no fallback jobs configured.
+        """
+        lengths = tuple(int(value) for value in lengths)
+        budget = self.deadline if deadline is None else float(deadline)
+        if budget <= 0:
+            raise ValueError(f"deadline must be positive, got {budget}")
+        deadline_at = time.monotonic() + budget
+        started = time.perf_counter()
+        rid = f"{self._session}-{self._request_counter}"
+        self._request_counter += 1
+        self._stats["requests"] += 1
+        attempt = 0
+        while True:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                return self._degrade(
+                    tenant, lengths, started, reason="deadline exhausted"
+                )
+            try:
+                self._ensure_connected(remaining)
+                self._send_frame(
+                    {
+                        "type": "plan",
+                        "id": rid,
+                        "tenant": tenant,
+                        "lengths": list(lengths),
+                        "deadline_ms": max(1, int(remaining * 1000)),
+                    }
+                )
+                response = self._await_response(
+                    rid,
+                    min(deadline_at, time.monotonic() + self.io_timeout),
+                )
+            except HandshakeError:
+                self._drop_connection()
+                raise
+            except TransportError:
+                self._drop_connection()
+                attempt += 1
+                self._stats["retries"] += 1
+                if attempt > self.retries:
+                    return self._degrade(
+                        tenant,
+                        lengths,
+                        started,
+                        reason="retry budget exhausted",
+                    )
+                self._backoff(attempt, deadline_at)
+                continue
+            if response.get("type") == "plan":
+                plan = plan_from_dict(response["plan"])
+                self._stats["served"] += 1
+                return ServedPlan(
+                    tenant=tenant,
+                    lengths=lengths,
+                    plan=plan,
+                    source=str(response.get("source", "solved")),
+                    latency_seconds=time.perf_counter() - started,
+                )
+            code = (
+                response.get("error")
+                if response.get("type") == "error"
+                else None
+            )
+            message = str(response.get("message", response))
+            if code == "shed":
+                self._stats["shed"] += 1
+                raise RequestShed(message)
+            if code == "unknown-tenant":
+                raise ValueError(message)
+            if code in ("bad-request", "bad-frame", "protocol"):
+                raise TransportError(
+                    f"server rejected request ({code}): {message}"
+                )
+            if code in ("closed", "closing"):
+                self._drop_connection()
+                return self._degrade(
+                    tenant, lengths, started, reason=f"server {code}"
+                )
+            # "deadline" (server-side expiry) or an unexpected frame:
+            # retry — the flight may now be warm in the plan cache.
+            attempt += 1
+            self._stats["retries"] += 1
+            if attempt > self.retries:
+                return self._degrade(
+                    tenant, lengths, started, reason="retry budget exhausted"
+                )
+            self._backoff(attempt, deadline_at)
+
+    def ping(self, timeout: float = 5.0) -> float:
+        """Round-trip one heartbeat; returns the RTT in seconds."""
+        deadline_at = time.monotonic() + timeout
+        try:
+            self._ensure_connected(timeout)
+            started = time.perf_counter()
+            self._send_frame({"type": "ping", "id": None})
+            while True:
+                frame = self._recv_frame(deadline_at)
+                if frame.get("type") == "pong":
+                    return time.perf_counter() - started
+        except TransportError:
+            self._drop_connection()
+            raise
+
+    # -- connection management ----------------------------------------
+
+    def _ensure_connected(self, timeout: float) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port),
+                timeout=max(0.1, min(timeout, self.io_timeout)),
+            )
+        except OSError as exc:
+            raise TransportError(f"connect failed: {exc}") from exc
+        try:
+            sock.settimeout(self.io_timeout)
+            sock.sendall(
+                encode_frame({"type": "hello", "protocol": PROTOCOL_VERSION})
+            )
+            self._sock = sock
+            try:
+                welcome = self._recv_frame(
+                    time.monotonic() + min(timeout, self.io_timeout)
+                )
+            except BaseException:
+                self._sock = None
+                raise
+            if welcome.get("type") == "error":
+                raise HandshakeError(str(welcome.get("message", welcome)))
+            if (
+                welcome.get("type") != "welcome"
+                or welcome.get("protocol") != PROTOCOL_VERSION
+            ):
+                raise HandshakeError(
+                    f"unexpected handshake reply: {welcome!r}"
+                )
+            self._verify_signatures(welcome.get("tenants") or {})
+        except OSError as exc:
+            self._sock = None
+            sock.close()
+            raise TransportError(f"handshake failed: {exc}") from exc
+        except BaseException:
+            self._sock = None
+            sock.close()
+            raise
+        self._stats["connects"] += 1
+
+    def _verify_signatures(self, tenants: dict) -> None:
+        if not self._jobs:
+            return
+        from repro.core.cache_store import signature_digest
+        from repro.experiments.sweep import workload_signature
+
+        for name, workload in self._jobs.items():
+            remote = tenants.get(name)
+            if remote is None:
+                continue
+            digest = signature_digest(workload_signature(workload))
+            if remote != digest:
+                raise HandshakeError(
+                    f"tenant {name!r} workload-signature mismatch: server "
+                    f"registered {remote}, client derived {digest}"
+                )
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _backoff(self, attempt: int, deadline_at: float) -> None:
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+        )
+        delay *= 0.5 + self._rng.random()
+        delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- framed I/O ---------------------------------------------------
+
+    def _send_frame(self, payload: dict) -> None:
+        assert self._sock is not None
+        try:
+            self._sock.settimeout(self.io_timeout)
+            self._sock.sendall(encode_frame(payload))
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def _await_response(self, rid: str, deadline_at: float) -> dict:
+        while True:
+            frame = self._recv_frame(deadline_at)
+            if frame.get("type") == "pong":
+                continue
+            fid = frame.get("id")
+            if fid is not None and fid != rid:
+                continue  # stale answer from an abandoned request
+            return frame
+
+    def _recv_frame(self, deadline_at: float) -> dict:
+        header = self._recv_exact(4, deadline_at)
+        (size,) = struct.unpack(">I", header)
+        if size == 0 or size > MAX_FRAME_BYTES:
+            raise TransportError(f"bad frame length {size}")
+        body = self._recv_exact(size, deadline_at)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TransportError("server sent malformed JSON") from exc
+        if not isinstance(payload, dict):
+            raise TransportError("server frame is not a JSON object")
+        return payload
+
+    def _recv_exact(self, size: int, deadline_at: float) -> bytes:
+        assert self._sock is not None
+        buffer = bytearray()
+        while len(buffer) < size:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise TransportError("timed out waiting for the server")
+            self._sock.settimeout(min(self.io_timeout, remaining))
+            try:
+                chunk = self._sock.recv(min(65536, size - len(buffer)))
+            except OSError as exc:
+                raise TransportError(f"receive failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("server closed the connection")
+            buffer.extend(chunk)
+        return bytes(buffer)
+
+    # -- degradation --------------------------------------------------
+
+    def _fallback_service(self) -> PlanService | None:
+        if self._fallback is not None:
+            return self._fallback
+        if not self._jobs:
+            return None
+        service = PlanService(
+            solver_config=self.solver_config,
+            store=self._store,
+            worker_threads=1,
+        )
+        try:
+            for name, workload in self._jobs.items():
+                service.register(workload, name=name)
+        except BaseException:
+            service.close()
+            raise
+        self._fallback = service
+        return service
+
+    def _degrade(
+        self,
+        tenant: str,
+        lengths: tuple[int, ...],
+        started: float,
+        reason: str,
+    ) -> ServedPlan:
+        """Last rung of the ladder: answer from a private in-process
+        service built from the configured jobs."""
+        service = self._fallback_service()
+        if service is None:
+            self._stats["failed"] += 1
+            raise PlanDeadlineExceeded(
+                f"plan for tenant {tenant!r} failed over TCP ({reason}) and "
+                "no fallback jobs were configured for in-process degradation"
+            )
+        self._stats["degraded"] += 1
+        ticket = service.submit(tenant, lengths)
+        served = ticket.result(timeout=self.fallback_timeout)
+        return ServedPlan(
+            tenant=tenant,
+            lengths=lengths,
+            plan=served.plan,
+            source=served.source,
+            latency_seconds=time.perf_counter() - started,
+        )

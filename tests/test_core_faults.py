@@ -60,8 +60,26 @@ class TestSpecGrammar:
             "hang@cell:3",
             "stale_lock@prune:*",
             "torn_write@spill:1",
+            "conn_reset@accept:0",
+            "torn_frame@send:2",
+            "delay@recv:*",
+            "drop_response@send:0",
         ):
             assert str(FaultSpec.parse(text)) == text
+
+    def test_network_menu_is_well_formed(self):
+        # Every menu entry parses, and the transport's kinds/sites are
+        # all reachable from the chaos CLI's spec grammar.
+        for kind, site in faults.NETWORK_FAULT_MENU:
+            spec = FaultSpec.parse(f"{kind}@{site}")
+            assert spec.kind in faults.FAULT_KINDS
+            assert spec.site in faults.INJECTION_SITES
+        assert {"conn_reset", "torn_frame", "delay", "drop_response"} <= set(
+            faults.FAULT_KINDS
+        )
+        assert {"accept", "handshake", "recv", "send"} <= set(
+            faults.INJECTION_SITES
+        )
 
     @pytest.mark.parametrize(
         "bad",

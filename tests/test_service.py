@@ -9,6 +9,9 @@ seeded trace generator the service benchmark drives load with.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.cluster.topology import standard_cluster
@@ -186,6 +189,89 @@ class TestShutdown:
             warm = ticket.result()
         assert warm.source == "warm"
         assert_bit_equal(first.plan, warm.plan)
+
+
+class TestTickets:
+    def test_result_timeout_expires_then_succeeds(self):
+        # Paused service: nothing solves, so the wait genuinely
+        # expires — and the ticket stays valid for a later, patient
+        # result() call once the engine starts.
+        workload = small_workload(GITHUB, seed=12)
+        with PlanService(autostart=False) as service:
+            tenant = service.register(workload)
+            ticket = service.submit(tenant, batch_lengths(workload, 0))
+            with pytest.raises(TimeoutError, match="not ready within"):
+                ticket.result(timeout=0.05)
+            service.start()
+            served = ticket.result(timeout=RESULT_TIMEOUT)
+            assert served.source == "solved"
+
+
+class TestReplay:
+    def _single_job(self, seed: int) -> dict:
+        workload = small_workload(GITHUB, seed=seed)
+        jobs = service_jobs(max_context=MAX_CONTEXT, global_batch_size=8)
+        name = sorted(jobs)[0]
+        return {name: workload}
+
+    def test_replay_on_closed_service_returns_empty(self):
+        # Regression: replay used to let the first submit's
+        # ServiceClosed escape with earlier tickets unawaited.
+        jobs = self._single_job(seed=13)
+        service = PlanService(autostart=False)
+        for name, workload in jobs.items():
+            service.register(workload, name=name)
+        service.close()
+        trace = synthesize_trace(jobs, duration=1.0, rate=5.0, seed=0)
+        assert trace
+        assert service.replay(trace) == []
+
+    def test_close_mid_trace_returns_partial_tickets(self):
+        jobs = self._single_job(seed=14)
+        trace = synthesize_trace(
+            jobs, duration=2.0, rate=10.0, seed=1, step_window=4
+        )
+        # Preconditions for "partial": arrivals both sides of the close.
+        assert trace[0].time < 0.5 < 1.0 < trace[-1].time
+        service = PlanService(autostart=False, max_pending_per_tenant=64)
+        for name, workload in jobs.items():
+            service.register(workload, name=name)
+        closer = threading.Timer(0.6, service.close)
+        closer.start()
+        try:
+            tickets = service.replay(trace, realtime=True)
+        finally:
+            closer.join()
+        assert 0 < len(tickets) < len(trace)
+        # Every returned ticket still resolves — answered, shed, or
+        # cancelled — never left hanging.
+        for ticket in tickets:
+            with pytest.raises((RequestShed, ServiceClosed)):
+                ticket.result(timeout=RESULT_TIMEOUT)
+
+    def test_realtime_replay_honours_arrival_offsets(self):
+        jobs = self._single_job(seed=15)
+        trace = synthesize_trace(
+            jobs, duration=1.2, rate=5.0, seed=2, step_window=2
+        )
+        last_arrival = trace[-1].time
+        assert last_arrival > 0.3
+        with PlanService(
+            autostart=False, max_pending_per_tenant=64
+        ) as service:
+            for name, workload in jobs.items():
+                service.register(workload, name=name)
+            started = time.perf_counter()
+            paced = service.replay(trace, realtime=True)
+            paced_wall = time.perf_counter() - started
+            started = time.perf_counter()
+            burst = service.replay(trace)
+            burst_wall = time.perf_counter() - started
+        assert len(paced) == len(burst) == len(trace)
+        # Open-loop pacing waits for the last arrival; the closed-loop
+        # burst submits the same trace effectively instantly.
+        assert paced_wall >= last_arrival
+        assert burst_wall < last_arrival / 2
 
 
 class TestTraffic:
